@@ -1,0 +1,173 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation as a testing.B benchmark, using the
+// Fast measurement windows (see EXPERIMENTS.md for full-window results):
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports domain metrics via b.ReportMetric in addition to
+// wall-clock time: misp/Kuops for accuracy experiments, uPC for the
+// performance experiments.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/experiments"
+	"prophetcritic/internal/metrics"
+	"prophetcritic/internal/pipeline"
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
+)
+
+// runExperiment drives one registered experiment end to end per iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, experiments.Fast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1SuiteInventory(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable2MachineConfig(b *testing.B)  { runExperiment(b, "table2") }
+func BenchmarkTable3Budgets(b *testing.B)        { runExperiment(b, "table3") }
+func BenchmarkTable4FilterRates(b *testing.B)    { runExperiment(b, "table4") }
+
+func BenchmarkFig5FutureBits(b *testing.B)                { runExperiment(b, "fig5") }
+func BenchmarkFig6aGskewPerceptron(b *testing.B)          { runExperiment(b, "fig6a") }
+func BenchmarkFig6bGshareFilteredPerceptron(b *testing.B) { runExperiment(b, "fig6b") }
+func BenchmarkFig6cPerceptronTaggedGshare(b *testing.B)   { runExperiment(b, "fig6c") }
+func BenchmarkFig7a16KB(b *testing.B)                     { runExperiment(b, "fig7a") }
+func BenchmarkFig7b32KB(b *testing.B)                     { runExperiment(b, "fig7b") }
+func BenchmarkFig8CritiqueDistribution(b *testing.B)      { runExperiment(b, "fig8") }
+func BenchmarkFig9UPC(b *testing.B)                       { runExperiment(b, "fig9") }
+func BenchmarkFig10UPCSuites(b *testing.B)                { runExperiment(b, "fig10") }
+func BenchmarkHeadline(b *testing.B)                      { runExperiment(b, "headline") }
+
+// ---- microbenchmarks of the core machinery ----
+
+// BenchmarkHybridPredictResolve measures the per-branch cost of the
+// 8KB+8KB hybrid including the 8-future-bit CFG walk.
+func BenchmarkHybridPredictResolve(b *testing.B) {
+	prog := program.MustLoad("gcc")
+	h := core.New(
+		budget.MustLookup(budget.Gskew, 8).Build(),
+		budget.MustLookup(budget.TaggedGshare, 8).Build(),
+		core.Config{FutureBits: 8, Filtered: true, BORLen: 18})
+	run := prog.NewRun()
+	walk := core.WalkFunc(prog.Walk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := run.CurrentAddr()
+		pr := h.Predict(addr, walk)
+		ev := run.Next()
+		h.Resolve(pr, ev.Taken)
+	}
+}
+
+// BenchmarkProphetAlone is the conventional-predictor baseline cost.
+func BenchmarkProphetAlone(b *testing.B) {
+	prog := program.MustLoad("gcc")
+	h := core.New(budget.MustLookup(budget.Gskew, 16).Build(), nil, core.Config{})
+	run := prog.NewRun()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := run.CurrentAddr()
+		pr := h.Predict(addr, nil)
+		ev := run.Next()
+		h.Resolve(pr, ev.Taken)
+	}
+}
+
+// BenchmarkFunctionalSimGcc reports misp/Kuops for the headline hybrid as
+// a custom metric.
+func BenchmarkFunctionalSimGcc(b *testing.B) {
+	prog := program.MustLoad("gcc")
+	opt := sim.Options{WarmupBranches: 20_000, MeasureBranches: 50_000}
+	var last sim.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := core.New(
+			budget.MustLookup(budget.Gskew, 8).Build(),
+			budget.MustLookup(budget.TaggedGshare, 8).Build(),
+			core.Config{FutureBits: 1, Filtered: true, BORLen: 18})
+		last = sim.Run(prog, h, opt)
+	}
+	b.ReportMetric(last.MispPerKuops(), "misp/Kuops")
+}
+
+// BenchmarkTimingSimGcc reports uPC as a custom metric.
+func BenchmarkTimingSimGcc(b *testing.B) {
+	prog := program.MustLoad("gcc")
+	opt := pipeline.Options{WarmupBranches: 10_000, MeasureBranches: 30_000}
+	var last pipeline.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := core.New(
+			budget.MustLookup(budget.Gskew, 8).Build(),
+			budget.MustLookup(budget.TaggedGshare, 8).Build(),
+			core.Config{FutureBits: 1, Filtered: true, BORLen: 18})
+		last = pipeline.Run(prog, h, pipeline.DefaultConfig(), opt)
+	}
+	b.ReportMetric(last.UPC(), "uPC")
+}
+
+// ---- ablation benches for the design choices DESIGN.md calls out ----
+
+// BenchmarkAblationFilteredVsUnfiltered compares the filtered critic
+// protocol against criticizing every branch, reporting both rates.
+func BenchmarkAblationFilteredVsUnfiltered(b *testing.B) {
+	prog := program.MustLoad("gcc")
+	opt := sim.Options{WarmupBranches: 20_000, MeasureBranches: 50_000}
+	var filtered, unfiltered sim.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hf := core.New(budget.MustLookup(budget.Gskew, 8).Build(),
+			budget.MustLookup(budget.TaggedGshare, 8).Build(),
+			core.Config{FutureBits: 8, Filtered: true, BORLen: 18})
+		filtered = sim.Run(prog, hf, opt)
+		hu := core.New(budget.MustLookup(budget.Gskew, 8).Build(),
+			budget.MustLookup(budget.Perceptron, 8).Build(),
+			core.Config{FutureBits: 8, BORLen: 28})
+		unfiltered = sim.Run(prog, hu, opt)
+	}
+	b.ReportMetric(filtered.MispPerKuops(), "filtered-misp/Ku")
+	b.ReportMetric(unfiltered.MispPerKuops(), "unfiltered-misp/Ku")
+}
+
+// BenchmarkAblationFutureBits reports the fb=0 vs fb=1 delta — the
+// paper's key mechanism — as custom metrics.
+func BenchmarkAblationFutureBits(b *testing.B) {
+	opt := sim.Options{WarmupBranches: 20_000, MeasureBranches: 50_000}
+	mk := func(fb uint) sim.Builder {
+		return func() *core.Hybrid {
+			return core.New(budget.MustLookup(budget.Gskew, 8).Build(),
+				budget.MustLookup(budget.TaggedGshare, 8).Build(),
+				core.Config{FutureBits: fb, Filtered: true, BORLen: 18})
+		}
+	}
+	var m0, m1 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs0, err := sim.RunBenchmarks([]string{"gcc", "unzip", "flash"}, mk(0), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs1, err := sim.RunBenchmarks([]string{"gcc", "unzip", "flash"}, mk(1), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m0, m1 = metrics.MeanMispPerKuops(rs0), metrics.MeanMispPerKuops(rs1)
+	}
+	b.ReportMetric(m0, "fb0-misp/Ku")
+	b.ReportMetric(m1, "fb1-misp/Ku")
+}

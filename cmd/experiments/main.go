@@ -1,0 +1,62 @@
+// Command experiments regenerates the paper's tables and figures:
+//
+//	experiments -exp fig5          # one experiment
+//	experiments -exp all           # everything, in paper order
+//	experiments -exp all -fast     # reduced windows (smoke test)
+//	experiments -list              # enumerate experiment ids
+//
+// Output is plain text, one table per experiment, deterministic for a
+// given configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"prophetcritic/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id or 'all'")
+		fast = flag.Bool("fast", false, "use reduced measurement windows")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := experiments.Full
+	if *fast {
+		opt = experiments.Fast
+	}
+
+	var todo []experiments.Experiment
+	if *exp == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,130 @@
+// Command pcsim runs a single branch-prediction simulation — functional
+// or timing — for one benchmark and one predictor configuration, printing
+// a detailed report. It is the interactive front door to the library:
+//
+//	pcsim -bench gcc -prophet "2Bc-gskew:8" -critic "tagged gshare:8" -fb 1
+//	pcsim -bench tpcc -prophet "perceptron:16" -critic none
+//	pcsim -bench gcc -timing -fb 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/pipeline"
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
+)
+
+func main() {
+	var (
+		bench       = flag.String("bench", "gcc", "benchmark name (see -benchmarks)")
+		prophetFlag = flag.String("prophet", "2Bc-gskew:8", "prophet as kind:KB")
+		criticFlag  = flag.String("critic", "tagged gshare:8", "critic as kind:KB, or 'none'")
+		fb          = flag.Uint("fb", 1, "number of future bits")
+		unfiltered  = flag.Bool("unfiltered", false, "critique every branch (no tag filter)")
+		timing      = flag.Bool("timing", false, "run the cycle timing model (uPC) instead of the functional simulator")
+		warmup      = flag.Int("warmup", 120_000, "warmup branches")
+		measure     = flag.Int("measure", 250_000, "measured branches")
+		list        = flag.Bool("benchmarks", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for suite, names := range program.Suites() {
+			fmt.Printf("%-6s %v\n", suite, names)
+		}
+		return
+	}
+
+	prog, err := program.Load(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := buildHybrid(*prophetFlag, *criticFlag, *fb, *unfiltered)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("workload: ", prog)
+	fmt.Println("predictor:", h.Name())
+	fmt.Printf("budget:    %d bits (%.1f KB)\n\n", h.SizeBits(), float64(h.SizeBits())/8192)
+
+	if *timing {
+		r := pipeline.Run(prog, h, pipeline.DefaultConfig(), pipeline.Options{WarmupBranches: *warmup, MeasureBranches: *measure})
+		fmt.Printf("cycles:            %.0f\n", r.Cycles)
+		fmt.Printf("uPC:               %.3f\n", r.UPC())
+		fmt.Printf("misp/Kuops:        %.3f\n", r.MispPerKuops())
+		fmt.Printf("wrong-path uops:   %d (%.1f%% of committed)\n", r.WrongPathUops, float64(r.WrongPathUops)/float64(r.Uops)*100)
+		fmt.Printf("BTB miss rate:     %.4f\n", r.BTBMissRate)
+		fmt.Printf("FTQ empty rate:    %.4f\n", r.FTQEmptyRate)
+		fmt.Printf("partial critiques: %.4f\n", r.LateCritique)
+		fmt.Printf("L1I/L1D miss:      %.4f / %.4f\n", r.L1IMissRate, r.L1DMissRate)
+		return
+	}
+
+	r := sim.Run(prog, h, sim.Options{WarmupBranches: *warmup, MeasureBranches: *measure})
+	fmt.Printf("branches:          %d (%d uops)\n", r.Branches, r.Uops)
+	fmt.Printf("prophet misp:      %d (%.2f%% of branches, %.3f/Kuops)\n",
+		r.ProphetMisp, float64(r.ProphetMisp)/float64(r.Branches)*100, r.ProphetMispPerKuops())
+	fmt.Printf("final misp:        %d (%.2f%% of branches, %.3f/Kuops)\n",
+		r.FinalMisp, r.MispRate()*100, r.MispPerKuops())
+	if r.ProphetMisp > 0 {
+		fmt.Printf("critic removed:    %.1f%% of prophet mispredicts\n", (1-float64(r.FinalMisp)/float64(r.ProphetMisp))*100)
+	}
+	fmt.Printf("uops per flush:    %.0f\n\n", r.UopsPerFlush())
+	fmt.Println("critique distribution:")
+	for c := core.CorrectAgree; c <= core.IncorrectNone; c++ {
+		fmt.Printf("  %-20s %d\n", c.String(), r.Critiques[c])
+	}
+}
+
+func buildHybrid(prophetSpec, criticSpec string, fb uint, unfiltered bool) (*core.Hybrid, error) {
+	pk, pkb, err := parseKindKB(prophetSpec)
+	if err != nil {
+		return nil, err
+	}
+	p := budget.MustLookup(pk, pkb).Build()
+	if criticSpec == "none" {
+		return core.New(p, nil, core.Config{}), nil
+	}
+	ck, ckb, err := parseKindKB(criticSpec)
+	if err != nil {
+		return nil, err
+	}
+	cc := budget.MustLookup(ck, ckb)
+	c := cc.Build()
+	borLen := cc.BORSize
+	if borLen == 0 {
+		borLen = c.HistoryLen()
+	}
+	return core.New(p, c, core.Config{
+		FutureBits: fb,
+		Filtered:   cc.IsCritic() && !unfiltered,
+		BORLen:     borLen,
+	}), nil
+}
+
+func parseKindKB(s string) (budget.Kind, int, error) {
+	var kb int
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ':' {
+			if _, err := fmt.Sscanf(s[i+1:], "%d", &kb); err != nil {
+				return "", 0, fmt.Errorf("bad size in %q: %v", s, err)
+			}
+			if _, err := budget.Lookup(budget.Kind(s[:i]), kb); err != nil {
+				return "", 0, err
+			}
+			return budget.Kind(s[:i]), kb, nil
+		}
+	}
+	return "", 0, fmt.Errorf("want kind:KB, got %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcsim:", err)
+	os.Exit(1)
+}

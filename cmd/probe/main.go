@@ -1,0 +1,50 @@
+// Command probe measures prophet/critic behaviour across future-bit
+// counts on candidate workload mixes. It is a calibration diagnostic, not
+// part of the paper reproduction.
+package main
+
+import (
+	"fmt"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
+)
+
+func main() {
+	mixes := []struct {
+		name  string
+		sites int
+		spec  program.Spec
+	}{
+		{"bias-only", 320, program.Spec{WBias: 1}},
+		{"loop-only", 320, program.Spec{WLoop: 1}},
+		{"histcopy-only", 320, program.Spec{WHistCopy: 1}},
+		{"pattern-only", 320, program.Spec{WPattern: 1}},
+		{"parity-only", 320, program.Spec{WHistParity: 1}},
+		{"local-only", 320, program.Spec{WLocal: 1}},
+		{"ammp-like", 320, program.Spec{WBias: 0.30, WLoop: 0.48, WPattern: 0.06, WHistCopy: 0.12, WNoise: 0.02, WDeep: 0.02, BiasLo: 0.94, BiasHi: 0.997}},
+	}
+	opt := sim.Options{WarmupBranches: 200_000, MeasureBranches: 400_000}
+	for _, m := range mixes {
+		s := m.spec
+		s.Name, s.Suite, s.Seed, s.Sites = m.name, "probe", 0xbeef, m.sites
+		p := program.Generate(s)
+		alone16 := sim.Run(p, core.New(budget.MustLookup(budget.Gskew, 16).Build(), nil, core.Config{}), opt)
+		alone8 := sim.Run(p, core.New(budget.MustLookup(budget.Gskew, 8).Build(), nil, core.Config{}), opt)
+		fmt.Printf("%-14s 16KB gskew alone %6.2f%%  8KB alone %6.2f%%\n", m.name, alone16.MispRate()*100, alone8.MispRate()*100)
+		for _, fb := range []uint{0, 1, 4, 8, 12} {
+			h := core.New(
+				budget.MustLookup(budget.Gskew, 8).Build(),
+				budget.MustLookup(budget.TaggedGshare, 8).Build(),
+				core.Config{FutureBits: fb, Filtered: true, BORLen: 18})
+			r := sim.Run(p, h, opt)
+			fmt.Printf("    fb=%-2d prophet %6.2f%% final %6.2f%%   c_agr %7d c_dis %6d i_agr %6d i_dis %6d none %6.1f%%\n",
+				fb, float64(r.ProphetMisp)/float64(r.Branches)*100, r.MispRate()*100,
+				r.Critiques[core.CorrectAgree], r.Critiques[core.CorrectDisagree],
+				r.Critiques[core.IncorrectAgree], r.Critiques[core.IncorrectDisagree],
+				func() float64 { _, _, t := r.FilteredFrac(); return t * 100 }())
+		}
+	}
+}

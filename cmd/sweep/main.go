@@ -1,0 +1,153 @@
+// Command sweep runs free-form prophet/critic parameter sweeps:
+//
+//	sweep -bench gcc,unzip -prophet 2Bc-gskew:8 -critic "tagged gshare:8" -fb 0,1,4,8,12
+//
+// It prints one row per (benchmark, future-bit count) with prophet and
+// final mispredict rates, misp/Kuops, and the critique distribution, and
+// is the calibration tool used while tuning the synthetic workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/metrics"
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
+)
+
+func main() {
+	var (
+		benchFlag   = flag.String("bench", "all", "comma-separated benchmark names, a suite name, or 'all'")
+		prophetFlag = flag.String("prophet", "2Bc-gskew:8", "prophet as kind:KB")
+		criticFlag  = flag.String("critic", "tagged gshare:8", "critic as kind:KB, or 'none'")
+		fbFlag      = flag.String("fb", "8", "comma-separated future bit counts")
+		warmup      = flag.Int("warmup", sim.DefaultOptions.WarmupBranches, "warmup branches")
+		measure     = flag.Int("measure", sim.DefaultOptions.MeasureBranches, "measured branches")
+		unfiltered  = flag.Bool("unfiltered", false, "use the critic unfiltered even if tagged")
+		verbose     = flag.Bool("v", false, "per-benchmark rows (default prints means only)")
+	)
+	flag.Parse()
+
+	names, err := resolveBenchmarks(*benchFlag)
+	if err != nil {
+		fatal(err)
+	}
+	prophetCfg, err := parseKindKB(*prophetFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var criticCfg *budget.Config
+	if *criticFlag != "none" {
+		c, err := parseKindKB(*criticFlag)
+		if err != nil {
+			fatal(err)
+		}
+		criticCfg = &c
+	}
+	fbs, err := parseInts(*fbFlag)
+	if err != nil {
+		fatal(err)
+	}
+	opt := sim.Options{WarmupBranches: *warmup, MeasureBranches: *measure}
+
+	fmt.Printf("prophet: %s @%dKB   critic: %s   benchmarks: %d\n", prophetCfg.Kind, prophetCfg.KB, *criticFlag, len(names))
+	fmt.Printf("%-6s %-12s %9s %9s %9s %9s %8s %8s %8s %8s\n",
+		"fb", "bench", "pMisp%", "misp%", "misp/Ku", "uops/fl", "c_agr", "c_dis", "i_agr", "i_dis")
+
+	for _, fb := range fbs {
+		build := func() *core.Hybrid {
+			p := prophetCfg.Build()
+			if criticCfg == nil {
+				return core.New(p, nil, core.Config{})
+			}
+			c := criticCfg.Build()
+			filtered := criticCfg.IsCritic() && !*unfiltered
+			return core.New(p, c, core.Config{FutureBits: uint(fb), Filtered: filtered, BORLen: criticCfg.BORSize})
+		}
+		rs, err := sim.RunBenchmarks(names, build, opt)
+		if err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			for _, r := range rs {
+				printRow(strconv.Itoa(fb), r.Benchmark, r)
+			}
+		}
+		mean := metrics.MeanMispPerKuops(rs)
+		var agg sim.Result
+		agg.Benchmark = "MEAN"
+		for _, r := range rs {
+			agg.Branches += r.Branches
+			agg.Uops += r.Uops
+			agg.ProphetMisp += r.ProphetMisp
+			agg.FinalMisp += r.FinalMisp
+			for c := range r.Critiques {
+				agg.Critiques[c] += r.Critiques[c]
+			}
+		}
+		printRow(strconv.Itoa(fb), "POOLED", agg)
+		fmt.Printf("%-6s %-12s mean misp/Kuops over benchmarks: %.4f\n", strconv.Itoa(fb), "MEAN", mean)
+	}
+}
+
+func printRow(fb string, name string, r sim.Result) {
+	fmt.Printf("%-6s %-12s %8.3f%% %8.3f%% %9.3f %9.0f %8d %8d %8d %8d\n",
+		fb, name,
+		float64(r.ProphetMisp)/float64(r.Branches)*100,
+		r.MispRate()*100,
+		r.MispPerKuops(),
+		r.UopsPerFlush(),
+		r.Critiques[core.CorrectAgree], r.Critiques[core.CorrectDisagree],
+		r.Critiques[core.IncorrectAgree], r.Critiques[core.IncorrectDisagree])
+}
+
+func resolveBenchmarks(s string) ([]string, error) {
+	if s == "all" {
+		return program.Names(), nil
+	}
+	if benches, ok := program.Suites()[s]; ok {
+		return benches, nil
+	}
+	names := strings.Split(s, ",")
+	for _, n := range names {
+		if _, err := program.SpecByName(n); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+func parseKindKB(s string) (budget.Config, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return budget.Config{}, fmt.Errorf("want kind:KB, got %q", s)
+	}
+	kb, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return budget.Config{}, err
+	}
+	return budget.Lookup(budget.Kind(parts[0]), kb)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Futurebits sweeps the number of future bits the critic waits for (the
+// Figure 5 experiment) on a benchmark of your choice, showing how the
+// first future bit — the prophet's own prediction — carries most of the
+// benefit, and how additional bits trade away BOR history.
+//
+//	go run ./examples/futurebits [benchmark]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
+)
+
+func main() {
+	bench := "tpcc"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	prog, err := program.Load(bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "available:", program.Names())
+		os.Exit(1)
+	}
+	fmt.Println("workload:", prog)
+	fmt.Println("prophet: 8KB perceptron; critic: 8KB tagged gshare (18-bit BOR)")
+	fmt.Printf("\n%-4s %12s %12s %14s\n", "fb", "misp/Kuops", "vs no critic", "BOR history")
+
+	opt := sim.Options{WarmupBranches: 100_000, MeasureBranches: 200_000}
+	alone := sim.Run(prog, core.New(budget.MustLookup(budget.Perceptron, 8).Build(), nil, core.Config{}), opt)
+	fmt.Printf("%-4s %12.3f %12s %14s\n", "none", alone.MispPerKuops(), "-", "-")
+
+	for _, fb := range []uint{0, 1, 2, 4, 6, 8, 10, 12} {
+		h := core.New(
+			budget.MustLookup(budget.Perceptron, 8).Build(),
+			budget.MustLookup(budget.TaggedGshare, 8).Build(),
+			core.Config{FutureBits: fb, Filtered: true, BORLen: 18},
+		)
+		r := sim.Run(prog, h, opt)
+		fmt.Printf("%-4d %12.3f %+11.1f%% %8d bits\n",
+			fb, r.MispPerKuops(),
+			(r.MispPerKuops()/alone.MispPerKuops()-1)*100,
+			18-fb)
+	}
+	fmt.Println("\n(18-bit BOR: every future bit added displaces one history bit — Section 7.1)")
+}

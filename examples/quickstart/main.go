@@ -1,0 +1,44 @@
+// Quickstart: build an 8KB+8KB prophet/critic hybrid (2Bc-gskew prophet,
+// tagged gshare critic, 8 future bits), run it over the synthetic gcc
+// benchmark, and compare it with the prophet alone.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
+)
+
+func main() {
+	prog := program.MustLoad("gcc")
+	fmt.Println("workload:", prog)
+
+	opt := sim.Options{WarmupBranches: 100_000, MeasureBranches: 200_000}
+
+	// The prophet alone: a conventional 8KB 2Bc-gskew.
+	alone := core.New(budget.MustLookup(budget.Gskew, 8).Build(), nil, core.Config{})
+	base := sim.Run(prog, alone, opt)
+
+	// The prophet/critic hybrid: same prophet plus an 8KB tagged gshare
+	// critic that sees 1 future bit in its 18-bit branch outcome register.
+	hybrid := core.New(
+		budget.MustLookup(budget.Gskew, 8).Build(),
+		budget.MustLookup(budget.TaggedGshare, 8).Build(),
+		core.Config{FutureBits: 1, Filtered: true, BORLen: 18},
+	)
+	res := sim.Run(prog, hybrid, opt)
+
+	fmt.Printf("\n%-34s %10s %12s %12s\n", "predictor", "misp/Kuops", "misp rate", "uops/flush")
+	fmt.Printf("%-34s %10.3f %11.2f%% %12.0f\n", alone.Name(), base.MispPerKuops(), base.MispRate()*100, base.UopsPerFlush())
+	fmt.Printf("%-34s %10.3f %11.2f%% %12.0f\n", "prophet/critic hybrid", res.MispPerKuops(), res.MispRate()*100, res.UopsPerFlush())
+	fmt.Printf("\nthe critic eliminated %.1f%% of the prophet's mispredicts\n",
+		(1-float64(res.FinalMisp)/float64(res.ProphetMisp))*100)
+	fmt.Printf("critique distribution: agree(ok)=%d break(bad)=%d missed=%d fixed=%d\n",
+		res.Critiques[core.CorrectAgree], res.Critiques[core.CorrectDisagree],
+		res.Critiques[core.IncorrectAgree], res.Critiques[core.IncorrectDisagree])
+}

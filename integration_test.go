@@ -1,0 +1,162 @@
+package repro
+
+import (
+	"testing"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/metrics"
+	"prophetcritic/internal/pipeline"
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
+)
+
+// Integration tests exercising the whole stack — workload substrate,
+// predictor zoo, prophet/critic core, functional and timing simulators —
+// against the paper's qualitative claims. Windows are kept moderate so
+// `go test ./...` stays under a few minutes; EXPERIMENTS.md holds the
+// full-window numbers.
+
+var integOpt = sim.Options{WarmupBranches: 100_000, MeasureBranches: 150_000}
+
+func build(pk budget.Kind, pkb int, ck budget.Kind, ckb int, fb uint) sim.Builder {
+	return func() *core.Hybrid {
+		p := budget.MustLookup(pk, pkb).Build()
+		if ckb == 0 {
+			return core.New(p, nil, core.Config{})
+		}
+		cc := budget.MustLookup(ck, ckb)
+		c := cc.Build()
+		bor := cc.BORSize
+		if bor == 0 {
+			bor = c.HistoryLen()
+		}
+		return core.New(p, c, core.Config{FutureBits: fb, Filtered: cc.IsCritic(), BORLen: bor})
+	}
+}
+
+// Claim (abstract): the prophet/critic hybrid has fewer mispredicts than
+// a 2Bc-gskew of the same total budget, and the distance between pipeline
+// flushes grows.
+func TestClaimHybridBeatsEqualBudgetGskew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	base, err := sim.RunAll(build(budget.Gskew, 16, "", 0, 0), integOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := sim.RunAll(build(budget.Gskew, 8, budget.TaggedGshare, 8, 1), integOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, h := metrics.PooledMispPerKuops(base), metrics.PooledMispPerKuops(hyb)
+	if red := metrics.Reduction(b, h); red < 5 {
+		t.Fatalf("hybrid must cut pooled mispredicts by at least 5%%, got %.1f%% (%.3f -> %.3f)", red, b, h)
+	}
+	if metrics.PooledUopsPerFlush(hyb) <= metrics.PooledUopsPerFlush(base) {
+		t.Fatal("flush distance must grow with the hybrid")
+	}
+}
+
+// Claim (§7.1): "adding just one future bit decreases the mispredict
+// rate" — the fb=0 conventional-hybrid organisation loses to fb=1.
+func TestClaimOneFutureBitHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	fb0, err := sim.RunAll(build(budget.Perceptron, 8, budget.TaggedGshare, 8, 0), integOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb1, err := sim.RunAll(build(budget.Perceptron, 8, budget.TaggedGshare, 8, 1), integOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, m1 := metrics.MeanMispPerKuops(fb0), metrics.MeanMispPerKuops(fb1)
+	// The paper reports ~15% for this step; on our substrate the
+	// fully-context-tagged critic already captures most of it at 0 fb,
+	// leaving a smaller but still positive margin (EXPERIMENTS.md Fig 5).
+	if red := metrics.Reduction(m0, m1); red <= 0 {
+		t.Fatalf("one future bit must not hurt mean misp/Kuops, got %.1f%% (%.3f -> %.3f)", red, m0, m1)
+	}
+}
+
+// Claim (§7.2): larger critics give lower mispredict rates.
+func TestClaimLargerCriticHelpsMore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	small, err := sim.RunAll(build(budget.Gskew, 4, budget.Perceptron, 2, 4), integOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := sim.RunAll(build(budget.Gskew, 4, budget.Perceptron, 32, 4), integOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.MeanMispPerKuops(large) >= metrics.MeanMispPerKuops(small) {
+		t.Fatalf("a 32KB critic (%.3f) must beat a 2KB critic (%.3f)",
+			metrics.MeanMispPerKuops(large), metrics.MeanMispPerKuops(small))
+	}
+}
+
+// Claim (§7.3): for a filtered critic, the number of incorrect_disagree
+// critiques (fixes) exceeds correct_disagree (breakages).
+func TestClaimFixesExceedBreakages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	rs, err := sim.RunAll(build(budget.Perceptron, 4, budget.TaggedGshare, 8, 1), integOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fix, breakage uint64
+	for _, r := range rs {
+		fix += r.Critiques[core.IncorrectDisagree]
+		breakage += r.Critiques[core.CorrectDisagree]
+	}
+	if fix <= breakage {
+		t.Fatalf("incorrect_disagree (%d) must exceed correct_disagree (%d)", fix, breakage)
+	}
+}
+
+// Claim (§7.4): better prediction translates into higher uPC on the
+// timing model.
+func TestClaimUPCImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := pipeline.DefaultConfig()
+	topt := pipeline.Options{WarmupBranches: 60_000, MeasureBranches: 100_000}
+	var upcBase, upcHyb float64
+	for _, bench := range []string{"gcc", "unzip", "flash", "facerec"} {
+		p := program.MustLoad(bench)
+		b := pipeline.Run(p, build(budget.Gskew, 16, "", 0, 0)(), cfg, topt)
+		h := pipeline.Run(p, build(budget.Gskew, 8, budget.TaggedGshare, 8, 1)(), cfg, topt)
+		upcBase += b.UPC()
+		upcHyb += h.UPC()
+	}
+	if upcHyb <= upcBase {
+		t.Fatalf("hybrid uPC (%.3f) must beat equal-budget conventional (%.3f) in aggregate", upcHyb/4, upcBase/4)
+	}
+}
+
+// End-to-end determinism: the entire stack (generation, prediction,
+// timing) must be bit-for-bit reproducible.
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() (sim.Result, pipeline.Result) {
+		p := program.MustLoad("crafty")
+		f := sim.Run(p, build(budget.Gskew, 8, budget.TaggedGshare, 8, 8)(), sim.Options{WarmupBranches: 10_000, MeasureBranches: 20_000})
+		tm := pipeline.Run(program.MustLoad("crafty"), build(budget.Gskew, 8, budget.TaggedGshare, 8, 8)(), pipeline.DefaultConfig(), pipeline.Options{WarmupBranches: 5_000, MeasureBranches: 10_000})
+		return f, tm
+	}
+	f1, t1 := run()
+	f2, t2 := run()
+	if f1 != f2 {
+		t.Fatal("functional simulation must be deterministic end to end")
+	}
+	if t1 != t2 {
+		t.Fatal("timing simulation must be deterministic end to end")
+	}
+}

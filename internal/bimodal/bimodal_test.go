@@ -1,0 +1,88 @@
+package bimodal
+
+import (
+	"testing"
+
+	"prophetcritic/internal/predictor"
+)
+
+var _ predictor.Predictor = (*Bimodal)(nil)
+
+func TestLearnsBias(t *testing.T) {
+	b := New(10, 2)
+	addr := uint64(0x400)
+	for i := 0; i < 10; i++ {
+		b.Update(addr, 0, true)
+	}
+	if !b.Predict(addr, 0) {
+		t.Fatal("bimodal should learn a taken-biased branch")
+	}
+	for i := 0; i < 10; i++ {
+		b.Update(addr, 0, false)
+	}
+	if b.Predict(addr, 0) {
+		t.Fatal("bimodal should relearn a not-taken-biased branch")
+	}
+}
+
+func TestHistoryIgnored(t *testing.T) {
+	b := New(10, 2)
+	addr := uint64(0x80)
+	for i := 0; i < 4; i++ {
+		b.Update(addr, uint64(i), true)
+	}
+	if b.Predict(addr, 0) != b.Predict(addr, 0xFFFF) {
+		t.Fatal("bimodal prediction must not depend on history")
+	}
+}
+
+func TestDistinctBranchesIndependent(t *testing.T) {
+	b := New(12, 2)
+	a1, a2 := uint64(0x1000), uint64(0x2000)
+	for i := 0; i < 8; i++ {
+		b.Update(a1, 0, true)
+		b.Update(a2, 0, false)
+	}
+	if !b.Predict(a1, 0) || b.Predict(a2, 0) {
+		t.Fatal("branches mapping to different entries must train independently")
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	b := New(12, 2)
+	if b.SizeBits() != 4096*2 {
+		t.Fatalf("SizeBits = %d, want %d", b.SizeBits(), 8192)
+	}
+	if b.HistoryLen() != 0 {
+		t.Fatal("bimodal consumes no history")
+	}
+}
+
+func TestBadIndexBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indexBits 0 must panic")
+		}
+	}()
+	New(0, 2)
+}
+
+func TestReinforce(t *testing.T) {
+	b := New(8, 2)
+	addr := uint64(0x44)
+	// Cold counter predicts not-taken; reinforcing toward taken is a no-op.
+	b.Reinforce(addr, true)
+	if b.Predict(addr, 0) {
+		t.Fatal("Reinforce must not flip a disagreeing counter")
+	}
+	b.Update(addr, 0, true)
+	b.Update(addr, 0, true) // now weakly/strongly taken
+	b.Reinforce(addr, true)
+	for i := 0; i < 2; i++ {
+		b.Update(addr, 0, false)
+	}
+	// 3 (strong) -> reinforced stays 3; two not-taken drop to 1 -> not taken.
+	if b.Predict(addr, 0) {
+		t.Fatal("counter arithmetic after Reinforce wrong")
+	}
+}

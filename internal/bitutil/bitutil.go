@@ -1,0 +1,107 @@
+// Package bitutil provides the bit-manipulation primitives shared by the
+// branch predictors in this repository: power-of-two arithmetic, history
+// folding, and the XOR-based index and tag hash functions described in
+// Section 4 of the prophet/critic paper ("the hash functions are different
+// XOR functions of the branch address and BOR value").
+package bitutil
+
+import "math/bits"
+
+// Mask returns a value with the low n bits set. n must be in [0, 64].
+func Mask(n uint) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v uint64) bool {
+	return v != 0 && v&(v-1) == 0
+}
+
+// CeilPow2 returns the smallest power of two >= v. CeilPow2(0) == 1.
+func CeilPow2(v uint64) uint64 {
+	if v <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len64(v-1))
+}
+
+// FloorPow2 returns the largest power of two <= v. FloorPow2(0) == 0.
+func FloorPow2(v uint64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	return 1 << uint(bits.Len64(v)-1)
+}
+
+// Log2 returns floor(log2(v)) for v > 0, and 0 for v == 0.
+func Log2(v uint64) uint {
+	if v == 0 {
+		return 0
+	}
+	return uint(bits.Len64(v) - 1)
+}
+
+// Fold compresses v down to width bits by repeatedly XORing width-bit
+// chunks together. It is the standard history-folding trick used when a
+// history register is longer than the index a table can accept. width must
+// be in (0, 64]; Fold returns 0 when width is 0.
+func Fold(v uint64, width uint) uint64 {
+	if width == 0 {
+		return 0
+	}
+	if width >= 64 {
+		return v
+	}
+	m := Mask(width)
+	out := uint64(0)
+	for v != 0 {
+		out ^= v & m
+		v >>= width
+	}
+	return out
+}
+
+// IndexHash computes a table index from a branch address and a history (or
+// BOR) value. The address is pre-shifted right by 2 to discard the usual
+// alignment bits, then XOR-folded with the history into indexBits bits,
+// gshare style.
+func IndexHash(addr, hist uint64, indexBits uint) uint64 {
+	a := addr >> 2
+	return (Fold(a, indexBits) ^ Fold(hist, indexBits)) & Mask(indexBits)
+}
+
+// TagHash computes a tag from a branch address and a history (or BOR)
+// value using a hash that is deliberately different from IndexHash: the
+// operands are rotated and swizzled before folding so that two contexts
+// that collide in the index are unlikely to also collide in the tag
+// (Section 4 of the paper: "two different hash functions ... selected to
+// minimize the probability that a particular branch address and BOR value
+// combination will use the same table entry and have the same tag").
+func TagHash(addr, hist uint64, tagBits uint) uint64 {
+	x := Spread(hist ^ bits.RotateLeft64(addr>>2, 32) ^ 0x9e3779b97f4a7c15)
+	return Fold(x, tagBits)
+}
+
+// Spread is a 64-bit finalizer (xmix) used to decorrelate synthetic branch
+// addresses and seeds. It is a bijection on uint64.
+func Spread(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// Parity returns the XOR of the low n bits of v (0 or 1).
+func Parity(v uint64, n uint) uint64 {
+	return uint64(bits.OnesCount64(v&Mask(n)) & 1)
+}
+
+// PopCount returns the number of set bits among the low n bits of v.
+func PopCount(v uint64, n uint) int {
+	return bits.OnesCount64(v & Mask(n))
+}

@@ -1,0 +1,91 @@
+package btb
+
+import "testing"
+
+func TestMissThenHit(t *testing.T) {
+	b := New(4096, 4)
+	if _, hit := b.Lookup(0x400); hit {
+		t.Fatal("cold BTB must miss")
+	}
+	b.Insert(0x400, 0x500)
+	target, hit := b.Lookup(0x400)
+	if !hit || target != 0x500 {
+		t.Fatalf("inserted entry must hit with its target, got (%#x, %v)", target, hit)
+	}
+}
+
+func TestUpdateExisting(t *testing.T) {
+	b := New(64, 4)
+	b.Insert(0x400, 0x500)
+	b.Insert(0x400, 0x600)
+	target, hit := b.Lookup(0x400)
+	if !hit || target != 0x600 {
+		t.Fatal("re-insert must update the target in place")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	b := New(8, 4) // 2 sets of 4 ways
+	// Addresses mapping to the same set: fold(addr>>2, 1).
+	addrs := []uint64{}
+	for a := uint64(0); len(addrs) < 5; a += 4 {
+		if len(b.set(a)) == 4 && &b.set(a)[0] == &b.set(0)[0] {
+			addrs = append(addrs, a)
+		}
+	}
+	for _, a := range addrs[:4] {
+		b.Insert(a, a+4)
+	}
+	b.Lookup(addrs[0]) // refresh
+	b.Insert(addrs[4], 0)
+	if _, hit := b.Lookup(addrs[0]); !hit {
+		t.Fatal("recently used entry must survive")
+	}
+	if _, hit := b.Lookup(addrs[1]); hit {
+		t.Fatal("LRU victim must be evicted")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	b := New(64, 4)
+	b.Lookup(0x10) // miss
+	b.Insert(0x10, 0)
+	b.Lookup(0x10) // hit
+	// One miss recorded before the insert's later hits; the LRU lookup
+	// in TestLRUWithinSet does not affect this instance.
+	if got := b.MissRate(); got != 0.5 {
+		t.Fatalf("MissRate = %f, want 0.5", got)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 4) },
+		func() { New(10, 4) }, // not a multiple
+		func() { New(12, 4) }, // 3 sets: not a power of two
+		func() { New(16, 0) }, // zero ways
+		func() { New(4, 8) },  // fewer entries than ways
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry must panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	b := New(4096, 4)
+	if b.Entries() != 4096 {
+		t.Fatal("Entries accessor wrong")
+	}
+	if b.SizeBits() != 4096*61 {
+		t.Fatal("SizeBits accounting changed unexpectedly")
+	}
+	if b.MissRate() != 0 {
+		t.Fatal("untouched BTB has no misses")
+	}
+}

@@ -1,0 +1,175 @@
+// Package budget maps hardware budgets (in bytes) to predictor
+// configurations, reproducing Table 3 of the paper ("Prophet and critic
+// configurations") and providing the constructors the experiment harness
+// uses to instantiate prophets and critics by (kind, size).
+//
+// Table 3 of the paper:
+//
+//	Total hardware budget           2KB   4KB   8KB   16KB  32KB
+//	gshare        # entries         8K    16K   32K   64K   128K
+//	              history length    13    14    15    16    17
+//	perceptron    # perceptrons     113   163   282   348   565
+//	              history length    17    24    28    47    57
+//	2Bc-gskew     # entries/table   2K    4K    8K    16K   32K
+//	              history length    11    12    13    14    15
+//	tagged gshare # entries         256×6 512×6 1024×6 2048×6 4096×6
+//	              BOR size          18    18    18    18    18
+//	filtered      # perceptrons     73    113   163   282   348
+//	perceptron    history length    13    17    24    28    47
+//	  filter      # entries         128×3 256×3 512×3 1024×3 2048×3
+//	              history length    18    18    18    18    18
+//	              BOR size          18    18    24    28    47
+//
+// For critics, the BOR size column gives the total register length; the
+// number of future bits within it is an experiment parameter.
+package budget
+
+import (
+	"fmt"
+	"sort"
+
+	"prophetcritic/internal/filtered"
+	"prophetcritic/internal/gshare"
+	"prophetcritic/internal/gskew"
+	"prophetcritic/internal/perceptron"
+	"prophetcritic/internal/predictor"
+	"prophetcritic/internal/tagged"
+)
+
+// Kind names a predictor family from Table 3.
+type Kind string
+
+// The predictor families of Table 3.
+const (
+	Gshare             Kind = "gshare"
+	Perceptron         Kind = "perceptron"
+	Gskew              Kind = "2Bc-gskew"
+	TaggedGshare       Kind = "tagged gshare"
+	FilteredPerceptron Kind = "filtered perceptron"
+)
+
+// Budgets are the hardware budgets of Table 3, in kilobytes.
+var Budgets = []int{2, 4, 8, 16, 32}
+
+// Config describes one cell of Table 3: how to build a predictor of the
+// given kind at the given budget.
+type Config struct {
+	Kind     Kind
+	KB       int  // hardware budget in kilobytes
+	Entries  int  // table entries (per table for gskew; pool size for perceptron)
+	Ways     int  // associativity for tagged structures (0 otherwise)
+	HistLen  uint // history length (perceptron/gshare/gskew) or filtered perceptron history
+	BORSize  uint // total BOR length for critics (0 for prophets)
+	FilterN  int  // filter entries (filtered perceptron only)
+	FilterW  int  // filter ways
+	TagBits  uint // tag width for tagged structures
+	IndexLog uint // log2 of table entries / sets (derived, cached for constructors)
+}
+
+// table3 holds the published configurations.
+var table3 = map[Kind]map[int]Config{
+	Gshare: {
+		2:  {Kind: Gshare, KB: 2, Entries: 8 << 10, HistLen: 13, IndexLog: 13},
+		4:  {Kind: Gshare, KB: 4, Entries: 16 << 10, HistLen: 14, IndexLog: 14},
+		8:  {Kind: Gshare, KB: 8, Entries: 32 << 10, HistLen: 15, IndexLog: 15},
+		16: {Kind: Gshare, KB: 16, Entries: 64 << 10, HistLen: 16, IndexLog: 16},
+		32: {Kind: Gshare, KB: 32, Entries: 128 << 10, HistLen: 17, IndexLog: 17},
+	},
+	Perceptron: {
+		2:  {Kind: Perceptron, KB: 2, Entries: 113, HistLen: 17},
+		4:  {Kind: Perceptron, KB: 4, Entries: 163, HistLen: 24},
+		8:  {Kind: Perceptron, KB: 8, Entries: 282, HistLen: 28},
+		16: {Kind: Perceptron, KB: 16, Entries: 348, HistLen: 47},
+		32: {Kind: Perceptron, KB: 32, Entries: 565, HistLen: 57},
+	},
+	Gskew: {
+		2:  {Kind: Gskew, KB: 2, Entries: 2 << 10, HistLen: 11, IndexLog: 11},
+		4:  {Kind: Gskew, KB: 4, Entries: 4 << 10, HistLen: 12, IndexLog: 12},
+		8:  {Kind: Gskew, KB: 8, Entries: 8 << 10, HistLen: 13, IndexLog: 13},
+		16: {Kind: Gskew, KB: 16, Entries: 16 << 10, HistLen: 14, IndexLog: 14},
+		32: {Kind: Gskew, KB: 32, Entries: 32 << 10, HistLen: 15, IndexLog: 15},
+	},
+	TaggedGshare: {
+		2:  {Kind: TaggedGshare, KB: 2, Entries: 256 * 6, Ways: 6, BORSize: 18, TagBits: 8, IndexLog: 8},
+		4:  {Kind: TaggedGshare, KB: 4, Entries: 512 * 6, Ways: 6, BORSize: 18, TagBits: 8, IndexLog: 9},
+		8:  {Kind: TaggedGshare, KB: 8, Entries: 1024 * 6, Ways: 6, BORSize: 18, TagBits: 8, IndexLog: 10},
+		16: {Kind: TaggedGshare, KB: 16, Entries: 2048 * 6, Ways: 6, BORSize: 18, TagBits: 8, IndexLog: 11},
+		32: {Kind: TaggedGshare, KB: 32, Entries: 4096 * 6, Ways: 6, BORSize: 18, TagBits: 8, IndexLog: 12},
+	},
+	FilteredPerceptron: {
+		2:  {Kind: FilteredPerceptron, KB: 2, Entries: 73, HistLen: 13, BORSize: 18, FilterN: 128 * 3, FilterW: 3, TagBits: 9, IndexLog: 7},
+		4:  {Kind: FilteredPerceptron, KB: 4, Entries: 113, HistLen: 17, BORSize: 18, FilterN: 256 * 3, FilterW: 3, TagBits: 9, IndexLog: 8},
+		8:  {Kind: FilteredPerceptron, KB: 8, Entries: 163, HistLen: 24, BORSize: 24, FilterN: 512 * 3, FilterW: 3, TagBits: 9, IndexLog: 9},
+		16: {Kind: FilteredPerceptron, KB: 16, Entries: 282, HistLen: 28, BORSize: 28, FilterN: 1024 * 3, FilterW: 3, TagBits: 9, IndexLog: 10},
+		32: {Kind: FilteredPerceptron, KB: 32, Entries: 348, HistLen: 47, BORSize: 47, FilterN: 2048 * 3, FilterW: 3, TagBits: 9, IndexLog: 11},
+	},
+}
+
+// Lookup returns the Table 3 configuration for (kind, kb). It returns an
+// error for kinds or budgets outside the published table.
+func Lookup(kind Kind, kb int) (Config, error) {
+	m, ok := table3[kind]
+	if !ok {
+		return Config{}, fmt.Errorf("budget: unknown predictor kind %q", kind)
+	}
+	c, ok := m[kb]
+	if !ok {
+		return Config{}, fmt.Errorf("budget: no %s configuration for %dKB (Table 3 covers %v)", kind, kb, Budgets)
+	}
+	return c, nil
+}
+
+// MustLookup is Lookup that panics on error; experiment tables are static
+// so a failure is a programming error.
+func MustLookup(kind Kind, kb int) Config {
+	c, err := Lookup(kind, kb)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Build instantiates the predictor described by the configuration.
+func (c Config) Build() predictor.Predictor {
+	switch c.Kind {
+	case Gshare:
+		return gshare.New(c.IndexLog, c.HistLen)
+	case Perceptron:
+		return perceptron.New(c.Entries, c.HistLen)
+	case Gskew:
+		return gskew.New(c.IndexLog, c.HistLen)
+	case TaggedGshare:
+		return tagged.New(c.IndexLog, c.Ways, c.TagBits, c.BORSize)
+	case FilteredPerceptron:
+		return filtered.New(c.Entries, c.HistLen, c.IndexLog, c.FilterW, c.TagBits, 18)
+	default:
+		panic(fmt.Sprintf("budget: cannot build kind %q", c.Kind))
+	}
+}
+
+// IsCritic reports whether the kind is one of the paper's critic designs.
+func (c Config) IsCritic() bool {
+	return c.Kind == TaggedGshare || c.Kind == FilteredPerceptron
+}
+
+// Kinds returns all kinds in Table 3 row order.
+func Kinds() []Kind {
+	return []Kind{Gshare, Perceptron, Gskew, TaggedGshare, FilteredPerceptron}
+}
+
+// All returns every (kind, budget) configuration, ordered by kind then
+// budget, for table generation.
+func All() []Config {
+	var out []Config
+	for _, k := range Kinds() {
+		kbs := make([]int, 0, len(table3[k]))
+		for kb := range table3[k] {
+			kbs = append(kbs, kb)
+		}
+		sort.Ints(kbs)
+		for _, kb := range kbs {
+			out = append(out, table3[k][kb])
+		}
+	}
+	return out
+}

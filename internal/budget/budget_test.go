@@ -1,0 +1,93 @@
+package budget
+
+import "testing"
+
+func TestAllConfigsBuildAndFitBudget(t *testing.T) {
+	for _, c := range All() {
+		p := c.Build()
+		bits := p.SizeBits()
+		budgetBits := c.KB * 8192
+		// Allow the same 2% accounting slack the paper's Table 3 needs.
+		if bits > budgetBits*102/100 {
+			t.Errorf("%s @%dKB: %d bits overflows budget %d", c.Kind, c.KB, bits, budgetBits)
+		}
+		if bits < budgetBits/2 {
+			t.Errorf("%s @%dKB: %d bits uses under half the budget %d", c.Kind, c.KB, bits, budgetBits)
+		}
+	}
+}
+
+func TestTable3PublishedValues(t *testing.T) {
+	// Spot-check the cells quoted in the paper's Table 3.
+	c := MustLookup(Gshare, 8)
+	if c.Entries != 32<<10 || c.HistLen != 15 {
+		t.Errorf("8KB gshare: got %d entries h%d, want 32K h15", c.Entries, c.HistLen)
+	}
+	c = MustLookup(Perceptron, 32)
+	if c.Entries != 565 || c.HistLen != 57 {
+		t.Errorf("32KB perceptron: got %d h%d, want 565 h57", c.Entries, c.HistLen)
+	}
+	c = MustLookup(Gskew, 16)
+	if c.Entries != 16<<10 || c.HistLen != 14 {
+		t.Errorf("16KB 2Bc-gskew: got %d entries/table h%d, want 16K h14", c.Entries, c.HistLen)
+	}
+	c = MustLookup(TaggedGshare, 8)
+	if c.Entries != 1024*6 || c.Ways != 6 || c.BORSize != 18 {
+		t.Errorf("8KB tagged gshare: got %d entries %d-way BOR%d, want 1024*6 6-way BOR18", c.Entries, c.Ways, c.BORSize)
+	}
+	c = MustLookup(FilteredPerceptron, 8)
+	if c.Entries != 163 || c.HistLen != 24 || c.FilterN != 512*3 || c.BORSize != 24 {
+		t.Errorf("8KB filtered perceptron: got %d h%d filter %d BOR%d", c.Entries, c.HistLen, c.FilterN, c.BORSize)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	if _, err := Lookup("nonsense", 8); err == nil {
+		t.Error("unknown kind must error")
+	}
+	if _, err := Lookup(Gshare, 3); err == nil {
+		t.Error("unlisted budget must error")
+	}
+}
+
+func TestMustLookupPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup on bad input must panic")
+		}
+	}()
+	MustLookup(Gshare, 5)
+}
+
+func TestAllOrderedAndComplete(t *testing.T) {
+	all := All()
+	if len(all) != 5*5 {
+		t.Fatalf("All() returned %d configs, want 25", len(all))
+	}
+	// Within each kind the budgets must ascend.
+	for i := 1; i < len(all); i++ {
+		if all[i].Kind == all[i-1].Kind && all[i].KB <= all[i-1].KB {
+			t.Fatalf("All() not ordered: %v then %v", all[i-1], all[i])
+		}
+	}
+}
+
+func TestIsCritic(t *testing.T) {
+	if !MustLookup(TaggedGshare, 8).IsCritic() || !MustLookup(FilteredPerceptron, 8).IsCritic() {
+		t.Error("tagged structures are critics")
+	}
+	if MustLookup(Gshare, 8).IsCritic() || MustLookup(Gskew, 8).IsCritic() || MustLookup(Perceptron, 8).IsCritic() {
+		t.Error("prophet kinds are not critics")
+	}
+}
+
+func TestBuildNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range All() {
+		n := c.Build().Name()
+		if seen[n] {
+			t.Errorf("duplicate predictor name %q", n)
+		}
+		seen[n] = true
+	}
+}

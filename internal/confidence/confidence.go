@@ -1,0 +1,99 @@
+// Package confidence implements the JRS confidence estimator of Jacobsen,
+// Rotenberg and Smith, plus the Grunwald et al. refinement the paper
+// cites as a one-future-bit precursor: "they use one future bit to get a
+// more accurate confidence estimation" (Section 2).
+//
+// A confidence estimator does not predict direction; it predicts whether
+// the branch predictor's prediction is likely correct. The JRS design
+// keeps a table of resetting counters indexed gshare-style: a correct
+// prediction increments the counter (saturating), a mispredict clears it;
+// high counters mean high confidence. The Grunwald refinement also shifts
+// the predictor's current prediction into the history used for indexing —
+// exactly one future bit.
+package confidence
+
+import (
+	"fmt"
+
+	"prophetcritic/internal/bitutil"
+)
+
+// JRS is a resetting-counter confidence estimator.
+type JRS struct {
+	table     []uint8
+	indexBits uint
+	histLen   uint
+	ceiling   uint8
+	threshold uint8
+	useFuture bool
+}
+
+// New returns a JRS estimator with 2^indexBits resetting counters
+// saturating at ceiling; confidence is asserted at >= threshold. With
+// useFuture set, the predictor's own prediction for the current branch is
+// folded into the index (Grunwald et al.'s one-future-bit variant).
+func New(indexBits, histLen uint, ceiling, threshold uint8, useFuture bool) *JRS {
+	if indexBits < 1 || indexBits > 28 {
+		panic(fmt.Sprintf("confidence: indexBits %d out of range", indexBits))
+	}
+	if threshold == 0 || threshold > ceiling {
+		panic(fmt.Sprintf("confidence: threshold %d outside (0, %d]", threshold, ceiling))
+	}
+	return &JRS{
+		table:     make([]uint8, 1<<indexBits),
+		indexBits: indexBits,
+		histLen:   histLen,
+		ceiling:   ceiling,
+		threshold: threshold,
+		useFuture: useFuture,
+	}
+}
+
+func (j *JRS) index(addr, hist uint64, pred bool) uint64 {
+	h := hist & bitutil.Mask(j.histLen)
+	if j.useFuture {
+		b := uint64(0)
+		if pred {
+			b = 1
+		}
+		h = (h<<1 | b) & bitutil.Mask(j.histLen)
+	}
+	return bitutil.IndexHash(addr, h, j.indexBits)
+}
+
+// Confident reports whether the prediction pred for the branch at addr
+// under history hist is high-confidence.
+func (j *JRS) Confident(addr, hist uint64, pred bool) bool {
+	return j.table[j.index(addr, hist, pred)] >= j.threshold
+}
+
+// Update trains the estimator with whether the prediction was correct.
+func (j *JRS) Update(addr, hist uint64, pred, correct bool) {
+	i := j.index(addr, hist, pred)
+	if correct {
+		if j.table[i] < j.ceiling {
+			j.table[i]++
+		}
+	} else {
+		j.table[i] = 0 // resetting counter
+	}
+}
+
+// SizeBits returns the storage cost (4-bit counters assumed for
+// ceiling <= 15, 8-bit otherwise).
+func (j *JRS) SizeBits() int {
+	per := 8
+	if j.ceiling <= 15 {
+		per = 4
+	}
+	return len(j.table) * per
+}
+
+// Name describes the configuration.
+func (j *JRS) Name() string {
+	v := "jrs"
+	if j.useFuture {
+		v = "jrs+future"
+	}
+	return fmt.Sprintf("%s-%dent-h%d-t%d", v, len(j.table), j.histLen, j.threshold)
+}

@@ -1,0 +1,137 @@
+package confidence
+
+import (
+	"testing"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/program"
+)
+
+func TestColdIsUnconfident(t *testing.T) {
+	j := New(10, 8, 15, 8, false)
+	if j.Confident(0x40, 0, true) {
+		t.Fatal("cold estimator must not be confident")
+	}
+}
+
+func TestConfidenceBuildsAndResets(t *testing.T) {
+	j := New(10, 8, 15, 8, false)
+	for i := 0; i < 8; i++ {
+		j.Update(0x40, 0, true, true)
+	}
+	if !j.Confident(0x40, 0, true) {
+		t.Fatal("8 correct predictions must reach threshold 8")
+	}
+	j.Update(0x40, 0, true, false)
+	if j.Confident(0x40, 0, true) {
+		t.Fatal("one mispredict must reset a resetting counter")
+	}
+}
+
+func TestCeilingSaturates(t *testing.T) {
+	j := New(8, 8, 15, 8, false)
+	for i := 0; i < 100; i++ {
+		j.Update(0x40, 0, true, true)
+	}
+	j.Update(0x40, 0, true, false)
+	for i := 0; i < 8; i++ {
+		j.Update(0x40, 0, true, true)
+	}
+	if !j.Confident(0x40, 0, true) {
+		t.Fatal("counter must rebuild after a reset")
+	}
+}
+
+func TestFutureBitSeparatesPredictions(t *testing.T) {
+	j := New(10, 8, 15, 4, true)
+	// Train confidence only for the taken-prediction context.
+	for i := 0; i < 8; i++ {
+		j.Update(0x40, 0b1010, true, true)
+	}
+	if !j.Confident(0x40, 0b1010, true) {
+		t.Fatal("trained context must be confident")
+	}
+	if j.Confident(0x40, 0b1010, false) {
+		t.Fatal("the opposite prediction is a different context with one future bit")
+	}
+}
+
+// The headline property from Grunwald et al.: using the prediction as a
+// future bit gives a strictly more informative context, so on a real
+// workload the future-bit variant's confident-set accuracy should be at
+// least as good.
+func TestFutureBitHelpsOnWorkload(t *testing.T) {
+	prog := program.MustLoad("gzip")
+	h := core.New(budget.MustLookup(budget.Gskew, 8).Build(), nil, core.Config{})
+	plain := New(12, 10, 15, 8, false)
+	fut := New(12, 10, 15, 8, true)
+	run := prog.NewRun()
+	type acc struct{ confident, confidentRight uint64 }
+	var pa, fa acc
+	for i := 0; i < 150_000; i++ {
+		addr := run.CurrentAddr()
+		pr := h.Predict(addr, nil)
+		ev := run.Next()
+		correct := pr.Final == ev.Taken
+		if i > 50_000 {
+			if plain.Confident(addr, pr.BHRValue, pr.Final) {
+				pa.confident++
+				if correct {
+					pa.confidentRight++
+				}
+			}
+			if fut.Confident(addr, pr.BHRValue, pr.Final) {
+				fa.confident++
+				if correct {
+					fa.confidentRight++
+				}
+			}
+		}
+		plain.Update(addr, pr.BHRValue, pr.Final, correct)
+		fut.Update(addr, pr.BHRValue, pr.Final, correct)
+		h.Resolve(pr, ev.Taken)
+	}
+	if pa.confident == 0 || fa.confident == 0 {
+		t.Fatal("both estimators must assert confidence sometimes")
+	}
+	accPlain := float64(pa.confidentRight) / float64(pa.confident)
+	accFut := float64(fa.confidentRight) / float64(fa.confident)
+	if accFut < accPlain-0.005 {
+		t.Fatalf("future-bit JRS (%.4f) should not be clearly worse than plain (%.4f)", accFut, accPlain)
+	}
+	if accFut < 0.95 {
+		t.Fatalf("confident-set accuracy %.4f implausibly low", accFut)
+	}
+}
+
+func TestSizeBitsAndName(t *testing.T) {
+	small := New(10, 8, 15, 8, false)
+	if small.SizeBits() != 1024*4 {
+		t.Fatalf("4-bit counters expected: %d", small.SizeBits())
+	}
+	big := New(10, 8, 63, 32, true)
+	if big.SizeBits() != 1024*8 {
+		t.Fatalf("8-bit counters expected: %d", big.SizeBits())
+	}
+	if small.Name() == big.Name() {
+		t.Fatal("names must distinguish variants")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 8, 15, 8, false) },
+		func() { New(10, 8, 15, 0, false) },
+		func() { New(10, 8, 7, 8, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad config must panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

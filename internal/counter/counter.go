@@ -1,0 +1,152 @@
+// Package counter implements the saturating up/down counters used as the
+// prediction unit of table-based branch predictors (Yeh & Patt two-level
+// schemes, gshare, 2Bc-gskew) and the signed weights of perceptron
+// predictors.
+//
+// A direction counter of width w saturates in [0, 2^w-1]; values in the
+// upper half predict taken. The paper's pattern tables use the classic
+// 2-bit counter: "the two-bit counter that provided the prediction is only
+// incremented if the branch was actually taken, and only decremented if the
+// branch was actually not-taken" (Section 3.2).
+package counter
+
+// Sat is an unsigned saturating counter of configurable width (1..8 bits).
+type Sat struct {
+	v    uint8
+	max  uint8
+	half uint8
+}
+
+// NewSat returns a counter of the given bit width, initialised to the given
+// value (clamped to the representable range). Width must be in [1, 8];
+// widths outside the range are clamped.
+func NewSat(width uint, init uint8) Sat {
+	if width < 1 {
+		width = 1
+	}
+	if width > 8 {
+		width = 8
+	}
+	max := uint8((uint16(1) << width) - 1)
+	c := Sat{max: max, half: uint8(uint16(1) << (width - 1))}
+	c.Set(init)
+	return c
+}
+
+// NewSat2 returns the canonical 2-bit counter initialised to weakly
+// not-taken (01), the standard cold value.
+func NewSat2() Sat { return NewSat(2, 1) }
+
+// NewSat2Weak returns a 2-bit counter biased to the given direction
+// (weakly taken for taken=true, weakly not-taken otherwise). Used when a
+// critic entry is allocated and "the critic's prediction structures are
+// also initialized according to the branch's outcome" (Section 4).
+func NewSat2Weak(taken bool) Sat {
+	if taken {
+		return NewSat(2, 2)
+	}
+	return NewSat(2, 1)
+}
+
+// Value returns the raw counter value.
+func (c Sat) Value() uint8 { return c.v }
+
+// Max returns the saturation ceiling.
+func (c Sat) Max() uint8 { return c.max }
+
+// Taken reports the predicted direction: true when the counter is in the
+// upper half of its range.
+func (c Sat) Taken() bool { return c.v >= c.half }
+
+// Strong reports whether the counter is fully saturated in either
+// direction.
+func (c Sat) Strong() bool { return c.v == 0 || c.v == c.max }
+
+// Confidence returns a small integer measuring distance from the decision
+// boundary: 0 for the weak states next to the midpoint, growing toward the
+// saturated states.
+func (c Sat) Confidence() uint8 {
+	if c.Taken() {
+		return c.v - c.half
+	}
+	return c.half - 1 - c.v
+}
+
+// Set stores v, clamped to the counter range.
+func (c *Sat) Set(v uint8) {
+	if v > c.max {
+		v = c.max
+	}
+	c.v = v
+}
+
+// Update moves the counter toward the observed outcome: increment on
+// taken, decrement on not-taken, saturating at both ends.
+func (c *Sat) Update(taken bool) {
+	if taken {
+		if c.v < c.max {
+			c.v++
+		}
+	} else if c.v > 0 {
+		c.v--
+	}
+}
+
+// Reinforce moves the counter toward the given direction only if it
+// already agrees; otherwise it is a no-op. Used by partial-update policies
+// (2Bc-gskew strengthens only the tables that were correct).
+func (c *Sat) Reinforce(taken bool) {
+	if c.Taken() == taken {
+		c.Update(taken)
+	}
+}
+
+// Weight is a signed saturating weight used by perceptron predictors.
+type Weight struct {
+	v        int16
+	min, max int16
+}
+
+// NewWeight returns a weight saturating at ±(2^(width-1)-1). Width must be
+// in [2, 16]; widths outside the range are clamped. Perceptron predictors
+// traditionally use 8-bit weights in [-128, 127]; we use the symmetric
+// range so negation is always representable.
+func NewWeight(width uint) Weight {
+	if width < 2 {
+		width = 2
+	}
+	if width > 16 {
+		width = 16
+	}
+	m := int16((uint32(1) << (width - 1)) - 1)
+	return Weight{min: -m, max: m}
+}
+
+// Value returns the current weight.
+func (w Weight) Value() int16 { return w.v }
+
+// Bump moves the weight one step in the given direction, saturating.
+func (w *Weight) Bump(up bool) {
+	if up {
+		if w.v < w.max {
+			w.v++
+		}
+	} else if w.v > w.min {
+		w.v--
+	}
+}
+
+// Set stores v clamped to the representable range.
+func (w *Weight) Set(v int16) {
+	if v > w.max {
+		v = w.max
+	}
+	if v < w.min {
+		v = w.min
+	}
+	w.v = v
+}
+
+// Min and Max return the saturation bounds.
+func (w Weight) Min() int16 { return w.min }
+func (w Weight) Max() int16 { return w.max }

@@ -1,0 +1,222 @@
+package counter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSat2ColdState(t *testing.T) {
+	c := NewSat2()
+	if c.Value() != 1 {
+		t.Fatalf("cold 2-bit counter = %d, want 1 (weakly not-taken)", c.Value())
+	}
+	if c.Taken() {
+		t.Fatal("cold 2-bit counter should predict not-taken")
+	}
+	if c.Strong() {
+		t.Fatal("cold 2-bit counter should not be strong")
+	}
+}
+
+func TestSatSaturatesHigh(t *testing.T) {
+	c := NewSat2()
+	for i := 0; i < 10; i++ {
+		c.Update(true)
+	}
+	if c.Value() != 3 {
+		t.Fatalf("after 10 taken updates, counter = %d, want 3", c.Value())
+	}
+	if !c.Taken() || !c.Strong() {
+		t.Fatal("saturated-high counter should be strongly taken")
+	}
+}
+
+func TestSatSaturatesLow(t *testing.T) {
+	c := NewSat2()
+	for i := 0; i < 10; i++ {
+		c.Update(false)
+	}
+	if c.Value() != 0 {
+		t.Fatalf("after 10 not-taken updates, counter = %d, want 0", c.Value())
+	}
+	if c.Taken() || !c.Strong() {
+		t.Fatal("saturated-low counter should be strongly not-taken")
+	}
+}
+
+func TestSatHysteresis(t *testing.T) {
+	// A strongly-taken 2-bit counter survives one not-taken outcome.
+	c := NewSat(2, 3)
+	c.Update(false)
+	if !c.Taken() {
+		t.Fatal("one not-taken from strong-taken should still predict taken")
+	}
+	c.Update(false)
+	if c.Taken() {
+		t.Fatal("two not-taken from strong-taken should predict not-taken")
+	}
+}
+
+func TestSatWidths(t *testing.T) {
+	for width := uint(1); width <= 8; width++ {
+		c := NewSat(width, 0)
+		want := uint8((uint16(1) << width) - 1)
+		if c.Max() != want {
+			t.Errorf("width %d: Max = %d, want %d", width, c.Max(), want)
+		}
+		for i := 0; i < 300; i++ {
+			c.Update(true)
+		}
+		if c.Value() != want {
+			t.Errorf("width %d: saturation at %d, want %d", width, c.Value(), want)
+		}
+	}
+}
+
+func TestSatWidthClamping(t *testing.T) {
+	c := NewSat(0, 0)
+	if c.Max() != 1 {
+		t.Errorf("width 0 should clamp to 1 bit, Max=%d", c.Max())
+	}
+	c = NewSat(20, 0)
+	if c.Max() != 255 {
+		t.Errorf("width 20 should clamp to 8 bits, Max=%d", c.Max())
+	}
+}
+
+func TestSatSetClamps(t *testing.T) {
+	c := NewSat(2, 9)
+	if c.Value() != 3 {
+		t.Errorf("Set beyond max should clamp: got %d want 3", c.Value())
+	}
+}
+
+func TestSat2Weak(t *testing.T) {
+	ct := NewSat2Weak(true)
+	if !ct.Taken() || ct.Strong() {
+		t.Error("NewSat2Weak(true) should be weakly taken")
+	}
+	cn := NewSat2Weak(false)
+	if cn.Taken() || cn.Strong() {
+		t.Error("NewSat2Weak(false) should be weakly not-taken")
+	}
+}
+
+func TestConfidence(t *testing.T) {
+	cases := []struct {
+		v    uint8
+		want uint8
+	}{{0, 1}, {1, 0}, {2, 0}, {3, 1}}
+	for _, c := range cases {
+		ctr := NewSat(2, c.v)
+		if got := ctr.Confidence(); got != c.want {
+			t.Errorf("Confidence(v=%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestReinforce(t *testing.T) {
+	c := NewSat(2, 2) // weakly taken
+	c.Reinforce(false)
+	if c.Value() != 2 {
+		t.Error("Reinforce in disagreeing direction must be a no-op")
+	}
+	c.Reinforce(true)
+	if c.Value() != 3 {
+		t.Error("Reinforce in agreeing direction must strengthen")
+	}
+}
+
+// Property: counter value always stays in range under arbitrary update
+// sequences.
+func TestSatAlwaysInRange(t *testing.T) {
+	f := func(width uint8, init uint8, ups []bool) bool {
+		w := uint(width%8) + 1
+		c := NewSat(w, init)
+		for _, u := range ups {
+			c.Update(u)
+			if c.Value() > c.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after enough consistent updates the counter predicts that
+// direction (training always converges).
+func TestSatConverges(t *testing.T) {
+	f := func(width uint8, init uint8, dir bool) bool {
+		w := uint(width%8) + 1
+		c := NewSat(w, init)
+		for i := 0; i < 256; i++ {
+			c.Update(dir)
+		}
+		return c.Taken() == dir && c.Strong()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightSaturation(t *testing.T) {
+	w := NewWeight(8)
+	if w.Max() != 127 || w.Min() != -127 {
+		t.Fatalf("8-bit weight bounds = [%d,%d], want [-127,127]", w.Min(), w.Max())
+	}
+	for i := 0; i < 1000; i++ {
+		w.Bump(true)
+	}
+	if w.Value() != 127 {
+		t.Errorf("weight should saturate at 127, got %d", w.Value())
+	}
+	for i := 0; i < 2000; i++ {
+		w.Bump(false)
+	}
+	if w.Value() != -127 {
+		t.Errorf("weight should saturate at -127, got %d", w.Value())
+	}
+}
+
+func TestWeightSetClamps(t *testing.T) {
+	w := NewWeight(8)
+	w.Set(500)
+	if w.Value() != 127 {
+		t.Errorf("Set(500) should clamp to 127, got %d", w.Value())
+	}
+	w.Set(-500)
+	if w.Value() != -127 {
+		t.Errorf("Set(-500) should clamp to -127, got %d", w.Value())
+	}
+}
+
+func TestWeightWidthClamping(t *testing.T) {
+	w := NewWeight(1)
+	if w.Max() != 1 {
+		t.Errorf("width 1 clamps to 2 bits: Max=%d want 1", w.Max())
+	}
+	w = NewWeight(32)
+	if w.Max() != 32767 {
+		t.Errorf("width 32 clamps to 16 bits: Max=%d want 32767", w.Max())
+	}
+}
+
+// Property: Bump never leaves the declared range.
+func TestWeightAlwaysInRange(t *testing.T) {
+	f := func(width uint8, ups []bool) bool {
+		w := NewWeight(uint(width%15) + 2)
+		for _, u := range ups {
+			w.Bump(u)
+			if w.Value() > w.Max() || w.Value() < w.Min() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

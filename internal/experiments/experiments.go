@@ -1,0 +1,119 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 7) plus the abstract's headline numbers, mapping
+// each artefact to the modules that implement it (see DESIGN.md for the
+// per-experiment index).
+//
+// Each experiment writes a plain-text table to the supplied writer. All
+// experiments are deterministic: same options, same output.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/pipeline"
+	"prophetcritic/internal/sim"
+)
+
+// Options scales the measurement windows. Fast is used by tests and
+// benches; Full is the EXPERIMENTS.md configuration.
+type Options struct {
+	Functional sim.Options
+	Timing     pipeline.Options
+}
+
+// Full is the configuration used to produce EXPERIMENTS.md.
+var Full = Options{
+	Functional: sim.Options{WarmupBranches: 120_000, MeasureBranches: 250_000},
+	Timing:     pipeline.Options{WarmupBranches: 60_000, MeasureBranches: 120_000},
+}
+
+// Fast is a reduced configuration for smoke tests and benchmarks.
+var Fast = Options{
+	Functional: sim.Options{WarmupBranches: 12_000, MeasureBranches: 25_000},
+	Timing:     pipeline.Options{WarmupBranches: 8_000, MeasureBranches: 15_000},
+}
+
+// Experiment is one regenerable paper artefact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, opt Options) error
+}
+
+var registry = []Experiment{
+	{"table1", "Table 1 — simulated benchmark suites", Table1},
+	{"table2", "Table 2 — simulation parameters", Table2},
+	{"table3", "Table 3 — prophet and critic configurations", Table3},
+	{"table4", "Table 4 — fraction of prophet predictions filtered by the critic", Table4},
+	{"fig5", "Figure 5 — mispredict rate vs number of future bits (selected benchmarks)", Fig5},
+	{"fig6a", "Figure 6(a) — 2Bc-gskew prophet + unfiltered perceptron critic", Fig6a},
+	{"fig6b", "Figure 6(b) — gshare prophet + filtered perceptron critic", Fig6b},
+	{"fig6c", "Figure 6(c) — perceptron prophet + tagged gshare critic", Fig6c},
+	{"fig7a", "Figure 7(a) — 16KB conventional predictors vs 8KB+8KB hybrids", Fig7a},
+	{"fig7b", "Figure 7(b) — 32KB conventional predictors vs 16KB+16KB hybrids", Fig7b},
+	{"fig8", "Figure 8 — distribution of critiques", Fig8},
+	{"fig9", "Figure 9 — uPC of 16KB predictors vs 8KB+8KB hybrids", Fig9},
+	{"fig10", "Figure 10 — uPC per benchmark suite", Fig10},
+	{"headline", "Abstract — headline comparison vs 16KB 2Bc-gskew", Headline},
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment { return append([]Experiment(nil), registry...) }
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// ---- shared builders ----
+
+// hybridBuilder builds prophet(kind,kb) + critic(kind,kb) hybrids. critic
+// kb = 0 means prophet alone. Filtered follows the critic kind unless
+// forceUnfiltered.
+func hybridBuilder(prophetKind budget.Kind, prophetKB int, criticKind budget.Kind, criticKB int, fb uint, forceUnfiltered bool) sim.Builder {
+	return func() *core.Hybrid {
+		p := budget.MustLookup(prophetKind, prophetKB).Build()
+		if criticKB == 0 {
+			return core.New(p, nil, core.Config{})
+		}
+		cc := budget.MustLookup(criticKind, criticKB)
+		c := cc.Build()
+		borLen := cc.BORSize
+		if borLen == 0 {
+			borLen = c.HistoryLen() // unfiltered critics use their own history length
+		}
+		return core.New(p, c, core.Config{
+			FutureBits: fb,
+			Filtered:   cc.IsCritic() && !forceUnfiltered,
+			BORLen:     borLen,
+		})
+	}
+}
+
+// meanMisp runs the builder over every benchmark and returns the mean
+// misp/Kuops.
+func meanMisp(build sim.Builder, opt Options) (float64, error) {
+	rs, err := sim.RunAll(build, opt.Functional)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, r := range rs {
+		sum += r.MispPerKuops()
+	}
+	return sum / float64(len(rs)), nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversEveryPaperArtefact(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3", "table4",
+		"fig5", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b", "fig8", "fig9", "fig10",
+		"headline",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || all[i].Run == nil {
+			t.Errorf("experiment %s incomplete", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+// Cheap experiments run in full even under `go test`.
+func TestStaticTables(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf, Fast); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestTable3NoOverflow(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := ByID("table3")
+	if err := e.Run(&buf, Fast); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "OVERFLOW") {
+		t.Fatalf("a Table 3 configuration overflows its budget:\n%s", buf.String())
+	}
+}
+
+// Smoke-test the measurement experiments with the Fast windows; these
+// validate plumbing, not published numbers.
+func TestMeasurementExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement experiments are slow")
+	}
+	for _, id := range []string{"fig5", "fig8", "headline"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf, Fast); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestHybridBuilderShapes(t *testing.T) {
+	h := hybridBuilder("2Bc-gskew", 8, "tagged gshare", 8, 8, false)()
+	if h.Critic() == nil || !h.Config().Filtered || h.Config().FutureBits != 8 {
+		t.Fatal("hybrid builder misconfigured filtered critic")
+	}
+	alone := hybridBuilder("gshare", 16, "", 0, 0, false)()
+	if alone.Critic() != nil {
+		t.Fatal("criticKB=0 must build a prophet-alone hybrid")
+	}
+	unf := hybridBuilder("2Bc-gskew", 8, "perceptron", 8, 4, true)()
+	if unf.Config().Filtered {
+		t.Fatal("unfiltered builder must not set Filtered")
+	}
+}

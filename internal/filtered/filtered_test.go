@@ -1,0 +1,99 @@
+package filtered
+
+import (
+	"testing"
+
+	"prophetcritic/internal/predictor"
+)
+
+var _ predictor.Tagged = (*Perceptron)(nil)
+
+func TestColdMiss(t *testing.T) {
+	f := New(163, 24, 9, 3, 9, 18)
+	if _, hit := f.PredictTagged(0x100, 0xAA); hit {
+		t.Fatal("cold filter must miss")
+	}
+}
+
+func TestAllocateGatesAndTrains(t *testing.T) {
+	f := New(163, 24, 9, 3, 9, 18)
+	addr, bor := uint64(0x4000), uint64(0b1100_1010_0101)
+
+	f.Allocate(addr, bor, false)
+	taken, hit := f.PredictTagged(addr, bor)
+	if !hit {
+		t.Fatal("allocated context must hit the filter")
+	}
+	// A single Train nudge from a zero perceptron predicts the trained
+	// direction (output moves strictly negative for not-taken).
+	if taken {
+		t.Fatal("perceptron must have been initialised toward not-taken")
+	}
+}
+
+func TestFilterDoesNotGateOtherContexts(t *testing.T) {
+	f := New(163, 24, 9, 3, 9, 18)
+	f.Allocate(0x4000, 0xF0F, true)
+	if _, hit := f.PredictTagged(0x4000, 0x0F0); hit {
+		t.Fatal("a different BOR value must not hit the filter")
+	}
+	if _, hit := f.PredictTagged(0x8000, 0xF0F); hit {
+		t.Fatal("a different address must not hit the filter")
+	}
+}
+
+func TestUpdateTrainsPerceptron(t *testing.T) {
+	f := New(64, 16, 8, 3, 9, 18)
+	addr, bor := uint64(0x10), uint64(0x5555)
+	f.Allocate(addr, bor, true)
+	// Hammer the opposite direction; the perceptron must flip.
+	for i := 0; i < 50; i++ {
+		f.Update(addr, bor, false)
+	}
+	taken, hit := f.PredictTagged(addr, bor)
+	if !hit || taken {
+		t.Fatal("perceptron must retrain under Update")
+	}
+}
+
+func TestTable3Configs(t *testing.T) {
+	// Table 3 filtered perceptron rows:
+	// kb, #perceptrons, filtered hist len, filter sets×3-way.
+	cases := []struct {
+		kb      int
+		n       int
+		hist    uint
+		setBits uint
+	}{
+		{2, 73, 13, 7}, {4, 113, 17, 8}, {8, 163, 24, 9}, {16, 282, 28, 10}, {32, 348, 47, 11},
+	}
+	for _, c := range cases {
+		f := New(c.n, c.hist, c.setBits, 3, 9, 18)
+		if f.SizeBits() > c.kb*8192 {
+			t.Errorf("%dKB filtered perceptron overflows: %d bits > %d", c.kb, f.SizeBits(), c.kb*8192)
+		}
+		if f.FilterEntries() != (1<<c.setBits)*3 {
+			t.Errorf("%dKB filter entries = %d, want %d", c.kb, f.FilterEntries(), (1<<c.setBits)*3)
+		}
+	}
+}
+
+func TestHistoryLenIsMaxOfParts(t *testing.T) {
+	f := New(64, 24, 8, 3, 9, 18)
+	if f.HistoryLen() != 24 {
+		t.Fatalf("HistoryLen = %d, want 24 (perceptron wider)", f.HistoryLen())
+	}
+	f2 := New(64, 10, 8, 3, 9, 18)
+	if f2.HistoryLen() != 18 {
+		t.Fatalf("HistoryLen = %d, want 18 (filter wider)", f2.HistoryLen())
+	}
+}
+
+func TestNameNonEmpty(t *testing.T) {
+	if New(64, 16, 8, 3, 9, 18).Name() == "" {
+		t.Fatal("name must be non-empty")
+	}
+	if New(64, 16, 8, 3, 9, 18).Pool() != 64 {
+		t.Fatal("pool accessor wrong")
+	}
+}

@@ -1,0 +1,118 @@
+package frontend
+
+import "testing"
+
+func steady(f *Frontend, n int, uops int, fb uint) Timing {
+	var last Timing
+	for i := 0; i < n; i++ {
+		last = f.Step(BlockEvent{Uops: uops, FutureBits: fb})
+	}
+	return last
+}
+
+func TestFTQRunsFullInSteadyState(t *testing.T) {
+	f := New(DefaultConfig)
+	steady(f, 500, 13, 8)
+	if occ := f.MeanOccupancy(); occ < 20 {
+		t.Fatalf("mean FTQ occupancy %f, want near capacity (production outruns consumption)", occ)
+	}
+	if f.EmptyRate() > 0.01 {
+		t.Fatalf("FTQ empty rate %f, want ~0 in steady state", f.EmptyRate())
+	}
+}
+
+func TestCritiquesArriveInTime(t *testing.T) {
+	f := New(DefaultConfig)
+	late := 0
+	for i := 0; i < 1000; i++ {
+		tm := f.Step(BlockEvent{Uops: 13, FutureBits: 8})
+		if !tm.CritiqueInTime {
+			late++
+		}
+	}
+	if late > 10 {
+		t.Fatalf("%d/1000 late critiques in steady state, want ~0 (paper: <0.1%%)", late)
+	}
+	if f.PartialCritiqueRate() > 0.02 {
+		t.Fatalf("partial critique rate %f, want <2%%", f.PartialCritiqueRate())
+	}
+}
+
+func TestProducedBeforeConsumed(t *testing.T) {
+	f := New(DefaultConfig)
+	for i := 0; i < 200; i++ {
+		tm := f.Step(BlockEvent{Uops: 10, FutureBits: 4})
+		if tm.Produced > tm.Consumed {
+			t.Fatalf("block %d produced at %f after consumption %f", i, tm.Produced, tm.Consumed)
+		}
+	}
+}
+
+func TestResteerRestartsClocks(t *testing.T) {
+	f := New(DefaultConfig)
+	steady(f, 100, 13, 8)
+	f.Resteer(1e6)
+	tm := f.Step(BlockEvent{Uops: 13, FutureBits: 8})
+	if tm.Produced < 1e6 || tm.Consumed < 1e6 {
+		t.Fatalf("post-resteer timing %+v must start after the resteer point", tm)
+	}
+}
+
+func TestPostResteerCritiqueIsPartialButInTime(t *testing.T) {
+	// Right after a resteer the queue is empty: the first blocks are
+	// consumed immediately, so full-future critiques are impossible and
+	// the critic must fall back to partial critiques — still in time.
+	f := New(DefaultConfig)
+	steady(f, 100, 13, 8)
+	f.Resteer(5000)
+	tm := f.Step(BlockEvent{Uops: 13, FutureBits: 8})
+	if !tm.CritiqueInTime {
+		t.Fatal("partial critique must still be counted as in time")
+	}
+	if f.PartialCritiqueRate() == 0 {
+		t.Fatal("the post-resteer block must have used a partial critique")
+	}
+}
+
+func TestDisagreementFlushRedirectsProduction(t *testing.T) {
+	f := New(DefaultConfig)
+	steady(f, 200, 13, 8)
+	before := f.prodClock
+	tm := f.Step(BlockEvent{Uops: 13, FutureBits: 8, Disagree: true})
+	flushes, dropped := f.Flushes()
+	if flushes != 1 {
+		t.Fatalf("flush count = %d, want 1", flushes)
+	}
+	if dropped == 0 {
+		t.Fatal("an override in steady state must drop queued predictions")
+	}
+	if f.prodClock < tm.Criticized && f.prodClock <= before {
+		t.Fatal("production must be redirected to the critique point")
+	}
+}
+
+func TestZeroFutureBitsNeedNoWait(t *testing.T) {
+	f := New(DefaultConfig)
+	tm := f.Step(BlockEvent{Uops: 13, FutureBits: 0})
+	if tm.Criticized > tm.Consumed {
+		t.Fatal("a 0-future-bit critique must not wait for future predictions")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{FTQCapacity: 0, ProphetRate: 2, CriticRate: 1, FetchWidth: 6},
+		{FTQCapacity: 32, ProphetRate: 0, CriticRate: 1, FetchWidth: 6},
+		{FTQCapacity: 32, ProphetRate: 2, CriticRate: 0, FetchWidth: 6},
+		{FTQCapacity: 32, ProphetRate: 2, CriticRate: 1, FetchWidth: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v must panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

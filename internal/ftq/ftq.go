@@ -1,0 +1,134 @@
+// Package ftq implements the fetch target queue of the decoupled
+// front-end (Reinman, Austin & Calder [24]): "A queue (fetch target
+// queue, or FTQ) decouples the hybrid from the instruction cache. The
+// hybrid produces predictions and inserts them in the FTQ, and the cache
+// later consumes them" (Section 5). Table 2 sizes it at 32 entries.
+//
+// Each entry is one predicted fetch block: the branch that ends it, the
+// prophet's direction for that branch, and whether the critic has
+// criticized the prediction yet. On a critic disagreement, the entries
+// holding uncriticized predictions are flushed — a flush confined to the
+// FTQ (Section 5).
+package ftq
+
+import "fmt"
+
+// Entry is one predicted fetch block in the queue.
+type Entry struct {
+	BranchAddr uint64 // address of the conditional branch ending the block
+	Prophet    bool   // the prophet's direction prediction
+	Final      bool   // final direction (== Prophet until overridden)
+	Criticized bool   // the critic has (explicitly or implicitly) approved it
+	Uops       int    // uops in the fetch block
+	MemUops    int
+	FPUops     int
+	BlockID    int
+	// Tag carries the caller's bookkeeping (the pipeline stores the
+	// hybrid Prediction index here).
+	Tag int
+}
+
+// FTQ is a bounded FIFO of fetch-block predictions.
+type FTQ struct {
+	buf   []Entry
+	head  int
+	size  int
+	cap   int
+	empty uint64 // cycles the consumer found the queue empty
+	polls uint64
+}
+
+// New returns an FTQ with the given capacity (32 in Table 2).
+func New(capacity int) *FTQ {
+	if capacity < 1 {
+		panic(fmt.Sprintf("ftq: capacity %d must be positive", capacity))
+	}
+	return &FTQ{buf: make([]Entry, capacity), cap: capacity}
+}
+
+// Len returns the number of queued entries; Cap the capacity.
+func (q *FTQ) Len() int { return q.size }
+func (q *FTQ) Cap() int { return q.cap }
+
+// Full and Empty report queue state.
+func (q *FTQ) Full() bool  { return q.size == q.cap }
+func (q *FTQ) Empty() bool { return q.size == 0 }
+
+// Push appends a prediction; it reports false when the queue is full.
+func (q *FTQ) Push(e Entry) bool {
+	if q.Full() {
+		return false
+	}
+	q.buf[(q.head+q.size)%q.cap] = e
+	q.size++
+	return true
+}
+
+// Pop removes the oldest entry for consumption by the instruction cache.
+// It records occupancy statistics: the paper verifies the FTQ is rarely
+// empty when the cache requires a prediction.
+func (q *FTQ) Pop() (Entry, bool) {
+	q.polls++
+	if q.Empty() {
+		q.empty++
+		return Entry{}, false
+	}
+	e := q.buf[q.head]
+	q.head = (q.head + 1) % q.cap
+	q.size--
+	return e, true
+}
+
+// Peek returns the oldest entry without consuming it.
+func (q *FTQ) Peek() (Entry, bool) {
+	if q.Empty() {
+		return Entry{}, false
+	}
+	return q.buf[q.head], true
+}
+
+// At returns the i-th oldest entry (0 = head). It panics out of range.
+func (q *FTQ) At(i int) *Entry {
+	if i < 0 || i >= q.size {
+		panic(fmt.Sprintf("ftq: At(%d) out of range (%d queued)", i, q.size))
+	}
+	return &q.buf[(q.head+i)%q.cap]
+}
+
+// FirstUncriticized returns the index of the oldest entry awaiting a
+// critique, or -1 if none.
+func (q *FTQ) FirstUncriticized() int {
+	for i := 0; i < q.size; i++ {
+		if !q.At(i).Criticized {
+			return i
+		}
+	}
+	return -1
+}
+
+// FlushAfter drops every entry at index > i — the FTQ-confined flush
+// taken when the critic disagrees with entry i: "FTQ entries holding
+// uncriticized predictions are flushed" (Section 5). It returns the
+// number of dropped entries.
+func (q *FTQ) FlushAfter(i int) int {
+	if i < 0 || i >= q.size {
+		panic(fmt.Sprintf("ftq: FlushAfter(%d) out of range (%d queued)", i, q.size))
+	}
+	dropped := q.size - i - 1
+	q.size = i + 1
+	return dropped
+}
+
+// FlushAll empties the queue (pipeline-level mispredict resteer).
+func (q *FTQ) FlushAll() {
+	q.size = 0
+}
+
+// EmptyRate returns the fraction of consumer polls that found the queue
+// empty.
+func (q *FTQ) EmptyRate() float64 {
+	if q.polls == 0 {
+		return 0
+	}
+	return float64(q.empty) / float64(q.polls)
+}

@@ -1,0 +1,130 @@
+package ftq
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	q := New(4)
+	for i := 0; i < 3; i++ {
+		if !q.Push(Entry{Tag: i}) {
+			t.Fatal("push into non-full queue must succeed")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		e, ok := q.Pop()
+		if !ok || e.Tag != i {
+			t.Fatalf("pop %d: got %+v ok=%v", i, e, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("empty queue must not pop")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	q := New(2)
+	q.Push(Entry{})
+	q.Push(Entry{})
+	if q.Push(Entry{}) {
+		t.Fatal("push into full queue must fail")
+	}
+	if !q.Full() || q.Len() != 2 || q.Cap() != 2 {
+		t.Fatal("capacity accounting wrong")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New(3)
+	for round := 0; round < 10; round++ {
+		q.Push(Entry{Tag: round})
+		e, ok := q.Pop()
+		if !ok || e.Tag != round {
+			t.Fatalf("wraparound round %d broken", round)
+		}
+	}
+}
+
+func TestPeekAndAt(t *testing.T) {
+	q := New(4)
+	q.Push(Entry{Tag: 10})
+	q.Push(Entry{Tag: 11})
+	if e, ok := q.Peek(); !ok || e.Tag != 10 {
+		t.Fatal("Peek must return the oldest without consuming")
+	}
+	if q.Len() != 2 {
+		t.Fatal("Peek must not consume")
+	}
+	if q.At(1).Tag != 11 {
+		t.Fatal("At(1) must be the second oldest")
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range must panic")
+		}
+	}()
+	New(4).At(0)
+}
+
+func TestFirstUncriticized(t *testing.T) {
+	q := New(4)
+	q.Push(Entry{Criticized: true})
+	q.Push(Entry{Criticized: false, Tag: 1})
+	q.Push(Entry{Criticized: false, Tag: 2})
+	if i := q.FirstUncriticized(); i != 1 {
+		t.Fatalf("FirstUncriticized = %d, want 1", i)
+	}
+	q.At(1).Criticized = true
+	if i := q.FirstUncriticized(); i != 2 {
+		t.Fatalf("FirstUncriticized = %d, want 2", i)
+	}
+	q.At(2).Criticized = true
+	if i := q.FirstUncriticized(); i != -1 {
+		t.Fatalf("FirstUncriticized = %d, want -1", i)
+	}
+}
+
+func TestFlushAfter(t *testing.T) {
+	q := New(8)
+	for i := 0; i < 5; i++ {
+		q.Push(Entry{Tag: i})
+	}
+	dropped := q.FlushAfter(1)
+	if dropped != 3 || q.Len() != 2 {
+		t.Fatalf("FlushAfter(1): dropped %d len %d, want 3 and 2", dropped, q.Len())
+	}
+	e, _ := q.Pop()
+	if e.Tag != 0 {
+		t.Fatal("criticized prefix must survive the flush")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	q := New(4)
+	q.Push(Entry{})
+	q.Push(Entry{})
+	q.FlushAll()
+	if !q.Empty() {
+		t.Fatal("FlushAll must empty the queue")
+	}
+}
+
+func TestEmptyRate(t *testing.T) {
+	q := New(2)
+	q.Pop() // empty poll
+	q.Push(Entry{})
+	q.Pop() // successful
+	if got := q.EmptyRate(); got != 0.5 {
+		t.Fatalf("EmptyRate = %f, want 0.5", got)
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 must panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,112 @@
+// Package gshare implements McFarling's gshare predictor [20] and its
+// non-XORed ancestor GAs [33].
+//
+// gshare indexes a single table of 2-bit counters with the XOR of the
+// branch address and the global branch history, "allow[ing] branches to
+// share the pattern table in a more efficient way, reducing the aliasing
+// among them." GAs concatenates address and history bits instead.
+//
+// Table 3 of the paper sizes gshare prophets from 8K entries / 13 bits of
+// history (2KB) up to 128K entries / 17 bits (32KB); those configurations
+// are produced by internal/budget.
+package gshare
+
+import (
+	"fmt"
+
+	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/counter"
+)
+
+// Flavor selects the indexing scheme.
+type Flavor int
+
+const (
+	// XOR is classic gshare: index = fold(addr) XOR fold(hist).
+	XOR Flavor = iota
+	// Concat is GAs: index = addr bits concatenated with history bits.
+	Concat
+)
+
+// Gshare is a single pattern table of 2-bit counters indexed by a
+// combination of branch address and global history.
+type Gshare struct {
+	table     []counter.Sat
+	indexBits uint
+	histLen   uint
+	flavor    Flavor
+}
+
+// New returns a gshare predictor with 2^indexBits 2-bit counters using
+// histLen bits of global history. histLen may exceed indexBits; the
+// history is folded down to the index width.
+func New(indexBits, histLen uint) *Gshare {
+	return newG(indexBits, histLen, XOR)
+}
+
+// NewGAs returns a GAs predictor: the low (indexBits - min(histLen,
+// indexBits)) address bits are concatenated with the newest history bits.
+func NewGAs(indexBits, histLen uint) *Gshare {
+	return newG(indexBits, histLen, Concat)
+}
+
+func newG(indexBits, histLen uint, f Flavor) *Gshare {
+	if indexBits < 1 || indexBits > 30 {
+		panic(fmt.Sprintf("gshare: indexBits %d out of range [1,30]", indexBits))
+	}
+	g := &Gshare{
+		table:     make([]counter.Sat, 1<<indexBits),
+		indexBits: indexBits,
+		histLen:   histLen,
+		flavor:    f,
+	}
+	for i := range g.table {
+		g.table[i] = counter.NewSat2()
+	}
+	return g
+}
+
+func (g *Gshare) index(addr, hist uint64) uint64 {
+	h := hist & bitutil.Mask(g.histLen)
+	switch g.flavor {
+	case Concat:
+		hb := g.histLen
+		if hb > g.indexBits {
+			hb = g.indexBits
+		}
+		ab := g.indexBits - hb
+		return (bitutil.Fold(addr>>2, ab) << hb) | (h & bitutil.Mask(hb))
+	default:
+		return bitutil.IndexHash(addr, h, g.indexBits)
+	}
+}
+
+// Predict implements predictor.Predictor.
+func (g *Gshare) Predict(addr, hist uint64) bool {
+	return g.table[g.index(addr, hist)].Taken()
+}
+
+// Update implements predictor.Predictor.
+func (g *Gshare) Update(addr, hist uint64, taken bool) {
+	g.table[g.index(addr, hist)].Update(taken)
+}
+
+// HistoryLen implements predictor.Predictor.
+func (g *Gshare) HistoryLen() uint { return g.histLen }
+
+// SizeBits implements predictor.Predictor.
+func (g *Gshare) SizeBits() int { return len(g.table) * 2 }
+
+// Name implements predictor.Predictor.
+func (g *Gshare) Name() string {
+	kind := "gshare"
+	if g.flavor == Concat {
+		kind = "GAs"
+	}
+	return fmt.Sprintf("%s-%dKent-h%d", kind, len(g.table)/1024, g.histLen)
+}
+
+// Counter exposes the counter at (addr, hist) for white-box tests.
+func (g *Gshare) Counter(addr, hist uint64) counter.Sat {
+	return g.table[g.index(addr, hist)]
+}

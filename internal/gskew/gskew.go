@@ -1,0 +1,153 @@
+// Package gskew implements the 2Bc-gskew de-aliased hybrid predictor of
+// Seznec and Michaud [28], "a derivation of [which] is implemented in the
+// Compaq Alpha EV8 processor [26]". It is the strongest conventional
+// baseline in the paper: the abstract compares the 8K+8K prophet/critic
+// hybrid against a 16KB 2Bc-gskew.
+//
+// 2Bc-gskew is composed of four equally sized tables of 2-bit counters
+// accessed with global history:
+//
+//   - BIM:  a bimodal table indexed by branch address only;
+//   - G0, G1: two gshare-like tables indexed by different skewing hash
+//     functions of (address, history), so that a pair of branches that
+//     collides in one table is unlikely to collide in the others;
+//   - META: a meta-predictor choosing, per branch, between the BIM
+//     prediction and the majority vote of BIM, G0 and G1.
+//
+// The update policy is partial, following Seznec et al.'s EV8 description:
+// on a correct prediction only the tables that participated (and agreed)
+// are strengthened; on a mispredict all three direction tables are trained
+// toward the outcome; META is trained toward whichever of its two choices
+// was right whenever they differ.
+package gskew
+
+import (
+	"fmt"
+	"math/bits"
+
+	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/counter"
+)
+
+// Gskew is a 2Bc-gskew predictor with four 2^indexBits-entry tables.
+type Gskew struct {
+	bim, g0, g1, meta []counter.Sat
+	indexBits         uint
+	histLen           uint
+}
+
+// New returns a 2Bc-gskew with 2^indexBits entries per table and histLen
+// bits of global history.
+func New(indexBits, histLen uint) *Gskew {
+	if indexBits < 1 || indexBits > 28 {
+		panic(fmt.Sprintf("gskew: indexBits %d out of range [1,28]", indexBits))
+	}
+	mk := func() []counter.Sat {
+		t := make([]counter.Sat, 1<<indexBits)
+		for i := range t {
+			t[i] = counter.NewSat2()
+		}
+		return t
+	}
+	return &Gskew{bim: mk(), g0: mk(), g1: mk(), meta: mk(), indexBits: indexBits, histLen: histLen}
+}
+
+// The three indexing functions. BIM ignores history. G0 and G1 use
+// distinct skewing transforms so inter-table aliasing is decorrelated —
+// the essence of the skewed organisation.
+func (g *Gskew) idxBim(addr uint64) uint64 {
+	return bitutil.Fold(addr>>2, g.indexBits)
+}
+
+func (g *Gskew) idxG0(addr, hist uint64) uint64 {
+	h := hist & bitutil.Mask(g.histLen)
+	return bitutil.IndexHash(addr, h, g.indexBits)
+}
+
+func (g *Gskew) idxG1(addr, hist uint64) uint64 {
+	h := hist & bitutil.Mask(g.histLen)
+	a := bits.RotateLeft64(addr>>2, 5)
+	return (bitutil.Fold(a, g.indexBits) ^ bitutil.Fold(bits.RotateLeft64(h, 3)*0x9e3779b97f4a7c15, g.indexBits)) & bitutil.Mask(g.indexBits)
+}
+
+func (g *Gskew) idxMeta(addr, hist uint64) uint64 {
+	h := hist & bitutil.Mask(g.histLen)
+	a := bits.RotateLeft64(addr>>2, 11)
+	return (bitutil.Fold(a, g.indexBits) ^ bitutil.Fold(h>>1, g.indexBits)) & bitutil.Mask(g.indexBits)
+}
+
+// components returns the three direction predictions and the meta choice.
+func (g *Gskew) components(addr, hist uint64) (bim, p0, p1, useMajority bool) {
+	bim = g.bim[g.idxBim(addr)].Taken()
+	p0 = g.g0[g.idxG0(addr, hist)].Taken()
+	p1 = g.g1[g.idxG1(addr, hist)].Taken()
+	useMajority = g.meta[g.idxMeta(addr, hist)].Taken()
+	return
+}
+
+func majority(a, b, c bool) bool {
+	n := 0
+	if a {
+		n++
+	}
+	if b {
+		n++
+	}
+	if c {
+		n++
+	}
+	return n >= 2
+}
+
+// Predict implements predictor.Predictor.
+func (g *Gskew) Predict(addr, hist uint64) bool {
+	bim, p0, p1, useMaj := g.components(addr, hist)
+	if useMaj {
+		return majority(bim, p0, p1)
+	}
+	return bim
+}
+
+// Update implements predictor.Predictor, applying the partial update
+// policy described in the package comment.
+func (g *Gskew) Update(addr, hist uint64, taken bool) {
+	bim, p0, p1, useMaj := g.components(addr, hist)
+	maj := majority(bim, p0, p1)
+	pred := bim
+	if useMaj {
+		pred = maj
+	}
+
+	// Train META toward whichever choice was right when they differ.
+	if bim != maj {
+		g.meta[g.idxMeta(addr, hist)].Update(maj == taken)
+	}
+
+	iB, i0, i1 := g.idxBim(addr), g.idxG0(addr, hist), g.idxG1(addr, hist)
+	if pred == taken {
+		// Correct: strengthen only participating, agreeing tables.
+		if useMaj {
+			g.bim[iB].Reinforce(taken)
+			g.g0[i0].Reinforce(taken)
+			g.g1[i1].Reinforce(taken)
+		} else {
+			g.bim[iB].Update(taken)
+		}
+		return
+	}
+	// Mispredict: retrain all direction tables toward the outcome.
+	g.bim[iB].Update(taken)
+	g.g0[i0].Update(taken)
+	g.g1[i1].Update(taken)
+}
+
+// HistoryLen implements predictor.Predictor.
+func (g *Gskew) HistoryLen() uint { return g.histLen }
+
+// SizeBits implements predictor.Predictor: four tables of 2-bit counters.
+func (g *Gskew) SizeBits() int { return 4 * len(g.bim) * 2 }
+
+// Name implements predictor.Predictor.
+func (g *Gskew) Name() string {
+	return fmt.Sprintf("2Bc-gskew-%dKent-h%d", len(g.bim)/1024, g.histLen)
+}

@@ -1,0 +1,139 @@
+// Package history implements the shift registers that feed branch
+// predictors: the branch history register (BHR) used by the prophet and the
+// branch outcome register (BOR) used by the critic.
+//
+// Both are fixed-length shift registers over branch outcomes. They are
+// updated speculatively at prediction time — "BHRs should be speculatively
+// updated instead of waiting for the branches to resolve" (Section 3.2) —
+// and repaired on a mispredict via checkpointing: "When the prophet predicts
+// a branch, a copy of the current BHR and the current BOR are assigned to
+// the branch. If a mispredict is detected for the branch, the BHR and BOR
+// are restored from the values assigned to the branch, [and] the
+// mispredicted branch's correct outcome is inserted" (Section 3.3).
+//
+// The BOR is a BHR that happens to contain two kinds of bits at critique
+// time: outcomes of branches before the one being predicted (history) and
+// the prophet's predictions for the branch being predicted and those after
+// it (future). The register itself does not distinguish them; the
+// prophet/critic core tracks how many of the newest bits are future bits.
+package history
+
+import (
+	"fmt"
+
+	"prophetcritic/internal/bitutil"
+)
+
+// MaxLen is the maximum register length. 64 bits covers every configuration
+// in Table 3 of the paper (the longest is the 57-bit perceptron history).
+const MaxLen = 64
+
+// Register is a fixed-length branch outcome shift register. The newest
+// outcome occupies bit 0; older outcomes occupy higher bit positions. The
+// zero value is an empty register of length 0; use New.
+type Register struct {
+	v   uint64
+	len uint
+}
+
+// New returns a register holding n outcome bits, all initially zero
+// (not-taken). n is clamped to [0, MaxLen].
+func New(n uint) *Register {
+	if n > MaxLen {
+		n = MaxLen
+	}
+	return &Register{len: n}
+}
+
+// Len returns the register length in bits.
+func (r *Register) Len() uint { return r.len }
+
+// Value returns the register contents. Only the low Len bits can be set.
+func (r *Register) Value() uint64 { return r.v }
+
+// Push shifts in a new outcome (true = taken) as the newest bit, discarding
+// the oldest.
+func (r *Register) Push(taken bool) {
+	b := uint64(0)
+	if taken {
+		b = 1
+	}
+	r.v = ((r.v << 1) | b) & bitutil.Mask(r.len)
+}
+
+// PushBits shifts in n outcome bits from v, oldest first: bit n-1 of v is
+// inserted first and bit 0 of v becomes the newest register bit. n must not
+// exceed 64.
+func (r *Register) PushBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		r.Push(v>>uint(i)&1 == 1)
+	}
+}
+
+// Bit returns outcome i, where 0 is the newest bit. It panics if i >= Len.
+func (r *Register) Bit(i uint) bool {
+	if i >= r.len {
+		panic(fmt.Sprintf("history: Bit(%d) out of range for %d-bit register", i, r.len))
+	}
+	return r.v>>i&1 == 1
+}
+
+// Window returns n bits starting at offset from the newest end: offset 0,
+// n=k yields the k newest bits. Bits beyond the register length read as 0.
+func (r *Register) Window(offset, n uint) uint64 {
+	return (r.v >> offset) & bitutil.Mask(n)
+}
+
+// Checkpoint captures the register state. Restoring a checkpoint is O(1);
+// this is the repair mechanism of Section 3.3.
+func (r *Register) Checkpoint() Checkpoint {
+	return Checkpoint{v: r.v, len: r.len}
+}
+
+// Restore rewinds the register to a previously captured checkpoint. It
+// panics if the checkpoint was taken from a register of different length.
+func (r *Register) Restore(c Checkpoint) {
+	if c.len != r.len {
+		panic(fmt.Sprintf("history: restoring %d-bit checkpoint into %d-bit register", c.len, r.len))
+	}
+	r.v = c.v
+}
+
+// Clone returns an independent copy of the register, used for the
+// speculative future-bit walks of the functional simulator.
+func (r *Register) Clone() *Register {
+	c := *r
+	return &c
+}
+
+// Reset clears the register to all not-taken.
+func (r *Register) Reset() { r.v = 0 }
+
+// String renders the register as a bit string, newest bit rightmost, e.g.
+// "TTNT" for a 4-bit register. Empty registers render as "".
+func (r *Register) String() string {
+	if r.len == 0 {
+		return ""
+	}
+	buf := make([]byte, r.len)
+	for i := uint(0); i < r.len; i++ {
+		// Oldest (highest) bit first so reading order matches program order.
+		if r.v>>(r.len-1-i)&1 == 1 {
+			buf[i] = 'T'
+		} else {
+			buf[i] = 'N'
+		}
+	}
+	return string(buf)
+}
+
+// Checkpoint is an opaque snapshot of a Register.
+type Checkpoint struct {
+	v   uint64
+	len uint
+}
+
+// Value exposes the checkpointed register contents; predictors record the
+// history value used at prediction time so pattern tables can be updated
+// non-speculatively at commit with that same value.
+func (c Checkpoint) Value() uint64 { return c.v }

@@ -1,0 +1,188 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushShiftsNewestToBit0(t *testing.T) {
+	r := New(4)
+	r.Push(true)  // T
+	r.Push(false) // N
+	r.Push(true)  // T
+	if r.Value() != 0b101 {
+		t.Fatalf("value = %#b, want 0b101", r.Value())
+	}
+	if !r.Bit(0) || r.Bit(1) || !r.Bit(2) {
+		t.Fatal("bit order wrong: newest must be bit 0")
+	}
+}
+
+func TestPushDiscardsOldest(t *testing.T) {
+	r := New(2)
+	r.Push(true)
+	r.Push(true)
+	r.Push(false)
+	if r.Value() != 0b10 {
+		t.Fatalf("value = %#b, want 0b10 after oldest bit dropped", r.Value())
+	}
+}
+
+func TestLenClamped(t *testing.T) {
+	r := New(200)
+	if r.Len() != MaxLen {
+		t.Fatalf("Len = %d, want %d", r.Len(), MaxLen)
+	}
+}
+
+func TestZeroLengthRegister(t *testing.T) {
+	r := New(0)
+	r.Push(true)
+	if r.Value() != 0 {
+		t.Fatal("zero-length register must stay zero")
+	}
+	if r.String() != "" {
+		t.Fatal("zero-length register renders empty")
+	}
+}
+
+func TestPushBitsOrdering(t *testing.T) {
+	r := New(8)
+	r.PushBits(0b1101, 4) // oldest-first: 1,1,0,1 -> newest bit is 1
+	if r.Value() != 0b1101 {
+		t.Fatalf("value = %#b, want 0b1101", r.Value())
+	}
+	// Pushing 4 more shifts the old ones up.
+	r.PushBits(0b0010, 4)
+	if r.Value() != 0b11010010 {
+		t.Fatalf("value = %#b, want 0b11010010", r.Value())
+	}
+}
+
+func TestWindow(t *testing.T) {
+	r := New(8)
+	r.PushBits(0b10110100, 8)
+	if got := r.Window(0, 4); got != 0b0100 {
+		t.Errorf("Window(0,4) = %#b, want 0b0100", got)
+	}
+	if got := r.Window(4, 4); got != 0b1011 {
+		t.Errorf("Window(4,4) = %#b, want 0b1011", got)
+	}
+	if got := r.Window(6, 4); got != 0b10 {
+		t.Errorf("Window(6,4) reads past end = %#b, want 0b10", got)
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	r := New(16)
+	r.PushBits(0xABC, 12)
+	cp := r.Checkpoint()
+	r.PushBits(0xFFF, 12)
+	if r.Value() == cp.Value() {
+		t.Fatal("register should have diverged from checkpoint")
+	}
+	r.Restore(cp)
+	if r.Value() != cp.Value() {
+		t.Fatalf("restore failed: %#x != %#x", r.Value(), cp.Value())
+	}
+}
+
+func TestRestoreLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("restoring a checkpoint of different length must panic")
+		}
+	}()
+	a := New(8)
+	b := New(16)
+	b.Restore(a.Checkpoint())
+}
+
+func TestBitOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bit out of range must panic")
+		}
+	}()
+	New(4).Bit(4)
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	r := New(8)
+	r.PushBits(0b1010, 4)
+	c := r.Clone()
+	c.Push(true)
+	if r.Value() == c.Value() {
+		t.Fatal("clone must not share state with original")
+	}
+}
+
+func TestString(t *testing.T) {
+	r := New(4)
+	r.Push(false)
+	r.Push(true)
+	r.Push(false)
+	r.Push(true)
+	// Oldest-first rendering: N T N T.
+	if got := r.String(); got != "NTNT" {
+		t.Fatalf("String = %q, want NTNT", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New(8)
+	r.PushBits(0xFF, 8)
+	r.Reset()
+	if r.Value() != 0 {
+		t.Fatal("Reset must clear the register")
+	}
+}
+
+// Property: value never exceeds the length mask.
+func TestValueStaysMasked(t *testing.T) {
+	f := func(n uint8, pushes []bool) bool {
+		r := New(uint(n % 65))
+		for _, p := range pushes {
+			r.Push(p)
+		}
+		if r.Len() == 64 {
+			return true
+		}
+		return r.Value()>>r.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: checkpoint/restore round-trips under arbitrary interleaving.
+func TestCheckpointRoundTrip(t *testing.T) {
+	f := func(n uint8, before, after []bool) bool {
+		r := New(uint(n%64) + 1)
+		for _, p := range before {
+			r.Push(p)
+		}
+		want := r.Value()
+		cp := r.Checkpoint()
+		for _, p := range after {
+			r.Push(p)
+		}
+		r.Restore(cp)
+		return r.Value() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pushing k bits then reading Window(0,k) returns those bits.
+func TestPushBitsWindowRoundTrip(t *testing.T) {
+	f := func(v uint16) bool {
+		r := New(32)
+		r.PushBits(uint64(v), 16)
+		return r.Window(0, 16) == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

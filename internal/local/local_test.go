@@ -1,0 +1,68 @@
+package local
+
+import (
+	"testing"
+
+	"prophetcritic/internal/predictor"
+)
+
+var _ predictor.Predictor = (*Local)(nil)
+
+func TestLearnsPerBranchPeriodicPattern(t *testing.T) {
+	// A loop branch taken 3 times then not taken, period 4: local history
+	// of 8 bits captures it exactly, regardless of global history noise.
+	l := New(10, 8)
+	addr := uint64(0x700)
+	correct, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		o := i%4 != 3
+		globalNoise := uint64(i * 2654435761) // must be ignored
+		if i > 3000 {
+			total++
+			if l.Predict(addr, globalNoise) == o {
+				correct++
+			}
+		}
+		l.Update(addr, globalNoise, o)
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.99 {
+		t.Fatalf("PAg should learn a period-4 local pattern, accuracy %.3f", acc)
+	}
+}
+
+func TestTwoBranchesIndependentLocalHistories(t *testing.T) {
+	l := New(10, 6)
+	a1, a2 := uint64(0x100), uint64(0x9C4)
+	for i := 0; i < 2000; i++ {
+		l.Update(a1, 0, i%2 == 0)
+		l.Update(a2, 0, true)
+	}
+	// a2's always-taken must be predicted even while a1 alternates.
+	if !l.Predict(a2, 0) {
+		t.Fatal("independent branch should be predicted from its own history")
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	l := New(10, 10)
+	want := 1024*10 + 1024*2
+	if l.SizeBits() != want {
+		t.Fatalf("SizeBits = %d, want %d", l.SizeBits(), want)
+	}
+	if l.HistoryLen() != 0 {
+		t.Fatal("PAg consumes no global history")
+	}
+	if l.Name() == "" {
+		t.Fatal("name must be non-empty")
+	}
+}
+
+func TestBadHistLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("histLen 0 must panic")
+		}
+	}()
+	New(10, 0)
+}

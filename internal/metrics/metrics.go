@@ -1,0 +1,125 @@
+// Package metrics aggregates per-benchmark simulation results into the
+// averaged quantities the paper reports: mean misp/Kuops across
+// benchmarks, per-suite means, mispredict-rate reductions, and flush
+// distances.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"prophetcritic/internal/sim"
+)
+
+// MeanMispPerKuops is the arithmetic mean of per-benchmark misp/Kuops —
+// the paper's "averaged over all benchmarks".
+func MeanMispPerKuops(rs []sim.Result) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rs {
+		sum += r.MispPerKuops()
+	}
+	return sum / float64(len(rs))
+}
+
+// PooledMispPerKuops pools all mispredicts over all uops — the aggregate
+// metric the abstract's flush-distance numbers imply.
+func PooledMispPerKuops(rs []sim.Result) float64 {
+	var misp, uops uint64
+	for _, r := range rs {
+		misp += r.FinalMisp
+		uops += r.Uops
+	}
+	if uops == 0 {
+		return 0
+	}
+	return float64(misp) / float64(uops) * 1000
+}
+
+// PooledUopsPerFlush is the pooled mean distance between mispredict
+// flushes in uops.
+func PooledUopsPerFlush(rs []sim.Result) float64 {
+	var misp, uops uint64
+	for _, r := range rs {
+		misp += r.FinalMisp
+		uops += r.Uops
+	}
+	if misp == 0 {
+		return math.Inf(1)
+	}
+	return float64(uops) / float64(misp)
+}
+
+// Reduction returns the percentage reduction from base to improved
+// (positive = improvement), as quoted in Figure 7.
+func Reduction(base, improved float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - improved) / base * 100
+}
+
+// BySuite groups results by suite name and returns per-suite mean
+// misp/Kuops keyed by suite.
+func BySuite(rs []sim.Result) map[string]float64 {
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	for _, r := range rs {
+		sums[r.Suite] += r.MispPerKuops()
+		counts[r.Suite]++
+	}
+	out := make(map[string]float64, len(sums))
+	for s, sum := range sums {
+		out[s] = sum / float64(counts[s])
+	}
+	return out
+}
+
+// GroupBySuite returns the results partitioned by suite.
+func GroupBySuite(rs []sim.Result) map[string][]sim.Result {
+	out := make(map[string][]sim.Result)
+	for _, r := range rs {
+		out[r.Suite] = append(out[r.Suite], r)
+	}
+	return out
+}
+
+// Find returns the result for a named benchmark.
+func Find(rs []sim.Result, benchmark string) (sim.Result, error) {
+	for _, r := range rs {
+		if r.Benchmark == benchmark {
+			return r, nil
+		}
+	}
+	return sim.Result{}, fmt.Errorf("metrics: no result for benchmark %q", benchmark)
+}
+
+// CritiqueShare returns each critique class's share of all explicit
+// critiques (tag hits), the normalisation used by Figure 8.
+func CritiqueShare(r sim.Result) [4]float64 {
+	var total uint64
+	for c := 0; c < 4; c++ {
+		total += r.Critiques[c]
+	}
+	var out [4]float64
+	if total == 0 {
+		return out
+	}
+	for c := 0; c < 4; c++ {
+		out[c] = float64(r.Critiques[c]) / float64(total)
+	}
+	return out
+}
+
+// SortedBenchmarks returns the benchmark names present in rs, sorted.
+func SortedBenchmarks(rs []sim.Result) []string {
+	names := make([]string, 0, len(rs))
+	for _, r := range rs {
+		names = append(names, r.Benchmark)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"prophetcritic/internal/sim"
+)
+
+func mk(bench, suite string, misp, uops uint64) sim.Result {
+	return sim.Result{Benchmark: bench, Suite: suite, FinalMisp: misp, Uops: uops, Branches: uops / 10}
+}
+
+func TestMeanVsPooled(t *testing.T) {
+	rs := []sim.Result{
+		mk("a", "X", 10, 1000),  // 10 misp/Ku
+		mk("b", "Y", 10, 10000), // 1 misp/Ku
+	}
+	if got := MeanMispPerKuops(rs); got != 5.5 {
+		t.Fatalf("mean = %f, want 5.5", got)
+	}
+	want := 20.0 / 11000 * 1000
+	if got := PooledMispPerKuops(rs); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("pooled = %f, want %f", got, want)
+	}
+	if MeanMispPerKuops(nil) != 0 || PooledMispPerKuops(nil) != 0 {
+		t.Fatal("empty inputs must not divide by zero")
+	}
+}
+
+func TestPooledUopsPerFlush(t *testing.T) {
+	rs := []sim.Result{mk("a", "X", 5, 1000), mk("b", "X", 5, 1000)}
+	if got := PooledUopsPerFlush(rs); got != 200 {
+		t.Fatalf("uops/flush = %f, want 200", got)
+	}
+	if !math.IsInf(PooledUopsPerFlush([]sim.Result{mk("a", "X", 0, 1000)}), 1) {
+		t.Fatal("no mispredicts means infinite flush distance")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if Reduction(2.0, 1.0) != 50 {
+		t.Fatal("50% reduction expected")
+	}
+	if Reduction(1.0, 1.5) != -50 {
+		t.Fatal("negative reduction for regressions")
+	}
+	if Reduction(0, 1) != 0 {
+		t.Fatal("zero base must not divide by zero")
+	}
+}
+
+func TestBySuite(t *testing.T) {
+	rs := []sim.Result{
+		mk("a", "X", 10, 1000),
+		mk("b", "X", 30, 1000),
+		mk("c", "Y", 5, 1000),
+	}
+	m := BySuite(rs)
+	if m["X"] != 20 || m["Y"] != 5 {
+		t.Fatalf("suite means wrong: %v", m)
+	}
+	groups := GroupBySuite(rs)
+	if len(groups["X"]) != 2 || len(groups["Y"]) != 1 {
+		t.Fatal("grouping wrong")
+	}
+}
+
+func TestFind(t *testing.T) {
+	rs := []sim.Result{mk("a", "X", 1, 100)}
+	if _, err := Find(rs, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find(rs, "zzz"); err == nil {
+		t.Fatal("missing benchmark must error")
+	}
+}
+
+func TestCritiqueShare(t *testing.T) {
+	r := sim.Result{}
+	r.Critiques[0] = 60
+	r.Critiques[1] = 20
+	r.Critiques[2] = 10
+	r.Critiques[3] = 10
+	s := CritiqueShare(r)
+	if s[0] != 0.6 || s[3] != 0.1 {
+		t.Fatalf("shares wrong: %v", s)
+	}
+	if CritiqueShare(sim.Result{}) != [4]float64{} {
+		t.Fatal("zero critiques must yield zero shares")
+	}
+}
+
+func TestSortedBenchmarks(t *testing.T) {
+	rs := []sim.Result{mk("b", "X", 1, 10), mk("a", "X", 1, 10)}
+	names := SortedBenchmarks(rs)
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("sorted names wrong: %v", names)
+	}
+}

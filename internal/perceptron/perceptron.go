@@ -1,0 +1,137 @@
+// Package perceptron implements the perceptron branch predictor of Jiménez
+// and Lin [16] (and Vintan & Iridon [32]): a pool of perceptrons, selected
+// by branch address, whose inputs are the global history bits encoded as
+// ±1.
+//
+// "A key advantage of the perceptron predictor is its ability to consider
+// much longer histories than schemes that use tables with saturating
+// counters" (Section 6) — which is also why the paper favours it as a
+// critic: as future bits displace history bits in a fixed-length BOR, a
+// perceptron can simply use a longer BOR and keep both.
+package perceptron
+
+import (
+	"fmt"
+
+	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/counter"
+)
+
+// WeightBits is the weight width used by all configurations, following
+// Jiménez & Lin's hardware evaluation.
+const WeightBits = 8
+
+// Perceptron is a pool of perceptrons selected by branch address.
+type Perceptron struct {
+	// weights is n rows of histLen+1 weights; row i, column 0 is the bias
+	// weight and column j+1 corresponds to history bit j (newest first).
+	weights [][]counter.Weight
+	histLen uint
+	theta   int32
+}
+
+// New returns a pool of n perceptrons over histLen history bits. The
+// training threshold follows Jiménez & Lin: theta = floor(1.93*h + 14).
+func New(n int, histLen uint) *Perceptron {
+	if n < 1 {
+		panic("perceptron: pool size must be >= 1")
+	}
+	if histLen > 64 {
+		panic(fmt.Sprintf("perceptron: history length %d exceeds 64", histLen))
+	}
+	p := &Perceptron{
+		weights: make([][]counter.Weight, n),
+		histLen: histLen,
+		theta:   int32(1.93*float64(histLen) + 14),
+	}
+	for i := range p.weights {
+		row := make([]counter.Weight, histLen+1)
+		for j := range row {
+			row[j] = counter.NewWeight(WeightBits)
+		}
+		p.weights[i] = row
+	}
+	return p
+}
+
+func (p *Perceptron) row(addr uint64) []counter.Weight {
+	return p.weights[(bitutil.Spread(addr>>2))%uint64(len(p.weights))]
+}
+
+// output computes the perceptron dot product: bias + sum of weights signed
+// by the corresponding history bits (taken=+1, not-taken=-1).
+func (p *Perceptron) output(addr, hist uint64) int32 {
+	row := p.row(addr)
+	out := int32(row[0].Value())
+	for j := uint(0); j < p.histLen; j++ {
+		w := int32(row[j+1].Value())
+		if hist>>j&1 == 1 {
+			out += w
+		} else {
+			out -= w
+		}
+	}
+	return out
+}
+
+// Predict implements predictor.Predictor: taken when the output is
+// non-negative.
+func (p *Perceptron) Predict(addr, hist uint64) bool {
+	return p.output(addr, hist) >= 0
+}
+
+// Output exposes the raw perceptron output, a confidence magnitude used by
+// white-box tests and by overriding/confidence experiments.
+func (p *Perceptron) Output(addr, hist uint64) int32 { return p.output(addr, hist) }
+
+// Update implements predictor.Predictor using the standard perceptron
+// learning rule: train on a mispredict or when |output| <= theta.
+func (p *Perceptron) Update(addr, hist uint64, taken bool) {
+	out := p.output(addr, hist)
+	pred := out >= 0
+	mag := out
+	if mag < 0 {
+		mag = -mag
+	}
+	if pred == taken && mag > p.theta {
+		return
+	}
+	row := p.row(addr)
+	row[0].Bump(taken)
+	for j := uint(0); j < p.histLen; j++ {
+		bit := hist>>j&1 == 1
+		// Strengthen agreement between history bit and outcome.
+		row[j+1].Bump(bit == taken)
+	}
+}
+
+// Train forces a training step toward the outcome regardless of threshold;
+// used when a filtered-critic entry is allocated and its "prediction
+// structures are initialized according to the branch's outcome" (§4).
+func (p *Perceptron) Train(addr, hist uint64, taken bool) {
+	row := p.row(addr)
+	row[0].Bump(taken)
+	for j := uint(0); j < p.histLen; j++ {
+		bit := hist>>j&1 == 1
+		row[j+1].Bump(bit == taken)
+	}
+}
+
+// HistoryLen implements predictor.Predictor.
+func (p *Perceptron) HistoryLen() uint { return p.histLen }
+
+// SizeBits implements predictor.Predictor.
+func (p *Perceptron) SizeBits() int {
+	return len(p.weights) * int(p.histLen+1) * WeightBits
+}
+
+// Pool returns the number of perceptrons.
+func (p *Perceptron) Pool() int { return len(p.weights) }
+
+// Theta returns the training threshold.
+func (p *Perceptron) Theta() int32 { return p.theta }
+
+// Name implements predictor.Predictor.
+func (p *Perceptron) Name() string {
+	return fmt.Sprintf("perceptron-%dx-h%d", len(p.weights), p.histLen)
+}

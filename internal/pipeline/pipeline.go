@@ -1,0 +1,293 @@
+// Package pipeline is the processor timing model used for the uPC results
+// (Figures 9 and 10): a 6-wide out-of-order core derived from the Intel
+// Pentium 4 configuration of Table 2, fed by the decoupled front-end of
+// Section 5 and the memory hierarchy of internal/cache.
+//
+// The model is commit-order and cycle-accounted rather than fully
+// event-driven: it walks the committed uop stream, tracks when each uop
+// could be fetched (front-end timing, I-cache misses, window occupancy,
+// mispredict resteers), when it completes (dependence chains, functional
+// unit latencies, data-cache misses), and when it commits (6 per cycle,
+// in order). Branch mispredicts stall fetch until the branch resolves,
+// which — with the model's 25-stage fetch-to-execute depth — yields the
+// ~30-cycle mispredict penalty of Table 2, and the uops that would have
+// been fetched down the wrong path in that shadow are counted against
+// the "uops fetched along both paths" metric of the abstract.
+package pipeline
+
+import (
+	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/btb"
+	"prophetcritic/internal/cache"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/frontend"
+	"prophetcritic/internal/program"
+)
+
+// Config is the machine configuration of Table 2.
+type Config struct {
+	FetchWidth        int // 6 uops
+	RetireWidth       int // 6 uops
+	MispredictPenalty int // minimum resteer depth, 30 cycles
+	PipeDepth         int // fetch-to-execute depth contributing to the penalty
+	WindowSize        int // 2048 uops
+	FTQSize           int // 32
+	BTBEntries        int // 4096
+	BTBWays           int // 4
+	IntLat            int // simple integer op latency
+	FPLat             int // floating-point op latency
+	MLP               int // memory-level parallelism divisor for overlapping misses
+}
+
+// DefaultConfig reproduces Table 2.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        6,
+		RetireWidth:       6,
+		MispredictPenalty: 30,
+		PipeDepth:         25,
+		WindowSize:        2048,
+		FTQSize:           32,
+		BTBEntries:        4096,
+		BTBWays:           4,
+		IntLat:            1,
+		FPLat:             4,
+		MLP:               8,
+	}
+}
+
+// Result aggregates the timing run.
+type Result struct {
+	Benchmark string
+	Suite     string
+	Config    string
+
+	Cycles        float64
+	Uops          uint64 // committed (correct-path) uops
+	WrongPathUops uint64 // uops fetched in mispredict shadows
+	Branches      uint64
+	Mispredicts   uint64
+
+	BTBMissRate     float64
+	FTQEmptyRate    float64
+	LateCritique    float64
+	L1IMissRate     float64
+	L1DMissRate     float64
+	FTQFlushes      uint64
+	FTQFlushedPreds uint64
+}
+
+// UPC returns committed uops per cycle, the paper's performance metric.
+func (r Result) UPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Uops) / r.Cycles
+}
+
+// FetchedUops returns uops fetched along both correct and wrong paths.
+func (r Result) FetchedUops() uint64 { return r.Uops + r.WrongPathUops }
+
+// MispPerKuops returns mispredicts per thousand committed uops.
+func (r Result) MispPerKuops() float64 {
+	if r.Uops == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) / float64(r.Uops) * 1000
+}
+
+// Options bounds the run length.
+type Options struct {
+	WarmupBranches  int
+	MeasureBranches int
+}
+
+// DefaultOptions matches the functional simulator's measurement window
+// scaled down: timing simulation is ~4x the cost per branch.
+var DefaultOptions = Options{WarmupBranches: 20_000, MeasureBranches: 100_000}
+
+// Run executes the timing simulation of hybrid h over program p.
+func Run(p *program.Program, h *core.Hybrid, cfg Config, opt Options) Result {
+	if opt.MeasureBranches <= 0 {
+		opt = DefaultOptions
+	}
+	run := p.NewRun()
+	walk := core.WalkFunc(p.Walk)
+	fe := frontend.New(frontend.Config{
+		FTQCapacity: cfg.FTQSize,
+		ProphetRate: 2,
+		CriticRate:  1,
+		FetchWidth:  cfg.FetchWidth,
+	})
+	bt := btb.New(cfg.BTBEntries, cfg.BTBWays)
+	mem := cache.NewHierarchy()
+
+	res := Result{Benchmark: p.Name, Suite: p.Suite, Config: h.Name()}
+
+	// commitTimes is a ring of the last WindowSize uop commit times, used
+	// to stall fetch when the instruction window is full.
+	ring := make([]float64, cfg.WindowSize)
+	ringPos := 0
+
+	var (
+		fetchClock  float64 // when the next uop can be fetched
+		commitClock float64 // when the last uop committed
+		uopIndex    uint64
+		startCycles float64
+		startUops   uint64
+		startWrong  uint64
+		memClock    float64 // last outstanding-miss completion, for MLP
+		chainReady  float64 // completion of the most recent chain head
+		rng         = p.Seed() ^ 0x5bd1e995
+	)
+
+	total := opt.WarmupBranches + opt.MeasureBranches
+	var measWrong, measMisp, measBranches uint64
+
+	for i := 0; i < total; i++ {
+		if i == opt.WarmupBranches {
+			startCycles = commitClock
+			startUops = uopIndex
+			startWrong = measWrong
+			measMisp = 0
+			measBranches = 0
+		}
+
+		addr := run.CurrentAddr()
+
+		// BTB identification. A miss means the front-end does not know
+		// a branch ends this block; the branch is effectively predicted
+		// not-taken and the entry is allocated at commit.
+		_, btbHit := bt.Lookup(addr)
+
+		pr := h.Predict(addr, walk)
+		ev := run.Next()
+
+		finalPred := pr.Final
+		// Front-end timing for this fetch block.
+		ft := fe.Step(frontend.BlockEvent{
+			Uops:       ev.Uops,
+			FutureBits: h.Config().FutureBits,
+			Disagree:   pr.CriticUsed && pr.Critic != pr.Prophet,
+		})
+		if !ft.CritiqueInTime {
+			// Prediction consumed before the critique: the prophet's
+			// raw prediction reached the pipeline.
+			finalPred = pr.Prophet
+		}
+		if !btbHit {
+			finalPred = false // unidentified branches fall through
+			bt.Insert(addr, 0)
+		}
+		h.Resolve(pr, ev.Taken)
+		measBranches++
+
+		// Fetch the block's uops.
+		blockFetch := fetchClock
+		if ft.Consumed > blockFetch {
+			blockFetch = ft.Consumed
+		}
+		// I-cache: one access per block (blocks are under a line).
+		if lat := mem.Inst(ev.Addr); lat > 0 {
+			blockFetch += float64(lat)
+		}
+
+		// Window stall: cannot fetch past WindowSize in-flight uops.
+		var lastReady float64
+		memOps := ev.MemUops
+		fpOps := ev.FPUops
+		for u := 0; u < ev.Uops; u++ {
+			if w := ring[ringPos]; blockFetch < w {
+				blockFetch = w
+			}
+			fetch := blockFetch + float64(u)/float64(cfg.FetchWidth)
+
+			// Execution latency by class; memory uops access the data
+			// hierarchy at a synthetic per-block address stream.
+			lat := float64(cfg.IntLat)
+			switch {
+			case u < memOps:
+				daddr := dataAddr(ev.BlockID, uopIndex, &rng)
+				l := float64(mem.Data(daddr))
+				if l > float64(mem.L2Lat) {
+					// Long miss: overlap with other misses up to MLP.
+					overlapped := l / float64(cfg.MLP)
+					if memClock > fetch {
+						l = overlapped
+					}
+					memClock = fetch + l
+				}
+				lat = l
+			case u < memOps+fpOps:
+				lat = float64(cfg.FPLat)
+			}
+
+			// Dependence: a uop waits on the most recent chain head's
+			// completion with probability ~0.3 (deterministic
+			// pseudo-random), modelling the serialised fraction of the
+			// dynamic dependence graph; chains carry across blocks the
+			// way loads feed downstream address computation.
+			ready := fetch + float64(cfg.PipeDepth)
+			if bitutil.Spread(uopIndex)%10 < 3 && chainReady > ready {
+				ready = chainReady
+			}
+			ready += lat
+			chainReady = ready
+			lastReady = ready
+
+			// Commit: in order, RetireWidth per cycle.
+			c := commitClock + 1/float64(cfg.RetireWidth)
+			if ready > c {
+				c = ready
+			}
+			commitClock = c
+			ring[ringPos] = c
+			ringPos = (ringPos + 1) % cfg.WindowSize
+			uopIndex++
+		}
+
+		// Branch resolution: the last uop of the block is the branch.
+		if finalPred != ev.Taken {
+			measMisp++
+			// Fetch stalls until the branch resolves plus the resteer
+			// penalty floor; everything fetched in that shadow was
+			// wrong-path work.
+			resteer := lastReady
+			if min := blockFetch + float64(cfg.MispredictPenalty); resteer < min {
+				resteer = min
+			}
+			shadow := resteer - blockFetch
+			measWrong += uint64(shadow * float64(cfg.FetchWidth) / 2)
+			fetchClock = resteer
+			fe.Resteer(resteer)
+		} else {
+			fetchClock = blockFetch
+		}
+	}
+
+	res.Cycles = commitClock - startCycles
+	res.Uops = uopIndex - startUops
+	res.WrongPathUops = measWrong - startWrong
+	res.Branches = measBranches
+	res.Mispredicts = measMisp
+	res.BTBMissRate = bt.MissRate()
+	res.FTQEmptyRate = fe.EmptyRate()
+	res.LateCritique = fe.PartialCritiqueRate()
+	res.L1IMissRate = mem.L1I.MissRate()
+	res.L1DMissRate = mem.L1D.MissRate()
+	res.FTQFlushes, res.FTQFlushedPreds = fe.Flushes()
+	return res
+}
+
+// dataAddr synthesises a load/store address for a block: mostly a stride
+// stream private to the block (prefetcher-friendly), with occasional
+// random accesses across an 8MB working set (cache-hostile).
+func dataAddr(blockID int, uop uint64, rng *uint64) uint64 {
+	*rng = *rng*6364136223846793005 + 1442695040888963407
+	r := *rng >> 33
+	base := uint64(blockID) << 14
+	if r%8 == 0 {
+		return 0x10_0000 + (bitutil.Spread(r)%(8<<20))&^7
+	}
+	return base + (uop%512)*64
+}

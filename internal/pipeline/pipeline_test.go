@@ -1,0 +1,112 @@
+package pipeline
+
+import (
+	"testing"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/program"
+)
+
+var testOpt = Options{WarmupBranches: 30_000, MeasureBranches: 50_000}
+
+func alone(kb int) *core.Hybrid {
+	return core.New(budget.MustLookup(budget.Gskew, kb).Build(), nil, core.Config{})
+}
+
+func hybrid(fb uint) *core.Hybrid {
+	return core.New(
+		budget.MustLookup(budget.Gskew, 8).Build(),
+		budget.MustLookup(budget.TaggedGshare, 8).Build(),
+		core.Config{FutureBits: fb, Filtered: true, BORLen: 18})
+}
+
+func TestUPCInPlausibleRange(t *testing.T) {
+	r := Run(program.MustLoad("gcc"), alone(16), DefaultConfig(), testOpt)
+	if upc := r.UPC(); upc < 0.5 || upc > 6 {
+		t.Fatalf("uPC = %f outside plausible [0.5, 6]", upc)
+	}
+	if r.Cycles <= 0 || r.Uops == 0 {
+		t.Fatal("timing run must produce cycles and uops")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(program.MustLoad("gzip"), hybrid(4), DefaultConfig(), testOpt)
+	b := Run(program.MustLoad("gzip"), hybrid(4), DefaultConfig(), testOpt)
+	if a != b {
+		t.Fatalf("timing simulation must be deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestBetterPredictionGivesBetterUPC(t *testing.T) {
+	// An oracle-grade predictor (always-right scripted via a huge
+	// perceptron is overkill; compare strong vs deliberately weak).
+	weak := core.New(budget.MustLookup(budget.Gshare, 2).Build(), nil, core.Config{})
+	strong := alone(16)
+	rw := Run(program.MustLoad("gcc"), weak, DefaultConfig(), testOpt)
+	rs := Run(program.MustLoad("gcc"), strong, DefaultConfig(), testOpt)
+	if rs.Mispredicts >= rw.Mispredicts {
+		t.Fatalf("16KB gskew (%d misp) must mispredict less than 2KB gshare (%d)", rs.Mispredicts, rw.Mispredicts)
+	}
+	if rs.UPC() <= rw.UPC() {
+		t.Fatalf("fewer mispredicts must give higher uPC: %.3f vs %.3f", rs.UPC(), rw.UPC())
+	}
+	if rs.WrongPathUops >= rw.WrongPathUops {
+		t.Fatal("fewer mispredicts must fetch fewer wrong-path uops")
+	}
+}
+
+func TestHybridImprovesUPC(t *testing.T) {
+	base := Run(program.MustLoad("gcc"), core.New(budget.MustLookup(budget.Gskew, 8).Build(), nil, core.Config{}), DefaultConfig(), testOpt)
+	hyb := Run(program.MustLoad("gcc"), hybrid(1), DefaultConfig(), testOpt)
+	if hyb.Mispredicts >= base.Mispredicts {
+		t.Fatalf("hybrid must reduce mispredicts: %d vs %d", hyb.Mispredicts, base.Mispredicts)
+	}
+	if hyb.UPC() <= base.UPC() {
+		t.Fatalf("hybrid must improve uPC: %.3f vs %.3f", hyb.UPC(), base.UPC())
+	}
+}
+
+func TestFrontEndHealthMetrics(t *testing.T) {
+	r := Run(program.MustLoad("parser"), hybrid(8), DefaultConfig(), testOpt)
+	if r.FTQEmptyRate > 0.10 {
+		t.Fatalf("FTQ empty rate %f too high (paper: FTQ nearly always full)", r.FTQEmptyRate)
+	}
+	// Partial critiques cluster right after mispredict resteers, when the
+	// FTQ is refilling; the paper's <0.1% figure counts predictions with
+	// no critique at all, which the partial-critique policy avoids.
+	if r.LateCritique > 0.12 {
+		t.Fatalf("partial critique rate %f too high", r.LateCritique)
+	}
+	if r.BTBMissRate > 0.05 {
+		t.Fatalf("BTB miss rate %f too high for a footprint under 4K branches", r.BTBMissRate)
+	}
+	if r.L1IMissRate > 0.5 {
+		t.Fatalf("implausible L1I miss rate %f", r.L1IMissRate)
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	r := Result{Uops: 1000, Cycles: 500, WrongPathUops: 100, Mispredicts: 10}
+	if r.UPC() != 2 {
+		t.Fatal("UPC arithmetic wrong")
+	}
+	if r.FetchedUops() != 1100 {
+		t.Fatal("FetchedUops arithmetic wrong")
+	}
+	if r.MispPerKuops() != 10 {
+		t.Fatal("MispPerKuops arithmetic wrong")
+	}
+	var zero Result
+	if zero.UPC() != 0 || zero.MispPerKuops() != 0 {
+		t.Fatal("zero-value result must not divide by zero")
+	}
+}
+
+func TestDefaultOptionsApplied(t *testing.T) {
+	r := Run(program.MustLoad("swim"), alone(2), DefaultConfig(), Options{})
+	if r.Branches != uint64(DefaultOptions.MeasureBranches) {
+		t.Fatalf("zero Options must fall back to defaults, measured %d", r.Branches)
+	}
+}

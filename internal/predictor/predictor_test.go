@@ -1,0 +1,60 @@
+package predictor
+
+import "testing"
+
+func TestStaticBaselines(t *testing.T) {
+	at := AlwaysTaken()
+	ant := AlwaysNotTaken()
+	for i := uint64(0); i < 100; i++ {
+		if !at.Predict(i*4, i) {
+			t.Fatal("always-taken must predict taken")
+		}
+		if ant.Predict(i*4, i) {
+			t.Fatal("always-not-taken must predict not-taken")
+		}
+	}
+	// Updates are no-ops.
+	at.Update(0, 0, false)
+	if !at.Predict(0, 0) {
+		t.Fatal("static predictor must not learn")
+	}
+	if at.SizeBits() != 0 || at.HistoryLen() != 0 {
+		t.Fatal("static predictor stores nothing")
+	}
+	if at.Name() != "always-taken" || ant.Name() != "always-not-taken" {
+		t.Fatalf("unexpected names %q %q", at.Name(), ant.Name())
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	calls := 0
+	f := &Func{
+		PredictFn: func(addr, hist uint64) bool { return addr == 8 },
+		UpdateFn:  func(addr, hist uint64, taken bool) { calls++ },
+		HistLen:   7,
+		Bits:      42,
+		Label:     "oracle",
+	}
+	if !f.Predict(8, 0) || f.Predict(4, 0) {
+		t.Fatal("Func must delegate Predict")
+	}
+	f.Update(0, 0, true)
+	if calls != 1 {
+		t.Fatal("Func must delegate Update")
+	}
+	if f.HistoryLen() != 7 || f.SizeBits() != 42 || f.Name() != "oracle" {
+		t.Fatal("Func accessors wrong")
+	}
+	empty := &Func{PredictFn: func(addr, hist uint64) bool { return false }}
+	empty.Update(0, 0, true) // nil UpdateFn must not panic
+	if empty.Name() != "func" {
+		t.Fatalf("default name = %q", empty.Name())
+	}
+}
+
+// Interface conformance for the whole zoo is asserted in each package; the
+// static ones live here.
+var (
+	_ Predictor = (*Static)(nil)
+	_ Predictor = (*Func)(nil)
+)

@@ -1,0 +1,30 @@
+package program
+
+// splitmix64 is the deterministic pseudo-random generator used throughout
+// the workload substrate. It is tiny, seedable, and has no global state,
+// which keeps every benchmark bit-for-bit reproducible.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rngFloat returns a float64 in [0, 1).
+func rngFloat(state *uint64) float64 {
+	return float64(splitmix64(state)>>11) / float64(1<<53)
+}
+
+// rngRange returns an integer in [lo, hi] (inclusive). lo must be <= hi.
+func rngRange(state *uint64, lo, hi int) int {
+	if lo >= hi {
+		return lo
+	}
+	return lo + int(splitmix64(state)%uint64(hi-lo+1))
+}
+
+// rngBool returns true with probability p.
+func rngBool(state *uint64, p float64) bool {
+	return rngFloat(state) < p
+}

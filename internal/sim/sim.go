@@ -1,0 +1,174 @@
+// Package sim is the functional branch-prediction simulator: it executes a
+// synthetic program in commit order, drives a prophet/critic hybrid (or a
+// conventional predictor wrapped as a prophet-alone hybrid) over the
+// committed branch stream, and reports accuracy metrics.
+//
+// The essential fidelity property (Section 6 of the paper) is wrong-path
+// future-bit generation: for every branch, the hybrid performs a
+// speculative walk of the program's control-flow graph along the
+// *predicted* directions. When the prophet mispredicts, that walk leaves
+// the correct path, and the future bits inserted into the critic's BOR are
+// genuine wrong-path prophecies — "Generating these bits while traversing
+// a (correct-path only) instruction trace provides the critic with oracle
+// information, which it does not actually have."
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/program"
+)
+
+// Options controls a simulation.
+type Options struct {
+	// WarmupBranches are executed and trained on but not measured,
+	// mirroring the paper's use of post-startup LIT snapshots.
+	WarmupBranches int
+	// MeasureBranches is the measured window length.
+	MeasureBranches int
+}
+
+// DefaultOptions is the measurement window used by the experiment
+// harness: large enough for stable misp/Kuops on every benchmark, small
+// enough that full figure sweeps finish in minutes.
+var DefaultOptions = Options{WarmupBranches: 30_000, MeasureBranches: 120_000}
+
+// Result holds the measured statistics of one (benchmark, predictor) run.
+type Result struct {
+	Benchmark string
+	Suite     string
+	Config    string
+
+	Branches uint64 // measured committed conditional branches
+	Uops     uint64 // measured committed uops
+
+	ProphetMisp uint64 // prophet mispredicts in the window
+	FinalMisp   uint64 // final (post-critique) mispredicts
+
+	// Critiques is the measured critique distribution, indexed by
+	// core.Critique.
+	Critiques [6]uint64
+}
+
+// MispPerKuops is the paper's primary accuracy metric.
+func (r Result) MispPerKuops() float64 {
+	if r.Uops == 0 {
+		return 0
+	}
+	return float64(r.FinalMisp) / float64(r.Uops) * 1000
+}
+
+// ProphetMispPerKuops is the same metric for the prophet alone.
+func (r Result) ProphetMispPerKuops() float64 {
+	if r.Uops == 0 {
+		return 0
+	}
+	return float64(r.ProphetMisp) / float64(r.Uops) * 1000
+}
+
+// MispRate is the fraction of branches mispredicted (gcc's headline is
+// quoted this way: 3.11% -> 1.23%).
+func (r Result) MispRate() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.FinalMisp) / float64(r.Branches)
+}
+
+// UopsPerFlush is the mean distance between pipeline flushes in uops (the
+// abstract quotes 418 -> 680 uops). Infinite (returned as 0) if there were
+// no mispredicts.
+func (r Result) UopsPerFlush() float64 {
+	if r.FinalMisp == 0 {
+		return 0
+	}
+	return float64(r.Uops) / float64(r.FinalMisp)
+}
+
+// FilteredFrac returns the fraction of branches that received no explicit
+// critique, split (correct, incorrect, total) as in Table 4.
+func (r Result) FilteredFrac() (correct, incorrect, total float64) {
+	if r.Branches == 0 {
+		return
+	}
+	c := float64(r.Critiques[core.CorrectNone]) / float64(r.Branches)
+	i := float64(r.Critiques[core.IncorrectNone]) / float64(r.Branches)
+	return c, i, c + i
+}
+
+// Run simulates one hybrid over one program.
+func Run(p *program.Program, h *core.Hybrid, opt Options) Result {
+	if opt.MeasureBranches <= 0 {
+		opt = DefaultOptions
+	}
+	run := p.NewRun()
+	walk := core.WalkFunc(p.Walk)
+
+	total := opt.WarmupBranches + opt.MeasureBranches
+	var baseline core.Stats
+	res := Result{Benchmark: p.Name, Suite: p.Suite, Config: h.Name()}
+
+	for i := 0; i < total; i++ {
+		if i == opt.WarmupBranches {
+			baseline = h.Stats()
+		}
+		addr := run.CurrentAddr()
+		pr := h.Predict(addr, walk)
+		ev := run.Next()
+		if ev.Addr != addr {
+			panic(fmt.Sprintf("sim: committed branch %#x does not match predicted %#x", ev.Addr, addr))
+		}
+		h.Resolve(pr, ev.Taken)
+		if i >= opt.WarmupBranches {
+			res.Uops += uint64(ev.Uops)
+		}
+	}
+
+	final := h.Stats()
+	res.Branches = final.Branches - baseline.Branches
+	res.ProphetMisp = final.ProphetMispredict - baseline.ProphetMispredict
+	res.FinalMisp = final.FinalMispredict - baseline.FinalMispredict
+	for c := 0; c < len(res.Critiques); c++ {
+		res.Critiques[c] = final.Critiques[c] - baseline.Critiques[c]
+	}
+	return res
+}
+
+// Builder constructs a fresh hybrid for one benchmark run. Each run gets
+// its own predictor state, as in the paper's per-LIT simulations.
+type Builder func() *core.Hybrid
+
+// RunBenchmarks simulates the builder's hybrid over each named benchmark
+// in parallel and returns results in input order.
+func RunBenchmarks(names []string, build Builder, opt Options) ([]Result, error) {
+	progs := make([]*program.Program, len(names))
+	for i, n := range names {
+		p, err := program.Load(n)
+		if err != nil {
+			return nil, err
+		}
+		progs[i] = p
+	}
+	results := make([]Result, len(names))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range progs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = Run(progs[i], build(), opt)
+		}(i)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// RunAll simulates over every benchmark in the workload inventory.
+func RunAll(build Builder, opt Options) ([]Result, error) {
+	return RunBenchmarks(program.Names(), build, opt)
+}

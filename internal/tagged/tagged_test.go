@@ -1,0 +1,84 @@
+package tagged
+
+import (
+	"testing"
+
+	"prophetcritic/internal/predictor"
+)
+
+var _ predictor.Tagged = (*Gshare)(nil)
+
+func TestColdMissMeansNoOpinion(t *testing.T) {
+	g := New(10, 6, 9, 18)
+	if _, hit := g.PredictTagged(0x100, 0x55); hit {
+		t.Fatal("cold tagged gshare must miss")
+	}
+}
+
+func TestCritiqueLifecycle(t *testing.T) {
+	// The filtered-critic protocol: allocate on (miss, mispredict), then
+	// subsequent identical contexts hit and predict the trained outcome.
+	g := New(10, 6, 9, 18)
+	addr, bor := uint64(0x2000), uint64(0b101101_10101010)
+
+	// First encounter: miss -> allocate toward the actual outcome (N).
+	if _, hit := g.PredictTagged(addr, bor); hit {
+		t.Fatal("must miss before allocation")
+	}
+	g.Allocate(addr, bor, false)
+
+	// Next identical context: hit and predict not-taken.
+	taken, hit := g.PredictTagged(addr, bor)
+	if !hit || taken {
+		t.Fatal("after allocation the context must hit and predict the trained direction")
+	}
+
+	// Counter training: two taken outcomes flip it.
+	g.Update(addr, bor, true)
+	g.Update(addr, bor, true)
+	taken, hit = g.PredictTagged(addr, bor)
+	if !hit || !taken {
+		t.Fatal("counter must retrain toward repeated outcomes")
+	}
+}
+
+func TestPredictDefaultsNotTakenOnMiss(t *testing.T) {
+	g := New(8, 4, 9, 18)
+	if g.Predict(0xABC0, 0x3F) {
+		t.Fatal("plain Predict on a miss returns not-taken")
+	}
+}
+
+func TestTable3Configs(t *testing.T) {
+	// Table 3 tagged gshare: 256/512/1024/2048/4096 sets × 6-way, 18-bit
+	// BOR, for 2/4/8/16/32KB budgets.
+	cases := []struct {
+		kb      int
+		setBits uint
+	}{{2, 8}, {4, 9}, {8, 10}, {16, 11}, {32, 12}}
+	for _, c := range cases {
+		g := New(c.setBits, 6, 8, 18)
+		if g.SizeBits() > c.kb*8192 {
+			t.Errorf("%dKB tagged gshare overflows: %d bits > %d", c.kb, g.SizeBits(), c.kb*8192)
+		}
+		if g.Entries() != (1<<c.setBits)*6 {
+			t.Errorf("%dKB tagged gshare entries = %d, want %d", c.kb, g.Entries(), (1<<c.setBits)*6)
+		}
+		if g.HistoryLen() != 18 {
+			t.Errorf("tagged gshare BOR size must be 18 (Table 3)")
+		}
+	}
+}
+
+func TestNameAndWays(t *testing.T) {
+	g := New(10, 6, 8, 18)
+	if g.Ways() != 6 {
+		t.Fatal("ways accessor wrong")
+	}
+	if g.Name() == "" {
+		t.Fatal("name must be non-empty")
+	}
+	if g.Occupancy() != 0 {
+		t.Fatal("cold occupancy must be 0")
+	}
+}

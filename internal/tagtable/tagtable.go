@@ -1,0 +1,163 @@
+// Package tagtable implements the N-way set-associative tagged store that
+// underlies the paper's critics: the tagged gshare ("its structure is
+// similar to a N-way associative cache, with each data item being a
+// two-bit counter") and the tag filter of the filtered perceptron
+// (Section 4, Figure 3).
+//
+// The index and the tag are computed with two deliberately different hash
+// functions of the branch address and the BOR value, and entries are
+// managed with LRU replacement, all as specified in Section 4. The paper
+// reports that "only 8-10 bit tags are needed to clearly identify the
+// different branch contexts."
+package tagtable
+
+import (
+	"fmt"
+
+	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/counter"
+)
+
+// Table is an N-way set-associative array of (tag, 2-bit counter) entries.
+type Table struct {
+	entries  []entry // sets*ways, set-major
+	setBits  uint
+	tagBits  uint
+	ways     int
+	histLen  uint // BOR bits consumed by the hash functions
+	clock    uint64
+	counters bool // whether SizeBits accounts for the per-entry counter
+}
+
+type entry struct {
+	valid bool
+	tag   uint64
+	ctr   counter.Sat
+	used  uint64 // LRU timestamp
+}
+
+// New returns a table with 2^setBits sets of the given associativity.
+// tagBits is the stored tag width; histLen is the number of history/BOR
+// bits hashed into the index and tag. withCounters controls whether each
+// entry carries a 2-bit counter (tagged gshare) or is a bare tag (the
+// filtered perceptron's filter).
+func New(setBits uint, ways int, tagBits, histLen uint, withCounters bool) *Table {
+	if setBits > 28 {
+		panic(fmt.Sprintf("tagtable: setBits %d out of range", setBits))
+	}
+	if ways < 1 {
+		panic("tagtable: ways must be >= 1")
+	}
+	if tagBits < 1 || tagBits > 16 {
+		panic(fmt.Sprintf("tagtable: tagBits %d out of range [1,16]", tagBits))
+	}
+	t := &Table{
+		entries:  make([]entry, (1<<setBits)*ways),
+		setBits:  setBits,
+		tagBits:  tagBits,
+		ways:     ways,
+		histLen:  histLen,
+		counters: withCounters,
+	}
+	return t
+}
+
+func (t *Table) set(addr, hist uint64) []entry {
+	h := hist & bitutil.Mask(t.histLen)
+	idx := bitutil.IndexHash(addr, h, t.setBits)
+	return t.entries[idx*uint64(t.ways) : (idx+1)*uint64(t.ways)]
+}
+
+func (t *Table) tag(addr, hist uint64) uint64 {
+	h := hist & bitutil.Mask(t.histLen)
+	return bitutil.TagHash(addr, h, t.tagBits)
+}
+
+// Lookup reports whether (addr, hist) hits and, if so, the direction its
+// counter predicts. Lookup is side-effect free.
+func (t *Table) Lookup(addr, hist uint64) (taken, hit bool) {
+	set := t.set(addr, hist)
+	tag := t.tag(addr, hist)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return set[i].ctr.Taken(), true
+		}
+	}
+	return false, false
+}
+
+// Update trains the counter of a hitting entry toward the outcome and
+// refreshes its LRU position. It reports whether the entry was found.
+func (t *Table) Update(addr, hist uint64, taken bool) bool {
+	set := t.set(addr, hist)
+	tag := t.tag(addr, hist)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].ctr.Update(taken)
+			t.clock++
+			set[i].used = t.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Allocate inserts an entry for (addr, hist), replacing the LRU way, with
+// its counter initialised weakly toward the outcome. If the entry already
+// exists it is re-initialised and touched instead.
+func (t *Table) Allocate(addr, hist uint64, taken bool) {
+	set := t.set(addr, hist)
+	tag := t.tag(addr, hist)
+	t.clock++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			// Already present: refresh.
+			set[i].ctr = counter.NewSat2Weak(taken)
+			set[i].used = t.clock
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	set[victim] = entry{valid: true, tag: tag, ctr: counter.NewSat2Weak(taken), used: t.clock}
+}
+
+// Entries returns the total entry count (sets × ways).
+func (t *Table) Entries() int { return len(t.entries) }
+
+// Ways returns the associativity.
+func (t *Table) Ways() int { return t.ways }
+
+// TagBits returns the stored tag width.
+func (t *Table) TagBits() uint { return t.tagBits }
+
+// HistLen returns the number of BOR bits the hash functions consume.
+func (t *Table) HistLen() uint { return t.histLen }
+
+// SizeBits returns the storage cost: tag (+ optional 2-bit counter) per
+// entry. LRU state is excluded, matching the paper's budget accounting,
+// which fits 1024×6-way tagged entries in 8KB.
+func (t *Table) SizeBits() int {
+	per := int(t.tagBits)
+	if t.counters {
+		per += 2
+	}
+	return len(t.entries) * per
+}
+
+// Occupancy returns the fraction of valid entries, for diagnostics.
+func (t *Table) Occupancy() float64 {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return float64(n) / float64(len(t.entries))
+}

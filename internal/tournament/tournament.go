@@ -1,0 +1,91 @@
+// Package tournament implements McFarling's selection-based hybrid [20]:
+// two component predictors and a chooser table of 2-bit counters that
+// "indicates which component is more accurate for the branch."
+//
+// In the paper's taxonomy this is the conventional hybrid that the
+// prophet/critic design is contrasted with: both components predict the
+// same branch with the same available information, and a selector picks
+// one. It is also exactly what a prophet/critic hybrid degenerates to at
+// zero future bits, so the functional simulator uses it to cross-check the
+// "0 future bits" points of Figure 5.
+package tournament
+
+import (
+	"fmt"
+
+	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/counter"
+	"prophetcritic/internal/predictor"
+)
+
+// Tournament combines two predictors with a chooser indexed by branch
+// address XOR history.
+type Tournament struct {
+	a, b    predictor.Predictor // chooser low half selects a, high half b
+	chooser []counter.Sat
+	idxBits uint
+	useHist bool
+	histLen uint
+}
+
+// New returns a tournament hybrid of a and b with 2^idxBits chooser
+// entries. If useHist is true the chooser is indexed gshare-style with
+// histLen history bits, otherwise by address alone (McFarling's original).
+func New(a, b predictor.Predictor, idxBits uint, useHist bool, histLen uint) *Tournament {
+	t := &Tournament{a: a, b: b, chooser: make([]counter.Sat, 1<<idxBits), idxBits: idxBits, useHist: useHist, histLen: histLen}
+	for i := range t.chooser {
+		t.chooser[i] = counter.NewSat2()
+	}
+	return t
+}
+
+func (t *Tournament) index(addr, hist uint64) uint64 {
+	if t.useHist {
+		return bitutil.IndexHash(addr, hist&bitutil.Mask(t.histLen), t.idxBits)
+	}
+	return bitutil.Fold(addr>>2, t.idxBits)
+}
+
+// Predict implements predictor.Predictor.
+func (t *Tournament) Predict(addr, hist uint64) bool {
+	if t.chooser[t.index(addr, hist)].Taken() {
+		return t.b.Predict(addr, hist)
+	}
+	return t.a.Predict(addr, hist)
+}
+
+// Update implements predictor.Predictor: both components always train;
+// the chooser trains toward the component that was right when they
+// disagree.
+func (t *Tournament) Update(addr, hist uint64, taken bool) {
+	pa := t.a.Predict(addr, hist)
+	pb := t.b.Predict(addr, hist)
+	if pa != pb {
+		// Move toward b when b was correct, toward a when a was correct.
+		t.chooser[t.index(addr, hist)].Update(pb == taken)
+	}
+	t.a.Update(addr, hist, taken)
+	t.b.Update(addr, hist, taken)
+}
+
+// HistoryLen implements predictor.Predictor.
+func (t *Tournament) HistoryLen() uint {
+	h := t.a.HistoryLen()
+	if t.b.HistoryLen() > h {
+		h = t.b.HistoryLen()
+	}
+	if t.useHist && t.histLen > h {
+		h = t.histLen
+	}
+	return h
+}
+
+// SizeBits implements predictor.Predictor.
+func (t *Tournament) SizeBits() int {
+	return t.a.SizeBits() + t.b.SizeBits() + len(t.chooser)*2
+}
+
+// Name implements predictor.Predictor.
+func (t *Tournament) Name() string {
+	return fmt.Sprintf("tournament(%s,%s)", t.a.Name(), t.b.Name())
+}

@@ -1,0 +1,94 @@
+package tournament
+
+import (
+	"testing"
+
+	"prophetcritic/internal/bimodal"
+	"prophetcritic/internal/gshare"
+	"prophetcritic/internal/history"
+	"prophetcritic/internal/predictor"
+)
+
+var _ predictor.Predictor = (*Tournament)(nil)
+
+func TestChooserPicksBetterComponent(t *testing.T) {
+	// Component a is an always-taken oracle for this branch; b is always
+	// wrong. The chooser must converge on a.
+	a := predictor.AlwaysTaken()
+	b := predictor.AlwaysNotTaken()
+	tr := New(a, b, 10, false, 0)
+	addr := uint64(0x500)
+	for i := 0; i < 20; i++ {
+		tr.Update(addr, 0, true)
+	}
+	if !tr.Predict(addr, 0) {
+		t.Fatal("tournament must select the component that is right")
+	}
+}
+
+func TestPerBranchSelection(t *testing.T) {
+	// Branch 1 is best served by bimodal (static bias), branch 2 by
+	// gshare (alternating pattern). The hybrid should beat either alone.
+	mk := func() (*Tournament, *bimodal.Bimodal, *gshare.Gshare) {
+		bi := bimodal.New(10, 2)
+		gs := gshare.New(10, 8)
+		return New(bi, gs, 10, false, 0), bi, gs
+	}
+	tr, _, _ := mk()
+	h := history.New(8)
+	b1, b2 := uint64(0x100), uint64(0x200)
+	correct, total := 0, 0
+	for i := 0; i < 6000; i++ {
+		// b1: 90% taken with deterministic pseudo-noise; b2: alternating.
+		o1 := (i*2654435761)%10 != 0
+		o2 := i%2 == 0
+		for _, br := range []struct {
+			addr uint64
+			o    bool
+		}{{b1, o1}, {b2, o2}} {
+			hv := h.Value()
+			if i > 4000 {
+				total++
+				if tr.Predict(br.addr, hv) == br.o {
+					correct++
+				}
+			}
+			tr.Update(br.addr, hv, br.o)
+			h.Push(br.o)
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.90 {
+		t.Fatalf("tournament should handle mixed branch classes, accuracy %.3f", acc)
+	}
+}
+
+func TestSizeBitsSumsComponents(t *testing.T) {
+	a := bimodal.New(10, 2)
+	b := gshare.New(10, 8)
+	tr := New(a, b, 9, false, 0)
+	want := a.SizeBits() + b.SizeBits() + 512*2
+	if tr.SizeBits() != want {
+		t.Fatalf("SizeBits = %d, want %d", tr.SizeBits(), want)
+	}
+}
+
+func TestHistoryLenIsMax(t *testing.T) {
+	a := gshare.New(10, 12)
+	b := bimodal.New(10, 2)
+	tr := New(a, b, 9, true, 14)
+	if tr.HistoryLen() != 14 {
+		t.Fatalf("HistoryLen = %d, want 14 (chooser hist)", tr.HistoryLen())
+	}
+	tr2 := New(a, b, 9, false, 0)
+	if tr2.HistoryLen() != 12 {
+		t.Fatalf("HistoryLen = %d, want 12 (component a)", tr2.HistoryLen())
+	}
+}
+
+func TestNameMentionsComponents(t *testing.T) {
+	tr := New(predictor.AlwaysTaken(), predictor.AlwaysNotTaken(), 4, false, 0)
+	if tr.Name() != "tournament(always-taken,always-not-taken)" {
+		t.Fatalf("unexpected name %q", tr.Name())
+	}
+}

@@ -1,0 +1,80 @@
+package yags
+
+import (
+	"testing"
+
+	"prophetcritic/internal/history"
+	"prophetcritic/internal/predictor"
+)
+
+var _ predictor.Predictor = (*YAGS)(nil)
+
+func run(p predictor.Predictor, addr uint64, n int, outcome func(step int, hist uint64) bool) float64 {
+	h := history.New(64)
+	correct, measured := 0, 0
+	warm := n * 3 / 4
+	for i := 0; i < n; i++ {
+		hv := h.Value()
+		o := outcome(i, hv)
+		if i >= warm {
+			measured++
+			if p.Predict(addr, hv) == o {
+				correct++
+			}
+		}
+		p.Update(addr, hv, o)
+		h.Push(o)
+	}
+	return float64(correct) / float64(measured)
+}
+
+func TestLearnsBias(t *testing.T) {
+	y := New(10, 8, 4, 8, 10)
+	if acc := run(y, 0x400, 2000, func(int, uint64) bool { return true }); acc < 0.999 {
+		t.Fatalf("YAGS should learn always-taken, accuracy %.3f", acc)
+	}
+}
+
+func TestExceptionCacheCatchesContextExceptions(t *testing.T) {
+	// Branch is taken except in one specific 6-bit history context.
+	y := New(10, 8, 4, 8, 10)
+	acc := run(y, 0x400, 8000, func(step int, hist uint64) bool {
+		return hist&0x3F != 0x2A
+	})
+	if acc < 0.97 {
+		t.Fatalf("YAGS exception cache should learn context exceptions, accuracy %.3f", acc)
+	}
+}
+
+func TestAlternatingPattern(t *testing.T) {
+	y := New(10, 8, 4, 8, 10)
+	if acc := run(y, 0x400, 6000, func(step int, _ uint64) bool { return step%2 == 0 }); acc < 0.99 {
+		t.Fatalf("YAGS should learn alternation via exceptions, accuracy %.3f", acc)
+	}
+}
+
+func TestSizeBitsSumsParts(t *testing.T) {
+	y := New(10, 8, 4, 8, 10)
+	want := 1024*2 + 2*(256*4*(8+2))
+	if y.SizeBits() != want {
+		t.Fatalf("SizeBits = %d, want %d", y.SizeBits(), want)
+	}
+	if y.HistoryLen() != 10 {
+		t.Fatal("HistoryLen wrong")
+	}
+	if y.Name() == "" {
+		t.Fatal("name must be non-empty")
+	}
+}
+
+func TestPredictIsPure(t *testing.T) {
+	y := New(8, 6, 4, 8, 8)
+	y.Update(0x40, 0x55, false)
+	before := y.Predict(0x40, 0x55)
+	for i := 0; i < 100; i++ {
+		y.Predict(0x40, 0x55)
+	}
+	if y.Predict(0x40, 0x55) != before {
+		t.Fatal("Predict must be side-effect free")
+	}
+}
