@@ -1,0 +1,3 @@
+module prophetcritic
+
+go 1.24

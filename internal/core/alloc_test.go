@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"testing"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/program"
+)
+
+// The predict/resolve hot path must stay allocation-free: every figure
+// sweep commits millions of branches, and a single heap allocation per
+// branch shows up as GC time across the whole experiment matrix. These
+// regression tests pin 0 allocs/op for the three hybrid shapes the
+// experiments build (prophet alone, unfiltered critic, filtered critic),
+// exercising the full speculative future-bit walk.
+
+func predictResolveAllocs(t *testing.T, h *core.Hybrid) float64 {
+	t.Helper()
+	prog := program.MustLoad("gcc")
+	run := prog.NewRun()
+	walk := core.WalkFunc(prog.Walk)
+	// Warm up so table allocations and map growth (there are none, but a
+	// regression would hide in them) happen before measuring.
+	for i := 0; i < 2000; i++ {
+		addr := run.CurrentAddr()
+		pr := h.Predict(addr, walk)
+		ev := run.Next()
+		h.Resolve(pr, ev.Taken)
+	}
+	return testing.AllocsPerRun(5000, func() {
+		addr := run.CurrentAddr()
+		pr := h.Predict(addr, walk)
+		ev := run.Next()
+		h.Resolve(pr, ev.Taken)
+	})
+}
+
+func TestPredictResolveZeroAllocProphetAlone(t *testing.T) {
+	h := core.New(budget.MustLookup(budget.Gskew, 16).Build(), nil, core.Config{})
+	if allocs := predictResolveAllocs(t, h); allocs != 0 {
+		t.Errorf("prophet-alone Predict/Resolve allocates %.1f times per branch, want 0", allocs)
+	}
+}
+
+func TestPredictResolveZeroAllocUnfiltered(t *testing.T) {
+	h := core.New(
+		budget.MustLookup(budget.Gskew, 8).Build(),
+		budget.MustLookup(budget.Perceptron, 8).Build(),
+		core.Config{FutureBits: 8, BORLen: 28})
+	if allocs := predictResolveAllocs(t, h); allocs != 0 {
+		t.Errorf("unfiltered Predict/Resolve allocates %.1f times per branch, want 0", allocs)
+	}
+}
+
+func TestPredictResolveZeroAllocFiltered(t *testing.T) {
+	h := core.New(
+		budget.MustLookup(budget.Gskew, 8).Build(),
+		budget.MustLookup(budget.TaggedGshare, 8).Build(),
+		core.Config{FutureBits: 8, Filtered: true, BORLen: 18})
+	if allocs := predictResolveAllocs(t, h); allocs != 0 {
+		t.Errorf("filtered Predict/Resolve allocates %.1f times per branch, want 0", allocs)
+	}
+}

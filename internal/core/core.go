@@ -146,8 +146,8 @@ type Hybrid struct {
 	critic  predictor.Predictor // nil for prophet-alone configurations
 	tagged  predictor.Tagged    // non-nil iff cfg.Filtered
 	cfg     Config
-	bhr     *history.Register
-	bor     *history.Register
+	bhr     history.Register
+	bor     history.Register
 	stats   Stats
 }
 
@@ -165,7 +165,7 @@ func New(prophet predictor.Predictor, critic predictor.Predictor, cfg Config) *H
 	if cfg.BHRLen == 0 {
 		cfg.BHRLen = prophet.HistoryLen()
 	}
-	h := &Hybrid{prophet: prophet, critic: critic, cfg: cfg}
+	var tagged predictor.Tagged
 	if critic != nil {
 		if cfg.BORLen == 0 {
 			cfg.BORLen = critic.HistoryLen()
@@ -178,13 +178,14 @@ func New(prophet predictor.Predictor, critic predictor.Predictor, cfg Config) *H
 			if !ok {
 				panic(fmt.Sprintf("core: filtered critic %s does not implement predictor.Tagged", critic.Name()))
 			}
-			h.tagged = tg
+			tagged = tg
 		}
-		h.cfg = cfg
+	}
+	h := &Hybrid{prophet: prophet, critic: critic, tagged: tagged, cfg: cfg}
+	h.bhr = history.New(cfg.BHRLen)
+	if critic != nil {
 		h.bor = history.New(cfg.BORLen)
 	}
-	h.cfg = cfg
-	h.bhr = history.New(cfg.BHRLen)
 	return h
 }
 
@@ -202,12 +203,14 @@ func (h *Hybrid) Predict(addr uint64, walk WalkFunc) Prediction {
 
 	// Gather the branch future: the prophet's prediction for this branch
 	// plus its predictions for the next FutureBits-1 branches down the
-	// predicted path, made with a speculatively updated BHR copy.
-	borReg := h.bor.Clone()
+	// predicted path, made with a speculatively updated BHR copy. The
+	// scratch registers are stack-allocated value copies of the
+	// architectural registers — the walk allocates nothing.
+	borReg := h.bor
 	if h.cfg.FutureBits > 0 {
 		borReg.Push(p)
 		pr.FutureUsed = 1
-		specBHR := h.bhr.Clone()
+		specBHR := h.bhr
 		specBHR.Push(p)
 		cur, dir := addr, p
 		for pr.FutureUsed < h.cfg.FutureBits {

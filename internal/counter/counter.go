@@ -101,6 +101,50 @@ func (c *Sat) Reinforce(taken bool) {
 	}
 }
 
+// ---- bare 2-bit counters ----
+//
+// The flat pattern tables of the table-based predictors (gshare, gskew,
+// tagged gshare) store the canonical 2-bit counter as a bare uint8 in
+// [0, 3] for density. These free functions are the single definition of
+// that counter's policy; they inline to the same code as open-coded
+// increments while keeping the semantics in one place.
+
+// Sat2Cold is the standard cold value, weakly not-taken.
+const Sat2Cold uint8 = 1
+
+// Sat2Taken reports the predicted direction of a bare 2-bit counter.
+func Sat2Taken(v uint8) bool { return v >= 2 }
+
+// Sat2Update moves the counter toward the observed outcome, saturating
+// at both ends.
+func Sat2Update(c *uint8, taken bool) {
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+// Sat2Reinforce strengthens the counter toward the direction only if it
+// already agrees; used by partial-update policies (2Bc-gskew strengthens
+// only the tables that were correct).
+func Sat2Reinforce(c *uint8, taken bool) {
+	if Sat2Taken(*c) == taken {
+		Sat2Update(c, taken)
+	}
+}
+
+// Sat2Weak returns the weakly-biased cold value for an entry initialised
+// "according to the branch's outcome" (Section 4 of the paper).
+func Sat2Weak(taken bool) uint8 {
+	if taken {
+		return 2
+	}
+	return Sat2Cold
+}
+
 // Weight is a signed saturating weight used by perceptron predictors.
 type Weight struct {
 	v        int16

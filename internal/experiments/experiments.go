@@ -103,17 +103,3 @@ func hybridBuilder(prophetKind budget.Kind, prophetKB int, criticKind budget.Kin
 		})
 	}
 }
-
-// meanMisp runs the builder over every benchmark and returns the mean
-// misp/Kuops.
-func meanMisp(build sim.Builder, opt Options) (float64, error) {
-	rs, err := sim.RunAll(build, opt.Functional)
-	if err != nil {
-		return 0, err
-	}
-	var sum float64
-	for _, r := range rs {
-		sum += r.MispPerKuops()
-	}
-	return sum / float64(len(rs)), nil
-}

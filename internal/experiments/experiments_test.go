@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"prophetcritic/internal/sim"
 )
 
 func TestRegistryCoversEveryPaperArtefact(t *testing.T) {
@@ -96,5 +98,44 @@ func TestHybridBuilderShapes(t *testing.T) {
 	unf := hybridBuilder("2Bc-gskew", 8, "perceptron", 8, 4, true)()
 	if unf.Config().Filtered {
 		t.Fatal("unfiltered builder must not set Filtered")
+	}
+}
+
+func TestByIDUnknownErrorListsIDs(t *testing.T) {
+	_, err := ByID("fig99")
+	if err == nil {
+		t.Fatal("unknown id must error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "fig99") {
+		t.Errorf("error should echo the unknown id: %v", err)
+	}
+	// The message enumerates the valid ids so a typo is self-diagnosing.
+	for _, id := range []string{"fig5", "table1", "headline"} {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error should list valid id %q: %v", id, err)
+		}
+	}
+}
+
+func TestByIDEmptyID(t *testing.T) {
+	if _, err := ByID(""); err == nil {
+		t.Fatal("empty id must error")
+	}
+}
+
+// The matrix runner must propagate benchmark-loading errors instead of
+// deadlocking or dropping them.
+func TestRunSimMatrixUnknownBenchmark(t *testing.T) {
+	builds := []sim.Builder{hybridBuilder("2Bc-gskew", 8, "", 0, 0, false)}
+	if _, err := runSimMatrix(builds, []string{"gcc", "nope"}, Fast.Functional); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestRunTimingMatrixUnknownBenchmark(t *testing.T) {
+	specs := []timingSpec{{"2Bc-gskew", 8, "", 0, 0}}
+	if _, err := runTimingMatrix(specs, []string{"nope"}, Fast); err == nil {
+		t.Fatal("unknown benchmark must error")
 	}
 }

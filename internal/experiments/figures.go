@@ -18,8 +18,18 @@ var fig5Benchmarks = []string{"unzip", "premiere", "msvc7", "flash", "facerec", 
 var fig5FutureBits = []uint{0, 1, 4, 8, 12}
 
 // Fig5 sweeps the number of future bits for an 8KB perceptron prophet
-// with an 8KB tagged gshare critic on the six selected benchmarks.
+// with an 8KB tagged gshare critic on the six selected benchmarks. The
+// full (future bits × benchmark) matrix runs concurrently.
 func Fig5(w io.Writer, opt Options) error {
+	builds := make([]sim.Builder, len(fig5FutureBits))
+	for i, fb := range fig5FutureBits {
+		builds[i] = hybridBuilder(budget.Perceptron, 8, budget.TaggedGshare, 8, fb, false)
+	}
+	rs, err := runSimMatrix(builds, fig5Benchmarks, opt.Functional)
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintln(w, "Figure 5. misp/Kuops vs number of future bits")
 	fmt.Fprintln(w, "(prophet: 8KB perceptron; critic: 8KB tagged gshare).")
 	fmt.Fprintf(w, "%-10s", "bench")
@@ -28,15 +38,10 @@ func Fig5(w io.Writer, opt Options) error {
 	}
 	fmt.Fprintln(w)
 	avg := make([]float64, len(fig5FutureBits))
-	for _, bench := range fig5Benchmarks {
+	for bi, bench := range fig5Benchmarks {
 		fmt.Fprintf(w, "%-10s", bench)
-		for i, fb := range fig5FutureBits {
-			rs, err := sim.RunBenchmarks([]string{bench},
-				hybridBuilder(budget.Perceptron, 8, budget.TaggedGshare, 8, fb, false), opt.Functional)
-			if err != nil {
-				return err
-			}
-			m := rs[0].MispPerKuops()
+		for i := range fig5FutureBits {
+			m := rs[i][bi].MispPerKuops()
 			avg[i] += m
 			fmt.Fprintf(w, " %10.3f", m)
 		}
@@ -52,23 +57,38 @@ func Fig5(w io.Writer, opt Options) error {
 
 // fig6 runs one Figure 6 subfigure: a prophet family against a critic
 // family over prophet sizes {4,16}KB × critic sizes {2,8,32}KB × future
-// bits {none,1,4,8,12}, mean misp/Kuops over all benchmarks.
+// bits {none,1,4,8,12}, mean misp/Kuops over all benchmarks. All 26
+// configurations × all benchmarks execute as one concurrent job matrix.
 func fig6(w io.Writer, opt Options, title string, prophetKind budget.Kind, criticKind budget.Kind, unfiltered bool) error {
+	prophetKBs := []int{4, 16}
+	criticKBs := []int{2, 8, 32}
+	futureBits := []uint{1, 4, 8, 12}
+
+	var builds []sim.Builder
+	for _, pkb := range prophetKBs {
+		builds = append(builds, hybridBuilder(prophetKind, pkb, "", 0, 0, false))
+		for _, ckb := range criticKBs {
+			for _, fb := range futureBits {
+				builds = append(builds, hybridBuilder(prophetKind, pkb, criticKind, ckb, fb, unfiltered))
+			}
+		}
+	}
+	means, err := meanMispMatrix(builds, opt)
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintln(w, title)
 	fmt.Fprintf(w, "%-26s %9s %9s %9s %9s %9s\n", "configuration", "no critic", "1 fb", "4 fb", "8 fb", "12 fb")
-	for _, pkb := range []int{4, 16} {
-		alone, err := meanMisp(hybridBuilder(prophetKind, pkb, "", 0, 0, false), opt)
-		if err != nil {
-			return err
-		}
-		for _, ckb := range []int{2, 8, 32} {
+	i := 0
+	for _, pkb := range prophetKBs {
+		alone := means[i]
+		i++
+		for _, ckb := range criticKBs {
 			fmt.Fprintf(w, "%2dKB prophet + %2dKB critic %9.3f", pkb, ckb, alone)
-			for _, fb := range []uint{1, 4, 8, 12} {
-				m, err := meanMisp(hybridBuilder(prophetKind, pkb, criticKind, ckb, fb, unfiltered), opt)
-				if err != nil {
-					return err
-				}
-				fmt.Fprintf(w, " %9.3f", m)
+			for range futureBits {
+				fmt.Fprintf(w, " %9.3f", means[i])
+				i++
 			}
 			fmt.Fprintln(w)
 		}
@@ -99,23 +119,34 @@ func Fig6c(w io.Writer, opt Options) error {
 // and at this reproduction's optimum of 1 future bit.
 func fig7(w io.Writer, opt Options, kb int) error {
 	half := kb / 2
+	prophetKinds := []budget.Kind{budget.Gshare, budget.Gskew, budget.Perceptron}
+	criticKinds := []budget.Kind{budget.FilteredPerceptron, budget.TaggedGshare}
+
+	var builds []sim.Builder
+	for _, pk := range prophetKinds {
+		builds = append(builds, hybridBuilder(pk, kb, "", 0, 0, false))
+		for _, ck := range criticKinds {
+			builds = append(builds, hybridBuilder(pk, half, ck, half, 8, false))
+			builds = append(builds, hybridBuilder(pk, half, ck, half, 1, false))
+		}
+	}
+	means, err := meanMispMatrix(builds, opt)
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintf(w, "Figure 7 (%dKB). Mean misp/Kuops; reductions relative to the %dKB conventional predictor.\n", kb, kb)
 	fmt.Fprintf(w, "%-34s %9s %11s %11s\n", "configuration", "misp/Ku", "red.@8fb", "red.@1fb")
-	for _, pk := range []budget.Kind{budget.Gshare, budget.Gskew, budget.Perceptron} {
-		base, err := meanMisp(hybridBuilder(pk, kb, "", 0, 0, false), opt)
-		if err != nil {
-			return err
-		}
+	i := 0
+	for _, pk := range prophetKinds {
+		base := means[i]
+		i++
 		fmt.Fprintf(w, "%2dKB %-29s %9.3f %11s %11s\n", kb, pk, base, "-", "-")
-		for _, ck := range []budget.Kind{budget.FilteredPerceptron, budget.TaggedGshare} {
-			m8, err := meanMisp(hybridBuilder(pk, half, ck, half, 8, false), opt)
-			if err != nil {
-				return err
-			}
-			m1, err := meanMisp(hybridBuilder(pk, half, ck, half, 1, false), opt)
-			if err != nil {
-				return err
-			}
+		for _, ck := range criticKinds {
+			m8 := means[i]
+			i++
+			m1 := means[i]
+			i++
 			fmt.Fprintf(w, "  %dKB %s + %dKB %-14s %9.3f %10.1f%% %10.1f%%\n",
 				half, pk, half, ck, m8, metrics.Reduction(base, m8), metrics.Reduction(base, m1))
 		}
@@ -127,19 +158,27 @@ func fig7(w io.Writer, opt Options, kb int) error {
 func Fig7a(w io.Writer, opt Options) error { return fig7(w, opt, 16) }
 func Fig7b(w io.Writer, opt Options) error { return fig7(w, opt, 32) }
 
+// fig8FutureBits is the sweep of Figure 8.
+var fig8FutureBits = []uint{1, 4, 8, 12}
+
 // Fig8 prints the distribution of explicit critiques as the number of
 // future bits varies (prophet: 4KB perceptron; critic: 8KB tagged
 // gshare), pooled over all benchmarks.
 func Fig8(w io.Writer, opt Options) error {
+	builds := make([]sim.Builder, len(fig8FutureBits))
+	for i, fb := range fig8FutureBits {
+		builds[i] = hybridBuilder(budget.Perceptron, 4, budget.TaggedGshare, 8, fb, false)
+	}
+	rs, err := runSimMatrix(builds, benchmarkNames(), opt.Functional)
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintln(w, "Figure 8. Distribution of critiques (prophet: 4KB perceptron; critic: 8KB tagged gshare).")
 	fmt.Fprintf(w, "%-4s %14s %16s %15s %18s %12s\n", "fb", "correct_agree", "correct_disagree", "incorrect_agree", "incorrect_disagree", "total")
-	for _, fb := range []uint{1, 4, 8, 12} {
-		rs, err := sim.RunAll(hybridBuilder(budget.Perceptron, 4, budget.TaggedGshare, 8, fb, false), opt.Functional)
-		if err != nil {
-			return err
-		}
+	for i, fb := range fig8FutureBits {
 		var c [4]uint64
-		for _, r := range rs {
+		for _, r := range rs[i] {
 			for k := 0; k < 4; k++ {
 				c[k] += r.Critiques[k]
 			}

@@ -3,8 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 
 	"prophetcritic/internal/budget"
 	"prophetcritic/internal/metrics"
@@ -12,37 +10,6 @@ import (
 	"prophetcritic/internal/program"
 	"prophetcritic/internal/sim"
 )
-
-// timingBuilder mirrors hybridBuilder for the timing simulator.
-func runTiming(prophetKind budget.Kind, prophetKB int, criticKind budget.Kind, criticKB int, fb uint, opt Options, names []string) ([]pipeline.Result, error) {
-	cfg := pipeline.DefaultConfig()
-	results := make([]pipeline.Result, len(names))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	var firstErr error
-	var mu sync.Mutex
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			p, err := program.Load(name)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			h := hybridBuilder(prophetKind, prophetKB, criticKind, criticKB, fb, false)()
-			results[i] = pipeline.Run(p, h, cfg, opt.Timing)
-		}(i, name)
-	}
-	wg.Wait()
-	return results, firstErr
-}
 
 func meanUPC(rs []pipeline.Result) float64 {
 	var sum float64
@@ -52,26 +19,37 @@ func meanUPC(rs []pipeline.Result) float64 {
 	return sum / float64(len(rs))
 }
 
+// fig9FutureBits is the future-bit sweep shared by Figures 9 and 10.
+var fig9FutureBits = []uint{1, 4, 8, 12}
+
 // Fig9 reports average uPC for 16KB conventional predictors against
 // 8KB+8KB prophet/critic hybrids using 1, 4, 8 and 12 future bits (the
 // paper plots 4/8/12; 1 is added because this reproduction's workloads
-// peak earlier — see EXPERIMENTS.md).
+// peak earlier — see EXPERIMENTS.md). All 15 timing configurations × all
+// benchmarks run as one concurrent matrix.
 func Fig9(w io.Writer, opt Options) error {
+	prophetKinds := []budget.Kind{budget.Gshare, budget.Gskew, budget.Perceptron}
+	var specs []timingSpec
+	for _, pk := range prophetKinds {
+		specs = append(specs, timingSpec{pk, 16, "", 0, 0})
+		for _, fb := range fig9FutureBits {
+			specs = append(specs, timingSpec{pk, 8, budget.TaggedGshare, 8, fb})
+		}
+	}
+	matrix, err := runTimingMatrix(specs, program.Names(), opt)
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintln(w, "Figure 9. Average uPC: 16KB prophet alone vs 8KB+8KB prophet/critic (tagged gshare critic).")
 	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %10s\n", "prophet", "16KB alone", "1 fb", "4 fb", "8 fb", "12 fb")
-	names := program.Names()
-	for _, pk := range []budget.Kind{budget.Gshare, budget.Gskew, budget.Perceptron} {
-		alone, err := runTiming(pk, 16, "", 0, 0, opt, names)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%-12s %10.3f", pk, meanUPC(alone))
-		for _, fb := range []uint{1, 4, 8, 12} {
-			hyb, err := runTiming(pk, 8, budget.TaggedGshare, 8, fb, opt, names)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, " %10.3f", meanUPC(hyb))
+	i := 0
+	for _, pk := range prophetKinds {
+		fmt.Fprintf(w, "%-12s %10.3f", pk, meanUPC(matrix[i]))
+		i++
+		for range fig9FutureBits {
+			fmt.Fprintf(w, " %10.3f", meanUPC(matrix[i]))
+			i++
 		}
 		fmt.Fprintln(w)
 	}
@@ -80,13 +58,17 @@ func Fig9(w io.Writer, opt Options) error {
 
 // Fig10 reports per-suite uPC for the 2Bc-gskew + tagged gshare hybrid.
 func Fig10(w io.Writer, opt Options) error {
-	fmt.Fprintln(w, "Figure 10. Average uPC per suite (prophet: 8KB 2Bc-gskew; critic: 8KB tagged gshare).")
-	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s %10s\n", "suite", "16KB alone", "1 fb", "4 fb", "8 fb", "12 fb")
-	names := program.Names()
-	alone, err := runTiming(budget.Gskew, 16, "", 0, 0, opt, names)
+	specs := []timingSpec{{budget.Gskew, 16, "", 0, 0}}
+	for _, fb := range fig9FutureBits {
+		specs = append(specs, timingSpec{budget.Gskew, 8, budget.TaggedGshare, 8, fb})
+	}
+	matrix, err := runTimingMatrix(specs, program.Names(), opt)
 	if err != nil {
 		return err
 	}
+
+	fmt.Fprintln(w, "Figure 10. Average uPC per suite (prophet: 8KB 2Bc-gskew; critic: 8KB tagged gshare).")
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s %10s\n", "suite", "16KB alone", "1 fb", "4 fb", "8 fb", "12 fb")
 	perSuite := map[string][]float64{} // suite -> [alone, fb1, fb4, fb8, fb12]
 	counts := map[string]int{}
 	add := func(col int, rs []pipeline.Result) {
@@ -100,13 +82,8 @@ func Fig10(w io.Writer, opt Options) error {
 			}
 		}
 	}
-	add(0, alone)
-	for i, fb := range []uint{1, 4, 8, 12} {
-		hyb, err := runTiming(budget.Gskew, 8, budget.TaggedGshare, 8, fb, opt, names)
-		if err != nil {
-			return err
-		}
-		add(i+1, hyb)
+	for col, rs := range matrix {
+		add(col, rs)
 	}
 	for _, s := range program.SuiteOrder {
 		if counts[s] == 0 {
@@ -124,21 +101,26 @@ func Fig10(w io.Writer, opt Options) error {
 // Headline reproduces the abstract's comparison: an 8KB+8KB 2Bc-gskew +
 // tagged gshare prophet/critic hybrid against a 16KB 2Bc-gskew, reporting
 // the mispredict reduction, the distance between pipeline flushes, gcc's
-// mispredict rate, uPC, and uops fetched along both paths.
+// mispredict rate, uPC, and uops fetched along both paths. The functional
+// matrix (baseline + three future-bit candidates) runs concurrently, then
+// the timing matrix for the winning configuration.
 func Headline(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Headline (abstract): 8KB+8KB 2Bc-gskew + tagged gshare vs 16KB 2Bc-gskew.")
 
-	baseRs, err := sim.RunAll(hybridBuilder(budget.Gskew, 16, "", 0, 0, false), opt.Functional)
+	headlineFBs := []uint{1, 4, 8}
+	builds := []sim.Builder{hybridBuilder(budget.Gskew, 16, "", 0, 0, false)}
+	for _, fb := range headlineFBs {
+		builds = append(builds, hybridBuilder(budget.Gskew, 8, budget.TaggedGshare, 8, fb, false))
+	}
+	matrix, err := runSimMatrix(builds, benchmarkNames(), opt.Functional)
 	if err != nil {
 		return err
 	}
+	baseRs := matrix[0]
 	bestFB, bestRs := uint(0), baseRs
 	bestMisp := 1e18
-	for _, fb := range []uint{1, 4, 8} {
-		rs, err := sim.RunAll(hybridBuilder(budget.Gskew, 8, budget.TaggedGshare, 8, fb, false), opt.Functional)
-		if err != nil {
-			return err
-		}
+	for i, fb := range headlineFBs {
+		rs := matrix[i+1]
 		if m := metrics.PooledMispPerKuops(rs); m < bestMisp {
 			bestMisp, bestFB, bestRs = m, fb, rs
 		}
@@ -161,15 +143,14 @@ func Headline(w io.Writer, opt Options) error {
 	fmt.Fprintf(w, "  gcc mispredicted:       %.2f%% -> %.2f%% of branches\n",
 		gccBase.MispRate()*100, gccHyb.MispRate()*100)
 
-	names := program.Names()
-	baseT, err := runTiming(budget.Gskew, 16, "", 0, 0, opt, names)
+	timing, err := runTimingMatrix([]timingSpec{
+		{budget.Gskew, 16, "", 0, 0},
+		{budget.Gskew, 8, budget.TaggedGshare, 8, bestFB},
+	}, program.Names(), opt)
 	if err != nil {
 		return err
 	}
-	hybT, err := runTiming(budget.Gskew, 8, budget.TaggedGshare, 8, bestFB, opt, names)
-	if err != nil {
-		return err
-	}
+	baseT, hybT := timing[0], timing[1]
 	var baseFetched, hybFetched uint64
 	var gccBaseU, gccHybU float64
 	for i := range baseT {

@@ -1,0 +1,118 @@
+package experiments
+
+// The unified experiment runner: every figure and table assembles its
+// full (configuration × benchmark) job matrix up front and hands it to
+// the shared worker pool, so the whole matrix — not just one
+// configuration's benchmarks at a time — runs concurrently. Formatting
+// happens strictly after the matrix completes, iterating the result
+// slices in declaration order, which keeps the emitted tables
+// byte-identical to the sequential implementation regardless of how the
+// jobs were scheduled.
+
+import (
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/pipeline"
+	"prophetcritic/internal/pool"
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
+)
+
+// benchmarkNames returns the full workload inventory in definition
+// order, the row order every pooled reduction iterates in.
+func benchmarkNames() []string { return program.Names() }
+
+// loadPrograms resolves benchmark names through the memoized loader.
+func loadPrograms(names []string) ([]*program.Program, error) {
+	progs := make([]*program.Program, len(names))
+	for i, n := range names {
+		p, err := program.Load(n)
+		if err != nil {
+			return nil, err
+		}
+		progs[i] = p
+	}
+	return progs, nil
+}
+
+// runSimMatrix runs every (builder × benchmark) pair of a figure's
+// functional-simulation matrix concurrently. results[ci][bi] is builder
+// ci on benchmark bi, in input order.
+func runSimMatrix(builds []sim.Builder, names []string, opt sim.Options) ([][]sim.Result, error) {
+	progs, err := loadPrograms(names)
+	if err != nil {
+		return nil, err
+	}
+	results := make([][]sim.Result, len(builds))
+	for ci := range results {
+		results[ci] = make([]sim.Result, len(names))
+	}
+	err = pool.Run(len(builds)*len(names), func(k int) error {
+		ci, bi := k/len(names), k%len(names)
+		results[ci][bi] = sim.Run(progs[bi], builds[ci](), opt)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// meanMispRow reduces one builder's results to the mean misp/Kuops,
+// summing in benchmark order exactly as the sequential meanMisp did.
+func meanMispRow(rs []sim.Result) float64 {
+	var sum float64
+	for _, r := range rs {
+		sum += r.MispPerKuops()
+	}
+	return sum / float64(len(rs))
+}
+
+// meanMispMatrix runs every builder over every benchmark concurrently
+// and returns the per-builder mean misp/Kuops in builder order.
+func meanMispMatrix(builds []sim.Builder, opt Options) ([]float64, error) {
+	rs, err := runSimMatrix(builds, program.Names(), opt.Functional)
+	if err != nil {
+		return nil, err
+	}
+	means := make([]float64, len(rs))
+	for i, row := range rs {
+		means[i] = meanMispRow(row)
+	}
+	return means, nil
+}
+
+// timingSpec names one timing-simulator configuration: prophet
+// (kind, KB) + critic (kind, KB) at fb future bits; criticKB = 0 is the
+// prophet alone.
+type timingSpec struct {
+	prophetKind budget.Kind
+	prophetKB   int
+	criticKind  budget.Kind
+	criticKB    int
+	fb          uint
+}
+
+// runTimingMatrix runs every (timing configuration × benchmark) pair
+// concurrently. results[ci][bi] follows input order.
+func runTimingMatrix(specs []timingSpec, names []string, opt Options) ([][]pipeline.Result, error) {
+	progs, err := loadPrograms(names)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.DefaultConfig()
+	results := make([][]pipeline.Result, len(specs))
+	for ci := range results {
+		results[ci] = make([]pipeline.Result, len(names))
+	}
+	err = pool.Run(len(specs)*len(names), func(k int) error {
+		ci, bi := k/len(names), k%len(names)
+		s := specs[ci]
+		h := hybridBuilder(s.prophetKind, s.prophetKB, s.criticKind, s.criticKB, s.fb, false)()
+		results[ci][bi] = pipeline.Run(progs[bi], h, cfg, opt.Timing)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

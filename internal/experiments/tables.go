@@ -91,24 +91,37 @@ func Table3(w io.Writer, opt Options) error {
 
 // Table4 measures the percentage of prophet predictions filtered by the
 // critic (no explicit critique), for critic sizes 2/8/32KB and 1/4/12
-// future bits, with a 4KB perceptron prophet — the paper's Table 4.
+// future bits, with a 4KB perceptron prophet — the paper's Table 4. All
+// nine configurations run over all benchmarks as one concurrent matrix.
 func Table4(w io.Writer, opt Options) error {
+	criticKBs := []int{2, 8, 32}
+	futureBits := []uint{1, 4, 12}
+	var builds []sim.Builder
+	for _, kb := range criticKBs {
+		for _, fb := range futureBits {
+			builds = append(builds, hybridBuilder(budget.Perceptron, 4, budget.TaggedGshare, kb, fb, false))
+		}
+	}
+	matrix, err := runSimMatrix(builds, benchmarkNames(), opt.Functional)
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintln(w, "Table 4. Percentage of prophet predictions filtered by the critic")
 	fmt.Fprintln(w, "(prophet: 4KB perceptron; critic: tagged gshare; averaged over all benchmarks).")
 	fmt.Fprintf(w, "%-18s", "")
-	for _, kb := range []int{2, 8, 32} {
+	for _, kb := range criticKBs {
 		fmt.Fprintf(w, "     %dKB critic (1/4/12 fb)", kb)
 	}
 	fmt.Fprintln(w)
 	type cell struct{ correct, incorrect, total float64 }
 	cells := map[int]map[uint]cell{}
-	for _, kb := range []int{2, 8, 32} {
+	row := 0
+	for _, kb := range criticKBs {
 		cells[kb] = map[uint]cell{}
-		for _, fb := range []uint{1, 4, 12} {
-			rs, err := sim.RunAll(hybridBuilder(budget.Perceptron, 4, budget.TaggedGshare, kb, fb, false), opt.Functional)
-			if err != nil {
-				return err
-			}
+		for _, fb := range futureBits {
+			rs := matrix[row]
+			row++
 			var c, i float64
 			var branches uint64
 			var cn, in uint64

@@ -29,11 +29,14 @@ const (
 )
 
 // Gshare is a single pattern table of 2-bit counters indexed by a
-// combination of branch address and global history.
+// combination of branch address and global history. The counters are a
+// flat byte array (values 0..3, taken when >= 2) and the history mask is
+// precomputed, keeping the lookup to one hash and one byte load.
 type Gshare struct {
-	table     []counter.Sat
+	table     []uint8
 	indexBits uint
 	histLen   uint
+	histMask  uint64
 	flavor    Flavor
 }
 
@@ -55,19 +58,20 @@ func newG(indexBits, histLen uint, f Flavor) *Gshare {
 		panic(fmt.Sprintf("gshare: indexBits %d out of range [1,30]", indexBits))
 	}
 	g := &Gshare{
-		table:     make([]counter.Sat, 1<<indexBits),
+		table:     make([]uint8, 1<<indexBits),
 		indexBits: indexBits,
 		histLen:   histLen,
+		histMask:  bitutil.Mask(histLen),
 		flavor:    f,
 	}
 	for i := range g.table {
-		g.table[i] = counter.NewSat2()
+		g.table[i] = counter.Sat2Cold
 	}
 	return g
 }
 
 func (g *Gshare) index(addr, hist uint64) uint64 {
-	h := hist & bitutil.Mask(g.histLen)
+	h := hist & g.histMask
 	switch g.flavor {
 	case Concat:
 		hb := g.histLen
@@ -83,12 +87,12 @@ func (g *Gshare) index(addr, hist uint64) uint64 {
 
 // Predict implements predictor.Predictor.
 func (g *Gshare) Predict(addr, hist uint64) bool {
-	return g.table[g.index(addr, hist)].Taken()
+	return counter.Sat2Taken(g.table[g.index(addr, hist)])
 }
 
 // Update implements predictor.Predictor.
 func (g *Gshare) Update(addr, hist uint64, taken bool) {
-	g.table[g.index(addr, hist)].Update(taken)
+	counter.Sat2Update(&g.table[g.index(addr, hist)], taken)
 }
 
 // HistoryLen implements predictor.Predictor.
@@ -108,5 +112,5 @@ func (g *Gshare) Name() string {
 
 // Counter exposes the counter at (addr, hist) for white-box tests.
 func (g *Gshare) Counter(addr, hist uint64) counter.Sat {
-	return g.table[g.index(addr, hist)]
+	return counter.NewSat(2, g.table[g.index(addr, hist)])
 }

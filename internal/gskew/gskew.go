@@ -30,11 +30,28 @@ import (
 )
 
 // Gskew is a 2Bc-gskew predictor with four 2^indexBits-entry tables.
+//
+// Each table is a flat byte array of 2-bit saturating counters (values
+// 0..3, taken when >= 2, cold value weakly not-taken = 1). The hot path
+// computes every table index exactly once per operation and uses masks
+// precomputed at construction.
 type Gskew struct {
-	bim, g0, g1, meta []counter.Sat
+	bim, g0, g1, meta []uint8
 	indexBits         uint
 	histLen           uint
+	histMask          uint64
+	idxMask           uint64
+	// g1Hist memoizes idxG1's history transform Fold(rotl(h,3)*K,
+	// indexBits) for every possible history value. The prophet's walk
+	// calls Predict once per future bit, so this fold is the single
+	// hottest hash in the simulator; the table turns it into one load.
+	// nil when histLen is too long to tabulate (> maxHistTableBits).
+	g1Hist []uint32
 }
+
+// maxHistTableBits bounds the g1Hist table to 2^16 entries (256KB); every
+// Table 3 gskew configuration has histLen <= 15.
+const maxHistTableBits = 16
 
 // New returns a 2Bc-gskew with 2^indexBits entries per table and histLen
 // bits of global history.
@@ -42,14 +59,28 @@ func New(indexBits, histLen uint) *Gskew {
 	if indexBits < 1 || indexBits > 28 {
 		panic(fmt.Sprintf("gskew: indexBits %d out of range [1,28]", indexBits))
 	}
-	mk := func() []counter.Sat {
-		t := make([]counter.Sat, 1<<indexBits)
+	mk := func() []uint8 {
+		t := make([]uint8, 1<<indexBits)
 		for i := range t {
-			t[i] = counter.NewSat2()
+			t[i] = counter.Sat2Cold
 		}
 		return t
 	}
-	return &Gskew{bim: mk(), g0: mk(), g1: mk(), meta: mk(), indexBits: indexBits, histLen: histLen}
+	g := &Gskew{
+		bim: mk(), g0: mk(), g1: mk(), meta: mk(),
+		indexBits: indexBits,
+		histLen:   histLen,
+		histMask:  bitutil.Mask(histLen),
+		idxMask:   bitutil.Mask(indexBits),
+	}
+	if histLen <= maxHistTableBits {
+		tab := make([]uint32, 1<<histLen)
+		for h := range tab {
+			tab[h] = uint32(bitutil.Fold(bits.RotateLeft64(uint64(h), 3)*0x9e3779b97f4a7c15, indexBits))
+		}
+		g.g1Hist = tab
+	}
+	return g
 }
 
 // The three indexing functions. BIM ignores history. G0 and G1 use
@@ -60,29 +91,41 @@ func (g *Gskew) idxBim(addr uint64) uint64 {
 }
 
 func (g *Gskew) idxG0(addr, hist uint64) uint64 {
-	h := hist & bitutil.Mask(g.histLen)
+	h := hist & g.histMask
+	if g.histLen <= g.indexBits {
+		// Fold of a value already narrower than the index is the value
+		// itself — true for every Table 3 gskew configuration.
+		return (bitutil.Fold(addr>>2, g.indexBits) ^ h) & g.idxMask
+	}
 	return bitutil.IndexHash(addr, h, g.indexBits)
 }
 
 func (g *Gskew) idxG1(addr, hist uint64) uint64 {
-	h := hist & bitutil.Mask(g.histLen)
+	h := hist & g.histMask
 	a := bits.RotateLeft64(addr>>2, 5)
-	return (bitutil.Fold(a, g.indexBits) ^ bitutil.Fold(bits.RotateLeft64(h, 3)*0x9e3779b97f4a7c15, g.indexBits)) & bitutil.Mask(g.indexBits)
+	var hf uint64
+	if g.g1Hist != nil {
+		hf = uint64(g.g1Hist[h])
+	} else {
+		hf = bitutil.Fold(bits.RotateLeft64(h, 3)*0x9e3779b97f4a7c15, g.indexBits)
+	}
+	return (bitutil.Fold(a, g.indexBits) ^ hf) & g.idxMask
 }
 
 func (g *Gskew) idxMeta(addr, hist uint64) uint64 {
-	h := hist & bitutil.Mask(g.histLen)
+	h := hist & g.histMask
 	a := bits.RotateLeft64(addr>>2, 11)
-	return (bitutil.Fold(a, g.indexBits) ^ bitutil.Fold(h>>1, g.indexBits)) & bitutil.Mask(g.indexBits)
+	hf := h >> 1
+	if g.histLen > g.indexBits+1 {
+		hf = bitutil.Fold(hf, g.indexBits)
+	}
+	return (bitutil.Fold(a, g.indexBits) ^ hf) & g.idxMask
 }
 
-// components returns the three direction predictions and the meta choice.
-func (g *Gskew) components(addr, hist uint64) (bim, p0, p1, useMajority bool) {
-	bim = g.bim[g.idxBim(addr)].Taken()
-	p0 = g.g0[g.idxG0(addr, hist)].Taken()
-	p1 = g.g1[g.idxG1(addr, hist)].Taken()
-	useMajority = g.meta[g.idxMeta(addr, hist)].Taken()
-	return
+// indices computes all four table indices in one pass; Predict and Update
+// each hash the (addr, hist) pair exactly once.
+func (g *Gskew) indices(addr, hist uint64) (iB, i0, i1, iM uint64) {
+	return g.idxBim(addr), g.idxG0(addr, hist), g.idxG1(addr, hist), g.idxMeta(addr, hist)
 }
 
 func majority(a, b, c bool) bool {
@@ -99,19 +142,32 @@ func majority(a, b, c bool) bool {
 	return n >= 2
 }
 
-// Predict implements predictor.Predictor.
+// components returns the three direction predictions and the meta choice.
+func (g *Gskew) components(addr, hist uint64) (bim, p0, p1, useMajority bool) {
+	iB, i0, i1, iM := g.indices(addr, hist)
+	return counter.Sat2Taken(g.bim[iB]), counter.Sat2Taken(g.g0[i0]), counter.Sat2Taken(g.g1[i1]), counter.Sat2Taken(g.meta[iM])
+}
+
+// Predict implements predictor.Predictor. The skewed tables are read
+// lazily: when META selects the bimodal component, the G0/G1 hashes —
+// the most expensive ones — are never computed. Predict is the dominant
+// call of the prophet's future-bit walk, so this pays once per future bit.
 func (g *Gskew) Predict(addr, hist uint64) bool {
-	bim, p0, p1, useMaj := g.components(addr, hist)
-	if useMaj {
-		return majority(bim, p0, p1)
+	bim := counter.Sat2Taken(g.bim[g.idxBim(addr)])
+	if !counter.Sat2Taken(g.meta[g.idxMeta(addr, hist)]) {
+		return bim
 	}
-	return bim
+	return majority(bim, counter.Sat2Taken(g.g0[g.idxG0(addr, hist)]), counter.Sat2Taken(g.g1[g.idxG1(addr, hist)]))
 }
 
 // Update implements predictor.Predictor, applying the partial update
 // policy described in the package comment.
 func (g *Gskew) Update(addr, hist uint64, taken bool) {
-	bim, p0, p1, useMaj := g.components(addr, hist)
+	iB, i0, i1, iM := g.indices(addr, hist)
+	bim := counter.Sat2Taken(g.bim[iB])
+	p0 := counter.Sat2Taken(g.g0[i0])
+	p1 := counter.Sat2Taken(g.g1[i1])
+	useMaj := counter.Sat2Taken(g.meta[iM])
 	maj := majority(bim, p0, p1)
 	pred := bim
 	if useMaj {
@@ -120,25 +176,24 @@ func (g *Gskew) Update(addr, hist uint64, taken bool) {
 
 	// Train META toward whichever choice was right when they differ.
 	if bim != maj {
-		g.meta[g.idxMeta(addr, hist)].Update(maj == taken)
+		counter.Sat2Update(&g.meta[iM], maj == taken)
 	}
 
-	iB, i0, i1 := g.idxBim(addr), g.idxG0(addr, hist), g.idxG1(addr, hist)
 	if pred == taken {
 		// Correct: strengthen only participating, agreeing tables.
 		if useMaj {
-			g.bim[iB].Reinforce(taken)
-			g.g0[i0].Reinforce(taken)
-			g.g1[i1].Reinforce(taken)
+			counter.Sat2Reinforce(&g.bim[iB], taken)
+			counter.Sat2Reinforce(&g.g0[i0], taken)
+			counter.Sat2Reinforce(&g.g1[i1], taken)
 		} else {
-			g.bim[iB].Update(taken)
+			counter.Sat2Update(&g.bim[iB], taken)
 		}
 		return
 	}
 	// Mispredict: retrain all direction tables toward the outcome.
-	g.bim[iB].Update(taken)
-	g.g0[i0].Update(taken)
-	g.g1[i1].Update(taken)
+	counter.Sat2Update(&g.bim[iB], taken)
+	counter.Sat2Update(&g.g0[i0], taken)
+	counter.Sat2Update(&g.g1[i1], taken)
 }
 
 // HistoryLen implements predictor.Predictor.

@@ -16,6 +16,11 @@
 // the prophet's predictions for the branch being predicted and those after
 // it (future). The register itself does not distinguish them; the
 // prophet/critic core tracks how many of the newest bits are future bits.
+//
+// Register is a small value type: copying one (plain assignment, or
+// Snapshot) yields an independent register, which is how the simulator's
+// speculative future-bit walks obtain stack-allocated scratch registers
+// without heap allocation.
 package history
 
 import (
@@ -31,25 +36,34 @@ const MaxLen = 64
 // Register is a fixed-length branch outcome shift register. The newest
 // outcome occupies bit 0; older outcomes occupy higher bit positions. The
 // zero value is an empty register of length 0; use New.
+//
+// Register is a value type: assignment copies the state, and the copy is
+// fully independent of the original. Mutating methods (Push, Restore,
+// Reset) take a pointer receiver; everything else works on a value.
 type Register struct {
-	v   uint64
-	len uint
+	v    uint64
+	len  uint
+	mask uint64 // precomputed bitutil.Mask(len); keeps Push branch-free
 }
 
 // New returns a register holding n outcome bits, all initially zero
 // (not-taken). n is clamped to [0, MaxLen].
-func New(n uint) *Register {
+func New(n uint) Register {
 	if n > MaxLen {
 		n = MaxLen
 	}
-	return &Register{len: n}
+	return Register{len: n, mask: bitutil.Mask(n)}
 }
 
 // Len returns the register length in bits.
-func (r *Register) Len() uint { return r.len }
+func (r Register) Len() uint { return r.len }
 
 // Value returns the register contents. Only the low Len bits can be set.
-func (r *Register) Value() uint64 { return r.v }
+func (r Register) Value() uint64 { return r.v }
+
+// Mask returns the length mask (low Len bits set), precomputed at
+// construction so hot paths can shift-and-mask without recomputing it.
+func (r Register) Mask() uint64 { return r.mask }
 
 // Push shifts in a new outcome (true = taken) as the newest bit, discarding
 // the oldest.
@@ -58,7 +72,7 @@ func (r *Register) Push(taken bool) {
 	if taken {
 		b = 1
 	}
-	r.v = ((r.v << 1) | b) & bitutil.Mask(r.len)
+	r.v = ((r.v << 1) | b) & r.mask
 }
 
 // PushBits shifts in n outcome bits from v, oldest first: bit n-1 of v is
@@ -71,7 +85,7 @@ func (r *Register) PushBits(v uint64, n uint) {
 }
 
 // Bit returns outcome i, where 0 is the newest bit. It panics if i >= Len.
-func (r *Register) Bit(i uint) bool {
+func (r Register) Bit(i uint) bool {
 	if i >= r.len {
 		panic(fmt.Sprintf("history: Bit(%d) out of range for %d-bit register", i, r.len))
 	}
@@ -80,13 +94,18 @@ func (r *Register) Bit(i uint) bool {
 
 // Window returns n bits starting at offset from the newest end: offset 0,
 // n=k yields the k newest bits. Bits beyond the register length read as 0.
-func (r *Register) Window(offset, n uint) uint64 {
+func (r Register) Window(offset, n uint) uint64 {
 	return (r.v >> offset) & bitutil.Mask(n)
 }
 
+// Snapshot returns an independent copy of the register. Because Register
+// is a value type this is a plain copy — the speculative future-bit walks
+// of the functional simulator keep snapshots on the stack.
+func (r Register) Snapshot() Register { return r }
+
 // Checkpoint captures the register state. Restoring a checkpoint is O(1);
 // this is the repair mechanism of Section 3.3.
-func (r *Register) Checkpoint() Checkpoint {
+func (r Register) Checkpoint() Checkpoint {
 	return Checkpoint{v: r.v, len: r.len}
 }
 
@@ -99,19 +118,17 @@ func (r *Register) Restore(c Checkpoint) {
 	r.v = c.v
 }
 
-// Clone returns an independent copy of the register, used for the
-// speculative future-bit walks of the functional simulator.
-func (r *Register) Clone() *Register {
-	c := *r
-	return &c
-}
+// Clone returns an independent copy of the register. With the value-type
+// API it is equivalent to Snapshot (plain assignment); it survives as a
+// shim for the older pointer-style call sites.
+func (r Register) Clone() Register { return r }
 
 // Reset clears the register to all not-taken.
 func (r *Register) Reset() { r.v = 0 }
 
 // String renders the register as a bit string, newest bit rightmost, e.g.
 // "TTNT" for a 4-bit register. Empty registers render as "".
-func (r *Register) String() string {
+func (r Register) String() string {
 	if r.len == 0 {
 		return ""
 	}

@@ -8,26 +8,83 @@
 // counters" (Section 6) — which is also why the paper favours it as a
 // critic: as future bits displace history bits in a fixed-length BOR, a
 // perceptron can simply use a longer BOR and keep both.
+//
+// The dot product is the hottest loop in the whole simulator (a perceptron
+// prophet recomputes it once per future bit of every branch), so the
+// weights are stored packed, four per 64-bit word in biased 16-bit lanes,
+// and the dot product is evaluated SWAR-style: four multiply-free signed
+// terms per word with no data-dependent branches. The packed evaluation is
+// bit-for-bit equivalent to the textbook loop (see TestPackedOutputMatchesReference).
 package perceptron
 
 import (
 	"fmt"
 
 	"prophetcritic/internal/bitutil"
-	"prophetcritic/internal/counter"
 )
 
 // WeightBits is the weight width used by all configurations, following
 // Jiménez & Lin's hardware evaluation.
 const WeightBits = 8
 
+// maxWeight is the symmetric saturation bound ±(2^(WeightBits-1)-1); the
+// symmetric range keeps negation always representable.
+const maxWeight = int32(1<<(WeightBits-1) - 1)
+
+// Packed-lane constants: each 64-bit word holds four 16-bit lanes, lane j
+// storing weight value w+laneBias. With |w| <= 127 every lane stays in
+// [laneBias-127, laneBias+127], so lane arithmetic never carries across
+// lane boundaries, and 2*laneBias - v (the negated lane) also fits.
+const (
+	laneBias  = 1 << 13
+	lanesPerW = 4
+	laneLow4  = uint64(0x0001000100010001)
+	laneSel4  = uint64(0x3FFF3FFF3FFF3FFF)
+)
+
+// negMaskLUT maps a 4-bit history nibble to the lane mask selecting the
+// lanes whose history bit is CLEAR (those contribute -w).
+var negMaskLUT [16]uint64
+
+func init() {
+	for nib := 0; nib < 16; nib++ {
+		var m uint64
+		for l := 0; l < lanesPerW; l++ {
+			if nib>>l&1 == 0 {
+				m |= 0xFFFF << (16 * l)
+			}
+		}
+		negMaskLUT[nib] = m
+	}
+}
+
+// rowCacheBits sizes the per-predictor direct-mapped memo of the
+// address -> perceptron-row mapping; the mapping needs a 64-bit modulo by
+// a non-power-of-two pool size, which is worth caching for the few
+// thousand distinct branch addresses of a workload.
+const rowCacheBits = 10
+
 // Perceptron is a pool of perceptrons selected by branch address.
 type Perceptron struct {
-	// weights is n rows of histLen+1 weights; row i, column 0 is the bias
-	// weight and column j+1 corresponds to history bit j (newest first).
-	weights [][]counter.Weight
-	histLen uint
-	theta   int32
+	bias     []int8   // one bias weight per perceptron
+	packed   []uint64 // pool * rowWords words of biased weight lanes
+	rowWords int      // ceil(histLen / 4)
+	pool     int
+	histLen  uint
+	theta    int32
+
+	// Direct-mapped memo of addr -> row index (see rowCacheBits).
+	rowKey []uint64 // (addr>>2)+1; 0 = empty
+	rowIdx []int32
+
+	// One-entry dot-product memo. The prophet/critic core predicts a
+	// branch and then trains it at commit with the *same* (addr, hist)
+	// pair; the memo lets Update reuse the output Predict just computed
+	// instead of recomputing the dot product. It is invalidated whenever
+	// any weight changes and never alters observable predictions.
+	mAddr, mHist uint64
+	mOut         int32
+	mOK          bool
 }
 
 // New returns a pool of n perceptrons over histLen history bits. The
@@ -39,38 +96,110 @@ func New(n int, histLen uint) *Perceptron {
 	if histLen > 64 {
 		panic(fmt.Sprintf("perceptron: history length %d exceeds 64", histLen))
 	}
+	rowWords := (int(histLen) + lanesPerW - 1) / lanesPerW
 	p := &Perceptron{
-		weights: make([][]counter.Weight, n),
-		histLen: histLen,
-		theta:   int32(1.93*float64(histLen) + 14),
+		bias:     make([]int8, n),
+		packed:   make([]uint64, n*rowWords),
+		rowWords: rowWords,
+		pool:     n,
+		histLen:  histLen,
+		theta:    int32(1.93*float64(histLen) + 14),
+		rowKey:   make([]uint64, 1<<rowCacheBits),
+		rowIdx:   make([]int32, 1<<rowCacheBits),
 	}
-	for i := range p.weights {
-		row := make([]counter.Weight, histLen+1)
-		for j := range row {
-			row[j] = counter.NewWeight(WeightBits)
-		}
-		p.weights[i] = row
+	// All weights start at zero, which is lane value laneBias.
+	zero := uint64(laneBias) * laneLow4
+	for i := range p.packed {
+		p.packed[i] = zero
 	}
 	return p
 }
 
-func (p *Perceptron) row(addr uint64) []counter.Weight {
-	return p.weights[(bitutil.Spread(addr>>2))%uint64(len(p.weights))]
+// rowIndex maps a branch address to its perceptron, memoising the modulo
+// through the direct-mapped cache.
+func (p *Perceptron) rowIndex(addr uint64) int {
+	a := addr >> 2
+	slot := a & (1<<rowCacheBits - 1)
+	if p.rowKey[slot] == a+1 {
+		return int(p.rowIdx[slot])
+	}
+	idx := int(bitutil.Spread(a) % uint64(p.pool))
+	p.rowKey[slot] = a + 1
+	p.rowIdx[slot] = int32(idx)
+	return idx
 }
 
-// output computes the perceptron dot product: bias + sum of weights signed
-// by the corresponding history bits (taken=+1, not-taken=-1).
-func (p *Perceptron) output(addr, hist uint64) int32 {
-	row := p.row(addr)
-	out := int32(row[0].Value())
-	for j := uint(0); j < p.histLen; j++ {
-		w := int32(row[j+1].Value())
-		if hist>>j&1 == 1 {
-			out += w
-		} else {
-			out -= w
+func (p *Perceptron) rowWordsOf(idx int) []uint64 {
+	start := idx * p.rowWords
+	return p.packed[start : start+p.rowWords]
+}
+
+// outputPacked computes the perceptron dot product bias + sum over j of
+// (hist bit j ? +w[j] : -w[j]) from the packed row. Each word contributes
+// four lanes: a lane keeps its biased value v = w+laneBias when its
+// history bit is set, and is replaced by 2*laneBias - v (= -w+laneBias)
+// when clear, via the lane-local identity 2K - v = (v XOR (2K-1)) + 1.
+// Summing the lanes and subtracting lanes*laneBias recovers the exact
+// signed sum; weights beyond histLen are zero, so their lanes contribute
+// laneBias regardless of the (ignored) history bits above histLen.
+func outputPacked(words []uint64, bias int8, hist uint64) int32 {
+	sum := int32(0)
+	var acc uint64
+	pending := 0
+	for k := 0; k < len(words); k++ {
+		m := negMaskLUT[hist&15]
+		hist >>= 4
+		v := words[k]
+		acc += (v ^ (m & laneSel4)) + (m & laneLow4)
+		pending++
+		// Each lane holds < 2^14, so three accumulations fit in 16 bits.
+		if pending == 3 {
+			sum += spillLanes(acc)
+			acc, pending = 0, 0
 		}
 	}
+	if pending > 0 {
+		sum += spillLanes(acc)
+	}
+	return int32(bias) + sum - int32(len(words)*lanesPerW*laneBias)
+}
+
+// spillLanes sums the four 16-bit lanes of acc.
+func spillLanes(acc uint64) int32 {
+	return int32(acc&0xFFFF) + int32(acc>>16&0xFFFF) + int32(acc>>32&0xFFFF) + int32(acc>>48)
+}
+
+// laneGet extracts weight j from a packed row.
+func laneGet(words []uint64, j int) int32 {
+	sh := uint(j&(lanesPerW-1)) * 16
+	return int32(uint16(words[j/lanesPerW]>>sh)) - laneBias
+}
+
+// laneSet stores weight w into slot j of a packed row.
+func laneSet(words []uint64, j int, w int32) {
+	sh := uint(j&(lanesPerW-1)) * 16
+	k := j / lanesPerW
+	words[k] = words[k]&^(uint64(0xFFFF)<<sh) | uint64(uint16(w+laneBias))<<sh
+}
+
+// clampWeight saturates at ±maxWeight.
+func clampWeight(v int32) int32 {
+	if v > maxWeight {
+		return maxWeight
+	}
+	if v < -maxWeight {
+		return -maxWeight
+	}
+	return v
+}
+
+func (p *Perceptron) output(addr, hist uint64) int32 {
+	if p.mOK && p.mAddr == addr && p.mHist == hist {
+		return p.mOut
+	}
+	idx := p.rowIndex(addr)
+	out := outputPacked(p.rowWordsOf(idx), p.bias[idx], hist)
+	p.mAddr, p.mHist, p.mOut, p.mOK = addr, hist, out, true
 	return out
 }
 
@@ -84,6 +213,25 @@ func (p *Perceptron) Predict(addr, hist uint64) bool {
 // white-box tests and by overriding/confidence experiments.
 func (p *Perceptron) Output(addr, hist uint64) int32 { return p.output(addr, hist) }
 
+// train applies one perceptron learning step toward the outcome:
+// strengthen agreement between each history bit and the outcome. The step
+// direction is computed arithmetically — training directions are
+// data-dependent and would mispredict as branches.
+func (p *Perceptron) train(idx int, hist uint64, taken bool) {
+	p.mOK = false
+	d := int32(-1)
+	if taken {
+		d = 1
+	}
+	p.bias[idx] = int8(clampWeight(int32(p.bias[idx]) + d))
+	words := p.rowWordsOf(idx)
+	for j := 0; j < int(p.histLen); j++ {
+		// +1 when the history bit agrees with the outcome, else -1.
+		dj := (int32(hist>>uint(j)&1)*2 - 1) * d
+		laneSet(words, j, clampWeight(laneGet(words, j)+dj))
+	}
+}
+
 // Update implements predictor.Predictor using the standard perceptron
 // learning rule: train on a mispredict or when |output| <= theta.
 func (p *Perceptron) Update(addr, hist uint64, taken bool) {
@@ -96,42 +244,33 @@ func (p *Perceptron) Update(addr, hist uint64, taken bool) {
 	if pred == taken && mag > p.theta {
 		return
 	}
-	row := p.row(addr)
-	row[0].Bump(taken)
-	for j := uint(0); j < p.histLen; j++ {
-		bit := hist>>j&1 == 1
-		// Strengthen agreement between history bit and outcome.
-		row[j+1].Bump(bit == taken)
-	}
+	p.train(p.rowIndex(addr), hist, taken)
 }
 
 // Train forces a training step toward the outcome regardless of threshold;
 // used when a filtered-critic entry is allocated and its "prediction
 // structures are initialized according to the branch's outcome" (§4).
 func (p *Perceptron) Train(addr, hist uint64, taken bool) {
-	row := p.row(addr)
-	row[0].Bump(taken)
-	for j := uint(0); j < p.histLen; j++ {
-		bit := hist>>j&1 == 1
-		row[j+1].Bump(bit == taken)
-	}
+	p.train(p.rowIndex(addr), hist, taken)
 }
 
 // HistoryLen implements predictor.Predictor.
 func (p *Perceptron) HistoryLen() uint { return p.histLen }
 
-// SizeBits implements predictor.Predictor.
+// SizeBits implements predictor.Predictor: the hardware budget is
+// histLen+1 weights of WeightBits per perceptron, regardless of the
+// packed in-memory layout.
 func (p *Perceptron) SizeBits() int {
-	return len(p.weights) * int(p.histLen+1) * WeightBits
+	return p.pool * int(p.histLen+1) * WeightBits
 }
 
 // Pool returns the number of perceptrons.
-func (p *Perceptron) Pool() int { return len(p.weights) }
+func (p *Perceptron) Pool() int { return p.pool }
 
 // Theta returns the training threshold.
 func (p *Perceptron) Theta() int32 { return p.theta }
 
 // Name implements predictor.Predictor.
 func (p *Perceptron) Name() string {
-	return fmt.Sprintf("perceptron-%dx-h%d", len(p.weights), p.histLen)
+	return fmt.Sprintf("perceptron-%dx-h%d", p.pool, p.histLen)
 }

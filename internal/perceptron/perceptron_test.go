@@ -222,3 +222,60 @@ func TestBadConfigPanics(t *testing.T) {
 		}()
 	}
 }
+
+// referenceOutput is the textbook dot product the packed SWAR evaluation
+// must match bit-for-bit: bias + sum of weights signed by history bits.
+func referenceOutput(bias int8, weights []int32, hist uint64) int32 {
+	out := int32(bias)
+	for j, w := range weights {
+		if hist>>uint(j)&1 == 1 {
+			out += w
+		} else {
+			out -= w
+		}
+	}
+	return out
+}
+
+func TestPackedOutputMatchesReference(t *testing.T) {
+	for _, histLen := range []uint{0, 1, 3, 4, 5, 8, 13, 17, 24, 28, 47, 57, 64} {
+		p := New(3, histLen)
+		rng := uint64(0x1234567)
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		for trial := 0; trial < 200; trial++ {
+			idx := trial % 3
+			// Randomise the row, including saturated weights.
+			p.bias[idx] = int8(int32(next()%255) - 127)
+			weights := make([]int32, histLen)
+			words := p.rowWordsOf(idx)
+			for j := range weights {
+				weights[j] = int32(next()%255) - 127
+				laneSet(words, j, weights[j])
+			}
+			hist := next()
+			want := referenceOutput(p.bias[idx], weights, hist)
+			if got := outputPacked(words, p.bias[idx], hist); got != want {
+				t.Fatalf("histLen %d trial %d: packed output %d, reference %d (hist %#x)",
+					histLen, trial, got, want, hist)
+			}
+		}
+	}
+}
+
+func TestLaneRoundTrip(t *testing.T) {
+	p := New(1, 16)
+	words := p.rowWordsOf(0)
+	for j := 0; j < 16; j++ {
+		for _, w := range []int32{-127, -1, 0, 1, 127} {
+			laneSet(words, j, w)
+			if got := laneGet(words, j); got != w {
+				t.Fatalf("lane %d: stored %d, read %d", j, w, got)
+			}
+		}
+	}
+}

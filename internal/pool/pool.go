@@ -1,0 +1,68 @@
+// Package pool provides the shared bounded worker pool that fans
+// simulation job matrices out over the available CPUs.
+//
+// Every parallel driver in the repository — the functional simulator's
+// benchmark sweeps and the experiment harness's full (configuration ×
+// benchmark) matrices — funnels through Run, so the fan-out policy
+// (worker count, error handling, work distribution) lives in exactly one
+// place instead of being re-rolled per experiment file.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(i) for every i in [0, n) using up to GOMAXPROCS
+// workers and returns the first error any job reported. Each job runs
+// exactly once; jobs are handed out in index order, so with a single
+// worker execution order matches a plain loop. Callers communicate
+// results positionally through fn's closure (job i writes slot i), which
+// keeps output ordering deterministic regardless of scheduling.
+func Run(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,60 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesEveryJobOnce(t *testing.T) {
+	const n = 1000
+	counts := make([]atomic.Int32, n)
+	if err := Run(n, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestRunZeroAndNegative(t *testing.T) {
+	ran := false
+	if err := Run(0, func(int) error { ran = true; return nil }); err != nil || ran {
+		t.Fatal("n=0 must be a no-op")
+	}
+	if err := Run(-3, func(int) error { ran = true; return nil }); err != nil || ran {
+		t.Fatal("negative n must be a no-op")
+	}
+}
+
+func TestRunReportsError(t *testing.T) {
+	want := errors.New("boom")
+	err := Run(100, func(i int) error {
+		if i == 37 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestRunAllJobsRunDespiteErrors(t *testing.T) {
+	var ran atomic.Int32
+	err := Run(50, func(i int) error {
+		ran.Add(1)
+		return errors.New("always")
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("only %d of 50 jobs ran", ran.Load())
+	}
+}

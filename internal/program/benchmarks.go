@@ -3,6 +3,7 @@ package program
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Suite names, matching Table 1 of the paper.
@@ -187,13 +188,30 @@ func SpecByName(name string) (Spec, error) {
 	return Spec{}, fmt.Errorf("program: unknown benchmark %q", name)
 }
 
-// Load generates the named benchmark.
+// loadCache memoizes generated benchmark programs by name. A Program is
+// immutable once generated (all mutable run state lives in Run), so one
+// instance per process can be shared by every goroutine of every
+// experiment; before memoization each figure regenerated every program
+// once per goroutine per configuration.
+var loadCache sync.Map // benchmark name -> *Program
+
+// Load returns the named benchmark, generating it on first use and
+// returning the same immutable *Program on every subsequent call.
+// Callers needing mutable execution state use Program.NewRun, which is
+// independent per caller.
 func Load(name string) (*Program, error) {
+	if p, ok := loadCache.Load(name); ok {
+		return p.(*Program), nil
+	}
 	s, err := SpecByName(name)
 	if err != nil {
 		return nil, err
 	}
-	return Generate(s), nil
+	// Concurrent first loads may both generate; LoadOrStore keeps one.
+	// Generation is a pure function of the spec, so the duplicates are
+	// identical and the loser is simply garbage collected.
+	p, _ := loadCache.LoadOrStore(name, Generate(s))
+	return p.(*Program), nil
 }
 
 // MustLoad is Load that panics on unknown names; experiment tables are

@@ -1,6 +1,8 @@
 package program
 
 import (
+	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -388,5 +390,66 @@ func TestStringMentionsNameAndSuite(t *testing.T) {
 	}
 	if p.Seed() != 0x79cc {
 		t.Fatal("seed accessor wrong")
+	}
+}
+
+func TestLoadIsMemoized(t *testing.T) {
+	a, err := Load("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Load must return the same immutable *Program per name")
+	}
+}
+
+func TestLoadConcurrentSameProgram(t *testing.T) {
+	const workers = 16
+	got := make([]*Program, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p, err := Load("verilog")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[w] = p
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if got[w] != got[0] {
+			t.Fatal("concurrent Loads must converge on one Program instance")
+		}
+	}
+}
+
+func TestLoadUnknownNameError(t *testing.T) {
+	_, err := Load("definitely-not-a-benchmark")
+	if err == nil {
+		t.Fatal("Load of unknown benchmark must error")
+	}
+	if !strings.Contains(err.Error(), "definitely-not-a-benchmark") {
+		t.Fatalf("error should name the missing benchmark: %v", err)
+	}
+}
+
+// Run.Next is inside the simulator's per-branch loop; it must not
+// allocate.
+func TestRunNextZeroAlloc(t *testing.T) {
+	p := MustLoad("gcc")
+	r := p.NewRun()
+	for i := 0; i < 1000; i++ {
+		r.Next()
+	}
+	if allocs := testing.AllocsPerRun(5000, func() { r.Next() }); allocs != 0 {
+		t.Errorf("Run.Next allocates %.1f times per branch, want 0", allocs)
 	}
 }

@@ -15,10 +15,9 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"prophetcritic/internal/core"
+	"prophetcritic/internal/pool"
 	"prophetcritic/internal/program"
 )
 
@@ -142,7 +141,8 @@ func Run(p *program.Program, h *core.Hybrid, opt Options) Result {
 type Builder func() *core.Hybrid
 
 // RunBenchmarks simulates the builder's hybrid over each named benchmark
-// in parallel and returns results in input order.
+// in parallel (via the shared worker pool) and returns results in input
+// order.
 func RunBenchmarks(names []string, build Builder, opt Options) ([]Result, error) {
 	progs := make([]*program.Program, len(names))
 	for i, n := range names {
@@ -153,19 +153,11 @@ func RunBenchmarks(names []string, build Builder, opt Options) ([]Result, error)
 		progs[i] = p
 	}
 	results := make([]Result, len(names))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := range progs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = Run(progs[i], build(), opt)
-		}(i)
-	}
-	wg.Wait()
-	return results, nil
+	err := pool.Run(len(progs), func(i int) error {
+		results[i] = Run(progs[i], build(), opt)
+		return nil
+	})
+	return results, err
 }
 
 // RunAll simulates over every benchmark in the workload inventory.

@@ -24,16 +24,20 @@ type Table struct {
 	setBits  uint
 	tagBits  uint
 	ways     int
-	histLen  uint // BOR bits consumed by the hash functions
+	histLen  uint   // BOR bits consumed by the hash functions
+	histMask uint64 // precomputed bitutil.Mask(histLen)
 	clock    uint64
 	counters bool // whether SizeBits accounts for the per-entry counter
 }
 
+// entry is packed to 16 bytes so a 6-way set scan touches at most two
+// cache lines: tags are at most 16 bits and the counter is a bare 2-bit
+// value (0..3, taken when >= 2).
 type entry struct {
-	valid bool
-	tag   uint64
-	ctr   counter.Sat
 	used  uint64 // LRU timestamp
+	tag   uint32
+	ctr   uint8
+	valid bool
 }
 
 // New returns a table with 2^setBits sets of the given associativity.
@@ -57,20 +61,21 @@ func New(setBits uint, ways int, tagBits, histLen uint, withCounters bool) *Tabl
 		tagBits:  tagBits,
 		ways:     ways,
 		histLen:  histLen,
+		histMask: bitutil.Mask(histLen),
 		counters: withCounters,
 	}
 	return t
 }
 
 func (t *Table) set(addr, hist uint64) []entry {
-	h := hist & bitutil.Mask(t.histLen)
+	h := hist & t.histMask
 	idx := bitutil.IndexHash(addr, h, t.setBits)
 	return t.entries[idx*uint64(t.ways) : (idx+1)*uint64(t.ways)]
 }
 
-func (t *Table) tag(addr, hist uint64) uint64 {
-	h := hist & bitutil.Mask(t.histLen)
-	return bitutil.TagHash(addr, h, t.tagBits)
+func (t *Table) tag(addr, hist uint64) uint32 {
+	h := hist & t.histMask
+	return uint32(bitutil.TagHash(addr, h, t.tagBits))
 }
 
 // Lookup reports whether (addr, hist) hits and, if so, the direction its
@@ -80,7 +85,7 @@ func (t *Table) Lookup(addr, hist uint64) (taken, hit bool) {
 	tag := t.tag(addr, hist)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
-			return set[i].ctr.Taken(), true
+			return counter.Sat2Taken(set[i].ctr), true
 		}
 	}
 	return false, false
@@ -93,7 +98,7 @@ func (t *Table) Update(addr, hist uint64, taken bool) bool {
 	tag := t.tag(addr, hist)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
-			set[i].ctr.Update(taken)
+			counter.Sat2Update(&set[i].ctr, taken)
 			t.clock++
 			set[i].used = t.clock
 			return true
@@ -113,7 +118,7 @@ func (t *Table) Allocate(addr, hist uint64, taken bool) {
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			// Already present: refresh.
-			set[i].ctr = counter.NewSat2Weak(taken)
+			set[i].ctr = counter.Sat2Weak(taken)
 			set[i].used = t.clock
 			return
 		}
@@ -125,7 +130,7 @@ func (t *Table) Allocate(addr, hist uint64, taken bool) {
 			victim = i
 		}
 	}
-	set[victim] = entry{valid: true, tag: tag, ctr: counter.NewSat2Weak(taken), used: t.clock}
+	set[victim] = entry{valid: true, tag: tag, ctr: counter.Sat2Weak(taken), used: t.clock}
 }
 
 // Entries returns the total entry count (sets × ways).

@@ -66,7 +66,7 @@ func TestLRUReplacement(t *testing.T) {
 	// Find three contexts with pairwise-distinct tags (white-box: use the
 	// table's own tag function so the test is deterministic).
 	ctxs := make([]uint64, 0, 3)
-	seen := map[uint64]bool{}
+	seen := map[uint32]bool{}
 	for h := uint64(0); len(ctxs) < 3 && h < 1000; h++ {
 		tag := tt.tag(0x40, h)
 		if !seen[tag] {
