@@ -16,13 +16,16 @@ import (
 	"time"
 
 	"prophetcritic/internal/experiments"
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/trace"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment id or 'all'")
-		fast = flag.Bool("fast", false, "use reduced measurement windows")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		exp       = flag.String("exp", "all", "experiment id or 'all'")
+		fast      = flag.Bool("fast", false, "use reduced measurement windows")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		traceFlag = flag.String("trace", "", "replay a recorded trace file as the workload of every simulation experiment")
 	)
 	flag.Parse()
 
@@ -36,6 +39,18 @@ func main() {
 	opt := experiments.Full
 	if *fast {
 		opt = experiments.Fast
+	}
+	if *traceFlag != "" {
+		p, err := trace.Load(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := checkWindow(p, opt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opt.Workloads = []*program.Program{p}
 	}
 
 	var todo []experiments.Experiment
@@ -59,4 +74,17 @@ func main() {
 		}
 		fmt.Printf("---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// checkWindow verifies the trace holds enough events for the selected
+// measurement windows (replay cannot run past the recorded stream).
+func checkWindow(p *program.Program, opt experiments.Options) error {
+	need := opt.Functional.WarmupBranches + opt.Functional.MeasureBranches
+	if t := opt.Timing.WarmupBranches + opt.Timing.MeasureBranches; t > need {
+		need = t
+	}
+	if uint64(need) > p.TraceEvents() {
+		return fmt.Errorf("experiments: window of %d branches exceeds the trace's %d recorded events; record a longer trace or use -fast", need, p.TraceEvents())
+	}
+	return nil
 }

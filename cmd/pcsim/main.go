@@ -5,6 +5,7 @@
 //	pcsim -bench gcc -prophet "2Bc-gskew:8" -critic "tagged gshare:8" -fb 1
 //	pcsim -bench tpcc -prophet "perceptron:16" -critic none
 //	pcsim -bench gcc -timing -fb 1
+//	pcsim -trace gcc.trc -fb 1        # replay a recorded trace
 package main
 
 import (
@@ -17,11 +18,13 @@ import (
 	"prophetcritic/internal/pipeline"
 	"prophetcritic/internal/program"
 	"prophetcritic/internal/sim"
+	"prophetcritic/internal/trace"
 )
 
 func main() {
 	var (
 		bench       = flag.String("bench", "gcc", "benchmark name (see -benchmarks)")
+		traceFlag   = flag.String("trace", "", "replay a recorded trace file as the workload (overrides -bench)")
 		prophetFlag = flag.String("prophet", "2Bc-gskew:8", "prophet as kind:KB")
 		criticFlag  = flag.String("critic", "tagged gshare:8", "critic as kind:KB, or 'none'")
 		fb          = flag.Uint("fb", 1, "number of future bits")
@@ -40,8 +43,28 @@ func main() {
 		return
 	}
 
-	prog, err := program.Load(*bench)
-	if err != nil {
+	var prog *program.Program
+	var err error
+	if *traceFlag != "" {
+		if prog, err = trace.Load(*traceFlag); err != nil {
+			fatal(err)
+		}
+		// Unless overridden on the command line, replay the window the
+		// trace was recorded with — that reproduces the recorded run's
+		// result bit for bit.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		tw, tm := prog.TraceWindow()
+		if !set["warmup"] {
+			*warmup = tw
+		}
+		if !set["measure"] {
+			*measure = tm
+		}
+		if total := uint64(*warmup + *measure); total > prog.TraceEvents() {
+			fatal(fmt.Errorf("window of %d branches exceeds the trace's %d recorded events; shrink -warmup/-measure", total, prog.TraceEvents()))
+		}
+	} else if prog, err = program.Load(*bench); err != nil {
 		fatal(err)
 	}
 	h, err := buildHybrid(*prophetFlag, *criticFlag, *fb, *unfiltered)

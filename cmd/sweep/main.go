@@ -1,10 +1,14 @@
 // Command sweep runs free-form prophet/critic parameter sweeps:
 //
 //	sweep -bench gcc,unzip -prophet 2Bc-gskew:8 -critic "tagged gshare:8" -fb 0,1,4,8,12
+//	sweep -trace gcc.trc -fb 0,1,4
 //
 // It prints one row per (benchmark, future-bit count) with prophet and
 // final mispredict rates, misp/Kuops, and the critique distribution, and
-// is the calibration tool used while tuning the synthetic workloads.
+// is the calibration tool used while tuning the synthetic workloads. With
+// -trace, the workload is a recorded branch trace instead of a named
+// synthetic benchmark; a trace recorded with the default window replays
+// to exactly the rows the direct run produces.
 package main
 
 import (
@@ -19,11 +23,13 @@ import (
 	"prophetcritic/internal/metrics"
 	"prophetcritic/internal/program"
 	"prophetcritic/internal/sim"
+	"prophetcritic/internal/trace"
 )
 
 func main() {
 	var (
 		benchFlag   = flag.String("bench", "all", "comma-separated benchmark names, a suite name, or 'all'")
+		traceFlag   = flag.String("trace", "", "replay a recorded trace file as the workload (overrides -bench)")
 		prophetFlag = flag.String("prophet", "2Bc-gskew:8", "prophet as kind:KB")
 		criticFlag  = flag.String("critic", "tagged gshare:8", "critic as kind:KB, or 'none'")
 		fbFlag      = flag.String("fb", "8", "comma-separated future bit counts")
@@ -34,7 +40,7 @@ func main() {
 	)
 	flag.Parse()
 
-	names, err := resolveBenchmarks(*benchFlag)
+	progs, workload, err := resolveWorkload(*benchFlag, *traceFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -54,9 +60,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := validateFutureBits(fbs); err != nil {
+		fatal(err)
+	}
+	if err := validateWindow(*warmup, *measure); err != nil {
+		fatal(err)
+	}
+	for _, p := range progs {
+		if err := validateReplayWindow(p, *warmup, *measure); err != nil {
+			fatal(err)
+		}
+	}
 	opt := sim.Options{WarmupBranches: *warmup, MeasureBranches: *measure}
 
-	fmt.Printf("prophet: %s @%dKB   critic: %s   benchmarks: %d\n", prophetCfg.Kind, prophetCfg.KB, *criticFlag, len(names))
+	fmt.Printf("prophet: %s @%dKB   critic: %s   workload: %s\n", prophetCfg.Kind, prophetCfg.KB, *criticFlag, workload)
 	fmt.Printf("%-6s %-12s %9s %9s %9s %9s %8s %8s %8s %8s\n",
 		"fb", "bench", "pMisp%", "misp%", "misp/Ku", "uops/fl", "c_agr", "c_dis", "i_agr", "i_dis")
 
@@ -70,7 +87,7 @@ func main() {
 			filtered := criticCfg.IsCritic() && !*unfiltered
 			return core.New(p, c, core.Config{FutureBits: uint(fb), Filtered: filtered, BORLen: criticCfg.BORSize})
 		}
-		rs, err := sim.RunBenchmarks(names, build, opt)
+		rs, err := sim.RunPrograms(progs, build, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -92,7 +109,7 @@ func main() {
 			}
 		}
 		printRow(strconv.Itoa(fb), "POOLED", agg)
-		fmt.Printf("%-6s %-12s mean misp/Kuops over benchmarks: %.4f\n", strconv.Itoa(fb), "MEAN", mean)
+		fmt.Printf("%-6s %-12s mean misp/Kuops over benchmarks: %s\n", strconv.Itoa(fb), "MEAN", metrics.Fmt(mean, 1, 4))
 	}
 }
 
@@ -105,6 +122,29 @@ func printRow(fb string, name string, r sim.Result) {
 		r.UopsPerFlush(),
 		r.Critiques[core.CorrectAgree], r.Critiques[core.CorrectDisagree],
 		r.Critiques[core.IncorrectAgree], r.Critiques[core.IncorrectDisagree])
+}
+
+// resolveWorkload maps the -bench/-trace flags to the program list and a
+// human-readable workload description.
+func resolveWorkload(bench, traceFile string) ([]*program.Program, string, error) {
+	if traceFile != "" {
+		p, err := trace.Load(traceFile)
+		if err != nil {
+			return nil, "", err
+		}
+		return []*program.Program{p}, fmt.Sprintf("trace %s (%s, %d events)", traceFile, p.Name, p.TraceEvents()), nil
+	}
+	names, err := resolveBenchmarks(bench)
+	if err != nil {
+		return nil, "", err
+	}
+	progs := make([]*program.Program, len(names))
+	for i, n := range names {
+		if progs[i], err = program.Load(n); err != nil {
+			return nil, "", err
+		}
+	}
+	return progs, fmt.Sprintf("%d benchmarks", len(progs)), nil
 }
 
 func resolveBenchmarks(s string) ([]string, error) {
@@ -123,16 +163,64 @@ func resolveBenchmarks(s string) ([]string, error) {
 	return names, nil
 }
 
+// validateWindow rejects non-positive simulation windows up front: a
+// zero or negative -measure would otherwise be silently replaced by the
+// defaults deep inside sim.Run, and a negative -warmup would distort the
+// measured window.
+func validateWindow(warmup, measure int) error {
+	if warmup <= 0 {
+		return fmt.Errorf("-warmup must be positive, got %d", warmup)
+	}
+	if measure <= 0 {
+		return fmt.Errorf("-measure must be positive, got %d", measure)
+	}
+	return nil
+}
+
+// validateReplayWindow checks that a trace workload has enough recorded
+// events for the requested window.
+func validateReplayWindow(p *program.Program, warmup, measure int) error {
+	if !p.IsReplay() {
+		return nil
+	}
+	if total := uint64(warmup + measure); total > p.TraceEvents() {
+		return fmt.Errorf("window of %d branches exceeds the trace's %d recorded events; shrink -warmup/-measure", total, p.TraceEvents())
+	}
+	return nil
+}
+
+// validateFutureBits rejects future-bit counts outside [0,
+// core.MaxFutureBits]; a negative value would otherwise wrap to a huge
+// uint and panic deep inside core.New.
+func validateFutureBits(fbs []int) error {
+	if len(fbs) == 0 {
+		return fmt.Errorf("-fb lists no future bit counts")
+	}
+	for _, fb := range fbs {
+		if fb < 0 || fb > core.MaxFutureBits {
+			return fmt.Errorf("-fb %d out of range [0, %d]", fb, core.MaxFutureBits)
+		}
+	}
+	return nil
+}
+
+// parseKindKB parses a "kind:KB" predictor spec against Table 3,
+// returning a clean error (not a downstream panic) for malformed specs,
+// unknown kinds, and budgets outside the published table.
 func parseKindKB(s string) (budget.Config, error) {
-	parts := strings.Split(s, ":")
-	if len(parts) != 2 {
-		return budget.Config{}, fmt.Errorf("want kind:KB, got %q", s)
+	i := strings.LastIndex(s, ":")
+	if i < 0 {
+		return budget.Config{}, fmt.Errorf("malformed predictor spec %q: want kind:KB (e.g. %q)", s, "2Bc-gskew:8")
 	}
-	kb, err := strconv.Atoi(parts[1])
+	kind, kbStr := strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:])
+	if kind == "" {
+		return budget.Config{}, fmt.Errorf("malformed predictor spec %q: empty kind", s)
+	}
+	kb, err := strconv.Atoi(kbStr)
 	if err != nil {
-		return budget.Config{}, err
+		return budget.Config{}, fmt.Errorf("malformed predictor spec %q: bad size %q", s, kbStr)
 	}
-	return budget.Lookup(budget.Kind(parts[0]), kb)
+	return budget.Lookup(budget.Kind(kind), kb)
 }
 
 func parseInts(s string) ([]int, error) {

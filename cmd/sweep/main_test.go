@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/core"
+)
+
+func TestParseKindKB(t *testing.T) {
+	good := []struct {
+		spec string
+		kind budget.Kind
+		kb   int
+	}{
+		{"gshare:8", budget.Gshare, 8},
+		{"2Bc-gskew:16", budget.Gskew, 16},
+		{"tagged gshare:8", budget.TaggedGshare, 8},
+		{"filtered perceptron:32", budget.FilteredPerceptron, 32},
+	}
+	for _, g := range good {
+		c, err := parseKindKB(g.spec)
+		if err != nil {
+			t.Errorf("%q: %v", g.spec, err)
+			continue
+		}
+		if c.Kind != g.kind || c.KB != g.kb {
+			t.Errorf("%q parsed to %s:%d", g.spec, c.Kind, c.KB)
+		}
+	}
+
+	bad := []string{
+		"",               // empty
+		"gshare",         // no size
+		":8",             // no kind
+		"gshare:",        // empty size
+		"gshare:x",       // non-numeric size
+		"gshare:8:extra", // trailing junk becomes a bad size
+		"bogus:8",        // unknown kind
+		"gshare:7",       // budget outside Table 3
+		"gshare:-8",      // negative budget
+	}
+	for _, s := range bad {
+		if _, err := parseKindKB(s); err == nil {
+			t.Errorf("%q must be rejected", s)
+		}
+	}
+}
+
+func TestValidateWindow(t *testing.T) {
+	if err := validateWindow(30_000, 120_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range [][2]int{{0, 1000}, {-5, 1000}, {1000, 0}, {1000, -1}} {
+		if err := validateWindow(w[0], w[1]); err == nil {
+			t.Errorf("window %v must be rejected", w)
+		}
+	}
+}
+
+func TestValidateFutureBits(t *testing.T) {
+	if err := validateFutureBits([]int{0, 1, 8, core.MaxFutureBits}); err != nil {
+		t.Fatal(err)
+	}
+	for _, fbs := range [][]int{nil, {-1}, {core.MaxFutureBits + 1}, {4, -2}} {
+		if err := validateFutureBits(fbs); err == nil {
+			t.Errorf("future bits %v must be rejected", fbs)
+		}
+	}
+	// The error must name the valid range, not just reject.
+	err := validateFutureBits([]int{99})
+	if err == nil || !strings.Contains(err.Error(), "16") {
+		t.Errorf("error should state the bound: %v", err)
+	}
+}
+
+func TestResolveWorkloadErrors(t *testing.T) {
+	if _, _, err := resolveWorkload("nope", ""); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if _, _, err := resolveWorkload("all", "/does/not/exist.trc"); err == nil {
+		t.Fatal("missing trace file must error")
+	}
+	progs, desc, err := resolveWorkload("gcc,unzip", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 2 || !strings.Contains(desc, "2") {
+		t.Fatalf("resolve = %d progs, %q", len(progs), desc)
+	}
+}

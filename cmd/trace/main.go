@@ -1,0 +1,202 @@
+// Command trace records, inspects, and replays branch traces:
+//
+//	trace record -bench gcc -o gcc.trc            # capture a run
+//	trace info gcc.trc                            # header + totals
+//	trace replay gcc.trc                          # re-simulate the trace
+//	trace replay -prophet perceptron:8 gcc.trc    # different predictor
+//
+// record captures the default simulation window (the same one sweep and
+// pcsim use), CFG included, so `trace replay` reproduces the direct
+// synthetic run's result bit for bit and `sweep -trace` matches
+// `sweep -bench`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
+	"prophetcritic/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  trace record -bench <name> -o <file> [-warmup N] [-measure N]
+  trace info   <file>
+  trace replay [-prophet kind:KB] [-critic kind:KB|none] [-fb N]
+               [-unfiltered] [-warmup N] [-measure N] <file>`)
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("trace record", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark to record")
+	out := fs.String("o", "", "output trace file")
+	warmup := fs.Int("warmup", sim.DefaultOptions.WarmupBranches, "warmup branches to record")
+	measure := fs.Int("measure", sim.DefaultOptions.MeasureBranches, "measured branches to record")
+	fs.Parse(args)
+	if *bench == "" || *out == "" {
+		fatal(fmt.Errorf("record needs -bench and -o"))
+	}
+	if *warmup < 0 || *measure <= 0 {
+		fatal(fmt.Errorf("invalid window: warmup %d, measure %d (warmup must be >= 0, measure > 0)", *warmup, *measure))
+	}
+	p, err := program.Load(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.Record(p, *warmup, *measure, f); err != nil {
+		f.Close()
+		os.Remove(*out)
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %s: %d branches (%d warmup + %d measured), %d static branches, %d bytes\n",
+		*bench, *warmup+*measure, *warmup, *measure, p.NumBlocks(), st.Size())
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("trace info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("info needs exactly one trace file"))
+	}
+	meta, stats, hasCFG, err := trace.Info(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cfg := "none (observed edges only; unobserved edges end walks early)"
+	if hasCFG {
+		cfg = "recorded (wrong-path walks replay exactly)"
+	}
+	fmt.Printf("workload:   %s/%s (seed %#x)\n", meta.Suite, meta.Name, meta.Seed)
+	fmt.Printf("window:     %d warmup + %d measured branches\n", meta.Warmup, meta.Measure)
+	fmt.Printf("events:     %d committed branches\n", stats.Events)
+	fmt.Printf("blocks:     %d static branches\n", stats.Blocks)
+	fmt.Printf("CFG:        %s\n", cfg)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("trace replay", flag.ExitOnError)
+	prophetFlag := fs.String("prophet", "2Bc-gskew:8", "prophet as kind:KB")
+	criticFlag := fs.String("critic", "tagged gshare:8", "critic as kind:KB, or 'none'")
+	fb := fs.Uint("fb", 1, "number of future bits")
+	unfiltered := fs.Bool("unfiltered", false, "critique every branch (no tag filter)")
+	warmup := fs.Int("warmup", -1, "warmup branches (default: the trace's recorded window)")
+	measure := fs.Int("measure", -1, "measured branches (default: the trace's recorded window)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("replay needs exactly one trace file"))
+	}
+	if *fb > core.MaxFutureBits {
+		fatal(fmt.Errorf("-fb %d exceeds the maximum of %d", *fb, core.MaxFutureBits))
+	}
+
+	p, err := trace.Load(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	w, m := p.TraceWindow()
+	if *warmup >= 0 {
+		w = *warmup
+	}
+	if *measure >= 0 {
+		m = *measure
+	}
+	if m <= 0 {
+		fatal(fmt.Errorf("invalid measure window %d", m))
+	}
+	if uint64(w+m) > p.TraceEvents() {
+		fatal(fmt.Errorf("window of %d branches exceeds the trace's %d events; shrink -warmup/-measure", w+m, p.TraceEvents()))
+	}
+
+	h, err := buildHybrid(*prophetFlag, *criticFlag, *fb, *unfiltered)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replaying %s/%s: %d events, window %d+%d\n", p.Suite, p.Name, p.TraceEvents(), w, m)
+	fmt.Println("predictor:", h.Name())
+
+	r := sim.Run(p, h, sim.Options{WarmupBranches: w, MeasureBranches: m})
+	fmt.Printf("\nbranches:     %d (%d uops)\n", r.Branches, r.Uops)
+	fmt.Printf("prophet misp: %d (%.3f%% of branches)\n", r.ProphetMisp, float64(r.ProphetMisp)/float64(r.Branches)*100)
+	fmt.Printf("final misp:   %d (%.3f%% of branches, %.4f/Kuops)\n", r.FinalMisp, r.MispRate()*100, r.MispPerKuops())
+	fmt.Println("\ncritique distribution:")
+	for c := core.CorrectAgree; c <= core.IncorrectNone; c++ {
+		fmt.Printf("  %-20s %d\n", c.String(), r.Critiques[c])
+	}
+}
+
+func buildHybrid(prophetSpec, criticSpec string, fb uint, unfiltered bool) (*core.Hybrid, error) {
+	pc, err := parseKindKB(prophetSpec)
+	if err != nil {
+		return nil, err
+	}
+	p := pc.Build()
+	if criticSpec == "none" {
+		return core.New(p, nil, core.Config{}), nil
+	}
+	cc, err := parseKindKB(criticSpec)
+	if err != nil {
+		return nil, err
+	}
+	c := cc.Build()
+	borLen := cc.BORSize
+	if borLen == 0 {
+		borLen = c.HistoryLen()
+	}
+	return core.New(p, c, core.Config{
+		FutureBits: fb,
+		Filtered:   cc.IsCritic() && !unfiltered,
+		BORLen:     borLen,
+	}), nil
+}
+
+func parseKindKB(s string) (budget.Config, error) {
+	i := strings.LastIndex(s, ":")
+	if i < 0 || s[:i] == "" {
+		return budget.Config{}, fmt.Errorf("malformed predictor spec %q: want kind:KB (e.g. %q)", s, "2Bc-gskew:8")
+	}
+	kb, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return budget.Config{}, fmt.Errorf("malformed predictor spec %q: bad size %q", s, s[i+1:])
+	}
+	return budget.Lookup(budget.Kind(s[:i]), kb)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trace:", err)
+	os.Exit(1)
+}

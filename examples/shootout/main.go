@@ -80,7 +80,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-40s %12.3f %12.0f\n", e.name, metrics.MeanMispPerKuops(rs), metrics.PooledUopsPerFlush(rs))
+		fmt.Printf("%-40s %s %s\n", e.name, metrics.Fmt(metrics.MeanMispPerKuops(rs), 12, 3), metrics.Fmt(metrics.PooledUopsPerFlush(rs), 12, 0))
 	}
 }
 

@@ -83,6 +83,17 @@ const (
 	numCritiques
 )
 
+// NumCritiques is the number of critique classes. Arrays tallying
+// per-critique counts (core.Stats, sim.Result) must be sized with it so
+// that adding a class cannot silently truncate counts.
+const NumCritiques = int(numCritiques)
+
+// NumExplicitCritiques is the number of explicit (tag-hit) critique
+// classes. The explicit classes CorrectAgree..IncorrectDisagree precede
+// the implicit None classes in the enumeration; share/distribution
+// reductions iterate exactly this prefix.
+const NumExplicitCritiques = int(IncorrectDisagree) + 1
+
 // String returns the paper's name for the critique class.
 func (c Critique) String() string {
 	switch c {

@@ -15,6 +15,7 @@ import (
 	"prophetcritic/internal/budget"
 	"prophetcritic/internal/core"
 	"prophetcritic/internal/pipeline"
+	"prophetcritic/internal/program"
 	"prophetcritic/internal/sim"
 )
 
@@ -23,6 +24,21 @@ import (
 type Options struct {
 	Functional sim.Options
 	Timing     pipeline.Options
+
+	// Workloads, when non-empty, replaces every experiment's benchmark
+	// set with the given programs — the hook `cmd/experiments -trace`
+	// uses to run the paper's figures over recorded traces instead of
+	// the synthetic inventory. Formatters label rows by program name.
+	Workloads []*program.Program
+}
+
+// Programs resolves an experiment's workload set: the explicit override
+// when set, else the experiment's default benchmark names.
+func (o Options) Programs(def []string) ([]*program.Program, error) {
+	if len(o.Workloads) > 0 {
+		return o.Workloads, nil
+	}
+	return loadPrograms(def)
 }
 
 // Full is the configuration used to produce EXPERIMENTS.md.

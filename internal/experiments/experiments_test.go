@@ -5,7 +5,7 @@ import (
 	"strings"
 	"testing"
 
-	"prophetcritic/internal/sim"
+	"prophetcritic/internal/program"
 )
 
 func TestRegistryCoversEveryPaperArtefact(t *testing.T) {
@@ -124,18 +124,23 @@ func TestByIDEmptyID(t *testing.T) {
 	}
 }
 
-// The matrix runner must propagate benchmark-loading errors instead of
+// Workload resolution must propagate benchmark-loading errors instead of
 // deadlocking or dropping them.
-func TestRunSimMatrixUnknownBenchmark(t *testing.T) {
-	builds := []sim.Builder{hybridBuilder("2Bc-gskew", 8, "", 0, 0, false)}
-	if _, err := runSimMatrix(builds, []string{"gcc", "nope"}, Fast.Functional); err == nil {
+func TestProgramsUnknownBenchmark(t *testing.T) {
+	if _, err := Fast.Programs([]string{"gcc", "nope"}); err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
 }
 
-func TestRunTimingMatrixUnknownBenchmark(t *testing.T) {
-	specs := []timingSpec{{"2Bc-gskew", 8, "", 0, 0}}
-	if _, err := runTimingMatrix(specs, []string{"nope"}, Fast); err == nil {
-		t.Fatal("unknown benchmark must error")
+// An explicit workload override replaces the default benchmark set.
+func TestProgramsOverride(t *testing.T) {
+	opt := Fast
+	opt.Workloads = []*program.Program{program.MustLoad("gzip")}
+	progs, err := opt.Programs([]string{"gcc", "nope"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 1 || progs[0].Name != "gzip" {
+		t.Fatalf("override not honoured: %v", progs)
 	}
 }

@@ -25,7 +25,11 @@ func Fig5(w io.Writer, opt Options) error {
 	for i, fb := range fig5FutureBits {
 		builds[i] = hybridBuilder(budget.Perceptron, 8, budget.TaggedGshare, 8, fb, false)
 	}
-	rs, err := runSimMatrix(builds, fig5Benchmarks, opt.Functional)
+	progs, err := opt.Programs(fig5Benchmarks)
+	if err != nil {
+		return err
+	}
+	rs, err := runSimMatrix(builds, progs, opt.Functional)
 	if err != nil {
 		return err
 	}
@@ -38,8 +42,8 @@ func Fig5(w io.Writer, opt Options) error {
 	}
 	fmt.Fprintln(w)
 	avg := make([]float64, len(fig5FutureBits))
-	for bi, bench := range fig5Benchmarks {
-		fmt.Fprintf(w, "%-10s", bench)
+	for bi, p := range progs {
+		fmt.Fprintf(w, "%-10s", p.Name)
 		for i := range fig5FutureBits {
 			m := rs[i][bi].MispPerKuops()
 			avg[i] += m
@@ -49,7 +53,7 @@ func Fig5(w io.Writer, opt Options) error {
 	}
 	fmt.Fprintf(w, "%-10s", "AVG")
 	for i := range fig5FutureBits {
-		fmt.Fprintf(w, " %10.3f", avg[i]/float64(len(fig5Benchmarks)))
+		fmt.Fprintf(w, " %10.3f", avg[i]/float64(len(progs)))
 	}
 	fmt.Fprintln(w)
 	return nil
@@ -147,8 +151,10 @@ func fig7(w io.Writer, opt Options, kb int) error {
 			i++
 			m1 := means[i]
 			i++
-			fmt.Fprintf(w, "  %dKB %s + %dKB %-14s %9.3f %10.1f%% %10.1f%%\n",
-				half, pk, half, ck, m8, metrics.Reduction(base, m8), metrics.Reduction(base, m1))
+			fmt.Fprintf(w, "  %dKB %s + %dKB %-14s %9.3f %s%% %s%%\n",
+				half, pk, half, ck, m8,
+				metrics.Fmt(metrics.Reduction(base, m8), 10, 1),
+				metrics.Fmt(metrics.Reduction(base, m1), 10, 1))
 		}
 	}
 	return nil
@@ -169,7 +175,11 @@ func Fig8(w io.Writer, opt Options) error {
 	for i, fb := range fig8FutureBits {
 		builds[i] = hybridBuilder(budget.Perceptron, 4, budget.TaggedGshare, 8, fb, false)
 	}
-	rs, err := runSimMatrix(builds, benchmarkNames(), opt.Functional)
+	progs, err := opt.Programs(benchmarkNames())
+	if err != nil {
+		return err
+	}
+	rs, err := runSimMatrix(builds, progs, opt.Functional)
 	if err != nil {
 		return err
 	}
@@ -177,13 +187,16 @@ func Fig8(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Figure 8. Distribution of critiques (prophet: 4KB perceptron; critic: 8KB tagged gshare).")
 	fmt.Fprintf(w, "%-4s %14s %16s %15s %18s %12s\n", "fb", "correct_agree", "correct_disagree", "incorrect_agree", "incorrect_disagree", "total")
 	for i, fb := range fig8FutureBits {
-		var c [4]uint64
+		// Pool the explicit critique classes, iterated by named constant
+		// so a new critique class cannot be silently dropped.
+		var c [core.NumExplicitCritiques]uint64
+		var total uint64
 		for _, r := range rs[i] {
-			for k := 0; k < 4; k++ {
+			for k := core.CorrectAgree; k <= core.IncorrectDisagree; k++ {
 				c[k] += r.Critiques[k]
+				total += r.Critiques[k]
 			}
 		}
-		total := c[0] + c[1] + c[2] + c[3]
 		fmt.Fprintf(w, "%-4d %14d %16d %15d %18d %12d\n",
 			fb, c[core.CorrectAgree], c[core.CorrectDisagree], c[core.IncorrectAgree], c[core.IncorrectDisagree], total)
 	}

@@ -36,7 +36,11 @@ func Fig9(w io.Writer, opt Options) error {
 			specs = append(specs, timingSpec{pk, 8, budget.TaggedGshare, 8, fb})
 		}
 	}
-	matrix, err := runTimingMatrix(specs, program.Names(), opt)
+	progs, err := opt.Programs(program.Names())
+	if err != nil {
+		return err
+	}
+	matrix, err := runTimingMatrix(specs, progs, opt)
 	if err != nil {
 		return err
 	}
@@ -62,7 +66,11 @@ func Fig10(w io.Writer, opt Options) error {
 	for _, fb := range fig9FutureBits {
 		specs = append(specs, timingSpec{budget.Gskew, 8, budget.TaggedGshare, 8, fb})
 	}
-	matrix, err := runTimingMatrix(specs, program.Names(), opt)
+	progs, err := opt.Programs(program.Names())
+	if err != nil {
+		return err
+	}
+	matrix, err := runTimingMatrix(specs, progs, opt)
 	if err != nil {
 		return err
 	}
@@ -112,7 +120,11 @@ func Headline(w io.Writer, opt Options) error {
 	for _, fb := range headlineFBs {
 		builds = append(builds, hybridBuilder(budget.Gskew, 8, budget.TaggedGshare, 8, fb, false))
 	}
-	matrix, err := runSimMatrix(builds, benchmarkNames(), opt.Functional)
+	progs, err := opt.Programs(benchmarkNames())
+	if err != nil {
+		return err
+	}
+	matrix, err := runSimMatrix(builds, progs, opt.Functional)
 	if err != nil {
 		return err
 	}
@@ -127,32 +139,31 @@ func Headline(w io.Writer, opt Options) error {
 	}
 
 	basePooled := metrics.PooledMispPerKuops(baseRs)
-	fmt.Fprintf(w, "  pooled misp/Kuops:      %.3f -> %.3f  (%.1f%% fewer mispredicts, best at %d future bits)\n",
-		basePooled, bestMisp, metrics.Reduction(basePooled, bestMisp), bestFB)
-	fmt.Fprintf(w, "  uops between flushes:   %.0f -> %.0f\n",
-		metrics.PooledUopsPerFlush(baseRs), metrics.PooledUopsPerFlush(bestRs))
+	fmt.Fprintf(w, "  pooled misp/Kuops:      %.3f -> %.3f  (%s%% fewer mispredicts, best at %d future bits)\n",
+		basePooled, bestMisp, metrics.Fmt(metrics.Reduction(basePooled, bestMisp), 1, 1), bestFB)
+	fmt.Fprintf(w, "  uops between flushes:   %s -> %s\n",
+		metrics.Fmt(metrics.PooledUopsPerFlush(baseRs), 1, 0),
+		metrics.Fmt(metrics.PooledUopsPerFlush(bestRs), 1, 0))
 
-	gccBase, err := metrics.Find(baseRs, "gcc")
-	if err != nil {
-		return err
+	// gcc's headline rows only exist when gcc is in the workload set
+	// (it is not when -trace overrides the benchmarks).
+	gccBase, errBase := metrics.Find(baseRs, "gcc")
+	gccHyb, errHyb := metrics.Find(bestRs, "gcc")
+	if errBase == nil && errHyb == nil {
+		fmt.Fprintf(w, "  gcc mispredicted:       %.2f%% -> %.2f%% of branches\n",
+			gccBase.MispRate()*100, gccHyb.MispRate()*100)
 	}
-	gccHyb, err := metrics.Find(bestRs, "gcc")
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "  gcc mispredicted:       %.2f%% -> %.2f%% of branches\n",
-		gccBase.MispRate()*100, gccHyb.MispRate()*100)
 
 	timing, err := runTimingMatrix([]timingSpec{
 		{budget.Gskew, 16, "", 0, 0},
 		{budget.Gskew, 8, budget.TaggedGshare, 8, bestFB},
-	}, program.Names(), opt)
+	}, progs, opt)
 	if err != nil {
 		return err
 	}
 	baseT, hybT := timing[0], timing[1]
 	var baseFetched, hybFetched uint64
-	var gccBaseU, gccHybU float64
+	gccBaseU, gccHybU := 0.0, 0.0
 	for i := range baseT {
 		baseFetched += baseT[i].FetchedUops()
 		hybFetched += hybT[i].FetchedUops()
@@ -162,7 +173,9 @@ func Headline(w io.Writer, opt Options) error {
 	}
 	up0, up1 := meanUPC(baseT), meanUPC(hybT)
 	fmt.Fprintf(w, "  average uPC:            %.3f -> %.3f  (%+.1f%%)\n", up0, up1, (up1/up0-1)*100)
-	fmt.Fprintf(w, "  gcc uPC:                %.3f -> %.3f  (%+.1f%%)\n", gccBaseU, gccHybU, (gccHybU/gccBaseU-1)*100)
+	if gccBaseU > 0 {
+		fmt.Fprintf(w, "  gcc uPC:                %.3f -> %.3f  (%+.1f%%)\n", gccBaseU, gccHybU, (gccHybU/gccBaseU-1)*100)
+	}
 	fmt.Fprintf(w, "  uops fetched (both paths): %d -> %d  (%+.1f%%)\n",
 		baseFetched, hybFetched, (float64(hybFetched)/float64(baseFetched)-1)*100)
 	return nil

@@ -34,20 +34,17 @@ func loadPrograms(names []string) ([]*program.Program, error) {
 	return progs, nil
 }
 
-// runSimMatrix runs every (builder × benchmark) pair of a figure's
+// runSimMatrix runs every (builder × workload) pair of a figure's
 // functional-simulation matrix concurrently. results[ci][bi] is builder
-// ci on benchmark bi, in input order.
-func runSimMatrix(builds []sim.Builder, names []string, opt sim.Options) ([][]sim.Result, error) {
-	progs, err := loadPrograms(names)
-	if err != nil {
-		return nil, err
-	}
+// ci on program bi, in input order. Trace-replay programs are safe here:
+// every cell's run opens its own event stream.
+func runSimMatrix(builds []sim.Builder, progs []*program.Program, opt sim.Options) ([][]sim.Result, error) {
 	results := make([][]sim.Result, len(builds))
 	for ci := range results {
-		results[ci] = make([]sim.Result, len(names))
+		results[ci] = make([]sim.Result, len(progs))
 	}
-	err = pool.Run(len(builds)*len(names), func(k int) error {
-		ci, bi := k/len(names), k%len(names)
+	err := pool.Run(len(builds)*len(progs), func(k int) error {
+		ci, bi := k/len(progs), k%len(progs)
 		results[ci][bi] = sim.Run(progs[bi], builds[ci](), opt)
 		return nil
 	})
@@ -67,10 +64,14 @@ func meanMispRow(rs []sim.Result) float64 {
 	return sum / float64(len(rs))
 }
 
-// meanMispMatrix runs every builder over every benchmark concurrently
+// meanMispMatrix runs every builder over every workload concurrently
 // and returns the per-builder mean misp/Kuops in builder order.
 func meanMispMatrix(builds []sim.Builder, opt Options) ([]float64, error) {
-	rs, err := runSimMatrix(builds, program.Names(), opt.Functional)
+	progs, err := opt.Programs(benchmarkNames())
+	if err != nil {
+		return nil, err
+	}
+	rs, err := runSimMatrix(builds, progs, opt.Functional)
 	if err != nil {
 		return nil, err
 	}
@@ -92,20 +93,16 @@ type timingSpec struct {
 	fb          uint
 }
 
-// runTimingMatrix runs every (timing configuration × benchmark) pair
+// runTimingMatrix runs every (timing configuration × workload) pair
 // concurrently. results[ci][bi] follows input order.
-func runTimingMatrix(specs []timingSpec, names []string, opt Options) ([][]pipeline.Result, error) {
-	progs, err := loadPrograms(names)
-	if err != nil {
-		return nil, err
-	}
+func runTimingMatrix(specs []timingSpec, progs []*program.Program, opt Options) ([][]pipeline.Result, error) {
 	cfg := pipeline.DefaultConfig()
 	results := make([][]pipeline.Result, len(specs))
 	for ci := range results {
-		results[ci] = make([]pipeline.Result, len(names))
+		results[ci] = make([]pipeline.Result, len(progs))
 	}
-	err = pool.Run(len(specs)*len(names), func(k int) error {
-		ci, bi := k/len(names), k%len(names)
+	err := pool.Run(len(specs)*len(progs), func(k int) error {
+		ci, bi := k/len(progs), k%len(progs)
 		s := specs[ci]
 		h := hybridBuilder(s.prophetKind, s.prophetKB, s.criticKind, s.criticKB, s.fb, false)()
 		results[ci][bi] = pipeline.Run(progs[bi], h, cfg, opt.Timing)

@@ -21,6 +21,9 @@ func Table1(w io.Writer, opt Options) error {
 	total := 0
 	for _, s := range program.SuiteOrder {
 		names := suites[s]
+		if len(names) == 0 {
+			continue // e.g. TRACE: replayed workloads, no static inventory
+		}
 		total += len(names)
 		line := ""
 		for i, n := range names {
@@ -102,7 +105,11 @@ func Table4(w io.Writer, opt Options) error {
 			builds = append(builds, hybridBuilder(budget.Perceptron, 4, budget.TaggedGshare, kb, fb, false))
 		}
 	}
-	matrix, err := runSimMatrix(builds, benchmarkNames(), opt.Functional)
+	progs, err := opt.Programs(benchmarkNames())
+	if err != nil {
+		return err
+	}
+	matrix, err := runSimMatrix(builds, progs, opt.Functional)
 	if err != nil {
 		return err
 	}

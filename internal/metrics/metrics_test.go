@@ -2,8 +2,10 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"testing"
 
+	"prophetcritic/internal/core"
 	"prophetcritic/internal/sim"
 )
 
@@ -23,8 +25,16 @@ func TestMeanVsPooled(t *testing.T) {
 	if got := PooledMispPerKuops(rs); math.Abs(got-want) > 1e-9 {
 		t.Fatalf("pooled = %f, want %f", got, want)
 	}
-	if MeanMispPerKuops(nil) != 0 || PooledMispPerKuops(nil) != 0 {
-		t.Fatal("empty inputs must not divide by zero")
+	// Empty input is "no data", which must be NaN — a 0 would read as a
+	// perfect predictor.
+	if !math.IsNaN(MeanMispPerKuops(nil)) || !math.IsNaN(MeanMispPerKuops([]sim.Result{})) {
+		t.Fatal("empty mean must be NaN")
+	}
+	if !math.IsNaN(PooledMispPerKuops(nil)) {
+		t.Fatal("empty pooled misp/Kuops must be NaN")
+	}
+	if !math.IsNaN(PooledMispPerKuops([]sim.Result{mk("a", "X", 0, 0)})) {
+		t.Fatal("zero measured uops must be NaN, not a division by zero")
 	}
 }
 
@@ -36,6 +46,9 @@ func TestPooledUopsPerFlush(t *testing.T) {
 	if !math.IsInf(PooledUopsPerFlush([]sim.Result{mk("a", "X", 0, 1000)}), 1) {
 		t.Fatal("no mispredicts means infinite flush distance")
 	}
+	if !math.IsNaN(PooledUopsPerFlush(nil)) {
+		t.Fatal("no data means NaN, not an infinite flush distance")
+	}
 }
 
 func TestReduction(t *testing.T) {
@@ -45,8 +58,24 @@ func TestReduction(t *testing.T) {
 	if Reduction(1.0, 1.5) != -50 {
 		t.Fatal("negative reduction for regressions")
 	}
-	if Reduction(0, 1) != 0 {
-		t.Fatal("zero base must not divide by zero")
+	// A zero baseline has no defined reduction; 0 would claim "no
+	// improvement" where the question is meaningless.
+	if !math.IsNaN(Reduction(0, 1)) {
+		t.Fatal("zero base must yield NaN")
+	}
+}
+
+func TestFmt(t *testing.T) {
+	if got := Fmt(3.14159, 8, 2); got != "    3.14" {
+		t.Fatalf("Fmt = %q", got)
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := Fmt(v, 8, 2); got != "     n/a" {
+			t.Fatalf("Fmt(%v) = %q, want right-aligned n/a", v, got)
+		}
+	}
+	if got := Fmt(math.NaN(), 1, 1); got != "n/a" {
+		t.Fatalf("Fmt small width = %q", got)
 	}
 }
 
@@ -78,16 +107,46 @@ func TestFind(t *testing.T) {
 
 func TestCritiqueShare(t *testing.T) {
 	r := sim.Result{}
-	r.Critiques[0] = 60
-	r.Critiques[1] = 20
-	r.Critiques[2] = 10
-	r.Critiques[3] = 10
+	r.Critiques[core.CorrectAgree] = 60
+	r.Critiques[core.CorrectDisagree] = 20
+	r.Critiques[core.IncorrectAgree] = 10
+	r.Critiques[core.IncorrectDisagree] = 10
+	// Implicit (None) classes must not dilute the explicit shares.
+	r.Critiques[core.CorrectNone] = 1000
 	s := CritiqueShare(r)
-	if s[0] != 0.6 || s[3] != 0.1 {
+	if s[core.CorrectAgree] != 0.6 || s[core.IncorrectDisagree] != 0.1 {
 		t.Fatalf("shares wrong: %v", s)
 	}
-	if CritiqueShare(sim.Result{}) != [4]float64{} {
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("explicit shares must sum to 1, got %f", sum)
+	}
+	if CritiqueShare(sim.Result{}) != [core.NumExplicitCritiques]float64{} {
 		t.Fatal("zero critiques must yield zero shares")
+	}
+}
+
+// Critique tallies must be sized by the exported class counts so a new
+// critique class widens every array in lockstep.
+func TestCritiqueArraySizing(t *testing.T) {
+	if len(sim.Result{}.Critiques) != core.NumCritiques {
+		t.Fatalf("sim.Result.Critiques holds %d classes, want core.NumCritiques = %d",
+			len(sim.Result{}.Critiques), core.NumCritiques)
+	}
+	if len(core.Stats{}.Critiques) != core.NumCritiques {
+		t.Fatalf("core.Stats.Critiques holds %d classes, want %d", len(core.Stats{}.Critiques), core.NumCritiques)
+	}
+	if core.NumExplicitCritiques != int(core.IncorrectDisagree)+1 {
+		t.Fatal("explicit critique classes must be the prefix before the None classes")
+	}
+	// Every class, explicit and implicit, must have a paper name.
+	for c := core.Critique(0); int(c) < core.NumCritiques; c++ {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "Critique(") {
+			t.Errorf("critique class %d has no name", int(c))
+		}
 	}
 }
 

@@ -112,6 +112,7 @@ func Run(p *program.Program, h *core.Hybrid, cfg Config, opt Options) Result {
 		opt = DefaultOptions
 	}
 	run := p.NewRun()
+	defer run.Close() // releases the event stream of trace-replay runs
 	walk := core.WalkFunc(p.Walk)
 	fe := frontend.New(frontend.Config{
 		FTQCapacity: cfg.FTQSize,

@@ -18,7 +18,9 @@ const (
 )
 
 // SuiteOrder is the presentation order used by the paper's figures.
-var SuiteOrder = []string{SuiteINT00, SuiteFP00, SuiteWEB, SuiteMM, SuitePROD, SuiteSERV, SuiteWS}
+// SuiteTrace (replayed external workloads) sorts last; suites with no
+// benchmarks in a result set are skipped by the formatters.
+var SuiteOrder = []string{SuiteINT00, SuiteFP00, SuiteWEB, SuiteMM, SuitePROD, SuiteSERV, SuiteWS, SuiteTrace}
 
 // specs defines the synthetic stand-ins for the paper's 108 benchmarks.
 //

@@ -295,7 +295,9 @@ func (p *Program) KindCensus() map[string]int {
 
 // Validate checks CFG invariants: every target in range and every block
 // reachable from block 0 through some direction assignment. It returns an
-// error describing the first violation.
+// error describing the first violation. Trace-reconstructed programs may
+// carry negative edge targets (never-observed edges, see FromTrace);
+// those are legal there and simply end walks early.
 func (p *Program) Validate() error {
 	n := len(p.blocks)
 	if n == 0 {
@@ -303,7 +305,10 @@ func (p *Program) Validate() error {
 	}
 	for i := range p.blocks {
 		b := &p.blocks[i]
-		if b.TakenTo < 0 || b.TakenTo >= n || b.NotTakenTo < 0 || b.NotTakenTo >= n {
+		if b.TakenTo >= n || b.NotTakenTo >= n {
+			return fmt.Errorf("block %d: target out of range (T=%d, N=%d, n=%d)", i, b.TakenTo, b.NotTakenTo, n)
+		}
+		if (b.TakenTo < 0 || b.NotTakenTo < 0) && !p.IsReplay() {
 			return fmt.Errorf("block %d: target out of range (T=%d, N=%d, n=%d)", i, b.TakenTo, b.NotTakenTo, n)
 		}
 		if b.Uops < 1 {
@@ -313,7 +318,7 @@ func (p *Program) Validate() error {
 			return fmt.Errorf("block %d: no model", i)
 		}
 	}
-	// Reachability from the entry block.
+	// Reachability from the entry block (negative = no edge).
 	seen := make([]bool, n)
 	stack := []int{0}
 	seen[0] = true
@@ -323,7 +328,7 @@ func (p *Program) Validate() error {
 		stack = stack[:len(stack)-1]
 		count++
 		for _, t := range []int{p.blocks[i].TakenTo, p.blocks[i].NotTakenTo} {
-			if !seen[t] {
+			if t >= 0 && !seen[t] {
 				seen[t] = true
 				stack = append(stack, t)
 			}

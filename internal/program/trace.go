@@ -1,0 +1,207 @@
+package program
+
+import (
+	"fmt"
+	"io"
+)
+
+// SuiteTrace is the workload suite of trace-replay programs whose
+// recorded metadata carries no suite of their own (e.g. traces converted
+// from external formats). Traces recorded from the synthetic benchmarks
+// keep their original suite.
+const SuiteTrace = "TRACE"
+
+// EventSource streams recorded commit events, one committed conditional
+// branch at a time, returning io.EOF after the last event. Sources are
+// single-use: FromTrace reopens the stream (via its open callback) for
+// the reconstruction scan and then once per Run, which is what keeps
+// replay memory constant in the trace length.
+type EventSource interface {
+	Next() (Event, error)
+	Close() error
+}
+
+// TraceInfo is the metadata FromTrace needs to reconstruct a program
+// from a recorded branch trace.
+type TraceInfo struct {
+	Name  string
+	Suite string // defaults to SuiteTrace when empty
+	Seed  uint64 // original generation seed, for reproducibility reporting
+
+	// Warmup and Measure are the simulation window the trace was recorded
+	// with; replay tools default to the same window so a replayed
+	// sim.Result is bit-identical to the recorded run's.
+	Warmup, Measure int
+
+	// Blocks is the recorded static CFG, if the trace carries one
+	// (Model fields are ignored; negative edge targets mean "none").
+	// When nil, the CFG is inferred from the event stream alone: blocks
+	// appear in first-commit order and only committed edges exist.
+	Blocks []Block
+}
+
+// FromTrace reconstructs an immutable Program from a recorded branch
+// trace. open must return a fresh EventSource positioned at the first
+// event each time it is called; FromTrace consumes one source to build
+// and validate the CFG, and every later NewRun consumes one to stream
+// the committed outcomes.
+//
+// Every block's Model is a synthesized replay model that serves the
+// recorded committed outcomes in commit order, so sim.Run and
+// pipeline.Run drive a replayed program exactly like a synthetic one.
+// Walk and Target remain usable for speculative wrong-path future-bit
+// generation: with a recorded CFG the speculative walk is identical to
+// the original program's, and with an inferred CFG a never-observed edge
+// has target -1, which ends the walk early (Walk reports ok=false) so
+// the critic falls back to the future bits it already has — the paper's
+// "use the bits available" policy.
+func FromTrace(info TraceInfo, open func() (EventSource, error)) (*Program, error) {
+	if info.Name == "" {
+		return nil, fmt.Errorf("program: trace has no workload name")
+	}
+	suite := info.Suite
+	if suite == "" {
+		suite = SuiteTrace
+	}
+	p := &Program{Name: info.Name, Suite: suite, seed: info.Seed,
+		openTrace: open, traceWarmup: info.Warmup, traceMeasure: info.Measure}
+
+	if info.Blocks != nil {
+		p.blocks = append([]Block(nil), info.Blocks...)
+	}
+	p.addrIndex = make(map[uint64]int, len(p.blocks))
+	for i := range p.blocks {
+		if _, dup := p.addrIndex[p.blocks[i].Addr]; dup {
+			return nil, fmt.Errorf("program: trace CFG defines address %#x twice", p.blocks[i].Addr)
+		}
+		p.addrIndex[p.blocks[i].Addr] = i
+	}
+
+	// Reconstruction scan: count events, validate that every event maps
+	// to a known block (or discover the blocks when no CFG was recorded),
+	// and stitch observed taken/fall-through edges.
+	src, err := open()
+	if err != nil {
+		return nil, fmt.Errorf("program: cannot open trace stream: %w", err)
+	}
+	defer src.Close()
+
+	infer := info.Blocks == nil
+	prev, prevTaken := -1, false
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("program: trace scan failed at event %d: %w", p.traceEvents, err)
+		}
+		i, known := p.addrIndex[ev.Addr]
+		if !known {
+			if !infer {
+				return nil, fmt.Errorf("program: trace event %d at %#x has no block in the recorded CFG", p.traceEvents, ev.Addr)
+			}
+			i = len(p.blocks)
+			p.blocks = append(p.blocks, Block{
+				ID: i, Uops: ev.Uops, MemUops: ev.MemUops, FPUops: ev.FPUops,
+				Addr: ev.Addr, TakenTo: -1, NotTakenTo: -1,
+			})
+			p.addrIndex[ev.Addr] = i
+		}
+		if p.traceEvents == 0 && i != 0 {
+			return nil, fmt.Errorf("program: trace does not start at the entry block (first event at %#x is block %d)", ev.Addr, i)
+		}
+		if prev >= 0 && infer {
+			if err := observeEdge(&p.blocks[prev], prevTaken, i); err != nil {
+				return nil, err
+			}
+		}
+		prev, prevTaken = i, ev.Taken
+		p.traceEvents++
+	}
+	if p.traceEvents == 0 {
+		return nil, fmt.Errorf("program: trace %q contains no events", info.Name)
+	}
+
+	// Synthesize the replay models. The cursorless instances stored in
+	// the blocks make Validate and KindCensus work on the program itself;
+	// NewRun rebinds each block to a per-Run cursor over a fresh stream.
+	for i := range p.blocks {
+		p.blocks[i].Model = &replayModel{addr: p.blocks[i].Addr}
+		if p.blocks[i].Uops < 1 {
+			p.blocks[i].Uops = 1 // recorded CFGs may carry zero-uop padding blocks
+		}
+	}
+	return p, nil
+}
+
+// observeEdge records that leaving block b in direction taken reached
+// block next, erroring on a contradiction (the format models direct
+// conditional branches, whose successors are fixed).
+func observeEdge(b *Block, taken bool, next int) error {
+	t := &b.NotTakenTo
+	if taken {
+		t = &b.TakenTo
+	}
+	if *t >= 0 && *t != next {
+		return fmt.Errorf("program: inconsistent trace: block %#x taken=%v reaches both block %d and block %d", b.Addr, taken, *t, next)
+	}
+	*t = next
+	return nil
+}
+
+// IsReplay reports whether the program replays a recorded trace rather
+// than executing behaviour models.
+func (p *Program) IsReplay() bool { return p.openTrace != nil }
+
+// TraceEvents returns the number of committed branches in the backing
+// trace (0 for synthetic programs). Replay runs panic if driven past it.
+func (p *Program) TraceEvents() uint64 { return p.traceEvents }
+
+// TraceWindow returns the warmup/measure window the trace was recorded
+// with; replaying with the same window reproduces the recorded run's
+// sim.Result bit for bit.
+func (p *Program) TraceWindow() (warmup, measure int) {
+	return p.traceWarmup, p.traceMeasure
+}
+
+// replayCursor streams a Run's committed outcomes from the recorded
+// event source; it is shared by all of the Run's replay models, so the
+// outcomes are served strictly in commit order.
+type replayCursor struct {
+	src   EventSource
+	read  uint64
+	total uint64
+}
+
+func (c *replayCursor) next(addr uint64) bool {
+	ev, err := c.src.Next()
+	if err != nil {
+		panic(fmt.Sprintf("program: trace replay exhausted after %d of %d recorded branches (%v); shrink the warmup/measure window to fit the trace", c.read, c.total, err))
+	}
+	c.read++
+	if ev.Addr != addr {
+		panic(fmt.Sprintf("program: trace replay diverged at event %d: executing block %#x but trace recorded %#x", c.read-1, addr, ev.Addr))
+	}
+	return ev.Taken
+}
+
+// replayModel is the Model synthesized by FromTrace: it serves the
+// recorded committed outcome stream in commit order, verifying at every
+// commit that the CFG routing is still on the recorded path. It is
+// deterministic by construction — the trace is the state.
+type replayModel struct {
+	cur  *replayCursor // bound per Run by NewRun; nil on the Program's own blocks
+	addr uint64
+}
+
+// Outcome implements Model.
+func (m *replayModel) Outcome(st *State, ctx Ctx) bool {
+	if m.cur == nil {
+		panic("program: replay model invoked outside a Run; use Program.NewRun")
+	}
+	return m.cur.next(m.addr)
+}
+
+// Kind implements Model.
+func (m *replayModel) Kind() string { return "replay" }

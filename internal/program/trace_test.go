@@ -1,0 +1,189 @@
+package program
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// memSource serves a fixed event slice, implementing EventSource.
+type memSource struct {
+	events []Event
+	pos    int
+	closed bool
+}
+
+func (s *memSource) Next() (Event, error) {
+	if s.pos >= len(s.events) {
+		return Event{}, io.EOF
+	}
+	ev := s.events[s.pos]
+	s.pos++
+	return ev, nil
+}
+
+func (s *memSource) Close() error { s.closed = true; return nil }
+
+// openerFor returns an open callback over evs and a pointer to the last
+// source handed out (to observe Close).
+func openerFor(evs []Event) (func() (EventSource, error), **memSource) {
+	var last *memSource
+	return func() (EventSource, error) {
+		last = &memSource{events: evs}
+		return last, nil
+	}, &last
+}
+
+// ev builds a minimal committed event.
+func ev(addr uint64, taken bool, uops int) Event {
+	return Event{Addr: addr, Taken: taken, Uops: uops}
+}
+
+// A tiny two-branch loop: block A (0x100) taken → itself twice, then
+// falls through to B (0x200), which is taken back to A. A's taken/not
+// edges and B's taken edge are observed; B's fall-through never is.
+func loopEvents() []Event {
+	return []Event{
+		ev(0x100, true, 4), ev(0x100, true, 4), ev(0x100, false, 4),
+		ev(0x200, true, 7),
+		ev(0x100, true, 4), ev(0x100, true, 4), ev(0x100, false, 4),
+		ev(0x200, true, 7),
+		ev(0x100, true, 4),
+	}
+}
+
+func TestFromTraceInfersCFG(t *testing.T) {
+	open, _ := openerFor(loopEvents())
+	p, err := FromTrace(TraceInfo{Name: "loop", Warmup: 1, Measure: 8}, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsReplay() || p.TraceEvents() != 9 {
+		t.Fatalf("replay metadata wrong: replay=%v events=%d", p.IsReplay(), p.TraceEvents())
+	}
+	if p.Suite != SuiteTrace {
+		t.Fatalf("suite = %q, want %q", p.Suite, SuiteTrace)
+	}
+	if p.NumBlocks() != 2 {
+		t.Fatalf("inferred %d blocks, want 2", p.NumBlocks())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("inferred CFG must validate: %v", err)
+	}
+
+	// Observed edges walk; the never-observed fall-through of B ends the
+	// walk early (ok=false) — the "use the bits available" policy.
+	if next, ok := p.Walk(0x100, true); !ok || next != 0x100 {
+		t.Fatalf("A/taken walk = %#x,%v", next, ok)
+	}
+	if next, ok := p.Walk(0x100, false); !ok || next != 0x200 {
+		t.Fatalf("A/fall walk = %#x,%v", next, ok)
+	}
+	if next, ok := p.Walk(0x200, true); !ok || next != 0x100 {
+		t.Fatalf("B/taken walk = %#x,%v", next, ok)
+	}
+	if _, ok := p.Walk(0x200, false); ok {
+		t.Fatal("never-observed edge must end the walk early")
+	}
+	if p.Target(1, false) >= 0 {
+		t.Fatal("never-observed edge must have a negative target")
+	}
+	// Unknown addresses also end the walk.
+	if _, ok := p.Walk(0x999, true); ok {
+		t.Fatal("unknown address must end the walk")
+	}
+}
+
+func TestFromTraceReplayServesRecordedOutcomes(t *testing.T) {
+	events := loopEvents()
+	open, last := openerFor(events)
+	p, err := FromTrace(TraceInfo{Name: "loop"}, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := p.NewRun()
+	for i, want := range events {
+		if got := run.CurrentAddr(); got != want.Addr {
+			t.Fatalf("event %d: at %#x, want %#x", i, got, want.Addr)
+		}
+		e := run.Next()
+		if e.Taken != want.Taken || e.Addr != want.Addr || e.Uops != want.Uops {
+			t.Fatalf("event %d: got %+v, want %+v", i, e, want)
+		}
+	}
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !(*last).closed {
+		t.Fatal("Run.Close must close the event source")
+	}
+
+	// Kind census reports the synthesized replay models.
+	if c := p.KindCensus(); c["replay"] != p.NumBlocks() {
+		t.Fatalf("census = %v, want all replay", c)
+	}
+}
+
+func TestFromTraceExhaustionPanics(t *testing.T) {
+	open, _ := openerFor(loopEvents())
+	p, err := FromTrace(TraceInfo{Name: "loop"}, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := p.NewRun()
+	defer run.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("running past the trace must panic with a clear message")
+		}
+		if !strings.Contains(r.(string), "exhausted") {
+			t.Fatalf("panic message unhelpful: %v", r)
+		}
+	}()
+	for i := 0; i < len(loopEvents())+1; i++ {
+		run.Next()
+	}
+}
+
+func TestFromTraceRejectsBadTraces(t *testing.T) {
+	// No events at all.
+	open, _ := openerFor(nil)
+	if _, err := FromTrace(TraceInfo{Name: "empty"}, open); err == nil {
+		t.Fatal("empty trace must error")
+	}
+	// Missing name.
+	open, _ = openerFor(loopEvents())
+	if _, err := FromTrace(TraceInfo{}, open); err == nil {
+		t.Fatal("nameless trace must error")
+	}
+	// Inconsistent successor for the same (block, direction).
+	bad := []Event{ev(0x100, true, 4), ev(0x200, true, 4), ev(0x100, true, 4), ev(0x300, true, 4)}
+	open, _ = openerFor(bad)
+	if _, err := FromTrace(TraceInfo{Name: "bad"}, open); err == nil {
+		t.Fatal("inconsistent edges must error")
+	}
+	// Event outside a declared CFG.
+	cfg := []Block{{ID: 0, Uops: 2, Addr: 0x100, TakenTo: 0, NotTakenTo: 0}}
+	open, _ = openerFor([]Event{ev(0x100, true, 2), ev(0x500, false, 2)})
+	if _, err := FromTrace(TraceInfo{Name: "stray", Blocks: cfg}, open); err == nil {
+		t.Fatal("event outside the recorded CFG must error")
+	}
+}
+
+// Synthetic programs must be wholly untouched by the replay machinery.
+func TestSyntheticProgramsUnaffected(t *testing.T) {
+	p := MustLoad("gzip")
+	if p.IsReplay() || p.TraceEvents() != 0 {
+		t.Fatal("synthetic program claims to be a replay")
+	}
+	run := p.NewRun()
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is a no-op; the run keeps working.
+	a := run.Next()
+	if a.Uops <= 0 {
+		t.Fatal("synthetic run broken after Close")
+	}
+}

@@ -48,8 +48,9 @@ type Result struct {
 	FinalMisp   uint64 // final (post-critique) mispredicts
 
 	// Critiques is the measured critique distribution, indexed by
-	// core.Critique.
-	Critiques [6]uint64
+	// core.Critique and sized by core.NumCritiques so a new critique
+	// class cannot silently truncate counts.
+	Critiques [core.NumCritiques]uint64
 }
 
 // MispPerKuops is the paper's primary accuracy metric.
@@ -104,6 +105,7 @@ func Run(p *program.Program, h *core.Hybrid, opt Options) Result {
 		opt = DefaultOptions
 	}
 	run := p.NewRun()
+	defer run.Close() // releases the event stream of trace-replay runs
 	walk := core.WalkFunc(p.Walk)
 
 	total := opt.WarmupBranches + opt.MeasureBranches
@@ -140,9 +142,22 @@ func Run(p *program.Program, h *core.Hybrid, opt Options) Result {
 // its own predictor state, as in the paper's per-LIT simulations.
 type Builder func() *core.Hybrid
 
+// RunPrograms simulates the builder's hybrid over each program in
+// parallel (via the shared worker pool) and returns results in input
+// order. Programs may be synthetic benchmarks or trace-replay programs
+// (program.FromTrace); each run opens its own replay stream, so the same
+// trace program is safe to simulate concurrently.
+func RunPrograms(progs []*program.Program, build Builder, opt Options) ([]Result, error) {
+	results := make([]Result, len(progs))
+	err := pool.Run(len(progs), func(i int) error {
+		results[i] = Run(progs[i], build(), opt)
+		return nil
+	})
+	return results, err
+}
+
 // RunBenchmarks simulates the builder's hybrid over each named benchmark
-// in parallel (via the shared worker pool) and returns results in input
-// order.
+// in parallel and returns results in input order.
 func RunBenchmarks(names []string, build Builder, opt Options) ([]Result, error) {
 	progs := make([]*program.Program, len(names))
 	for i, n := range names {
@@ -152,12 +167,7 @@ func RunBenchmarks(names []string, build Builder, opt Options) ([]Result, error)
 		}
 		progs[i] = p
 	}
-	results := make([]Result, len(names))
-	err := pool.Run(len(progs), func(i int) error {
-		results[i] = Run(progs[i], build(), opt)
-		return nil
-	})
-	return results, err
+	return RunPrograms(progs, build, opt)
 }
 
 // RunAll simulates over every benchmark in the workload inventory.

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"prophetcritic/internal/program"
+)
+
+// Record executes p for warmup+measure committed branches and writes the
+// resulting trace — complete static CFG plus the committed event stream —
+// to w. Replaying the trace with the same window and the same predictor
+// reproduces the original run's sim.Result bit for bit, because the
+// recorded CFG makes even speculative wrong-path walks identical.
+func Record(p *program.Program, warmup, measure int, w io.Writer) error {
+	if warmup < 0 || measure <= 0 {
+		return fmt.Errorf("trace: invalid record window (warmup %d, measure %d)", warmup, measure)
+	}
+	tw, err := NewWriter(w, Meta{
+		Name: p.Name, Suite: p.Suite, Seed: p.Seed(),
+		Warmup: warmup, Measure: measure,
+	}, p.Blocks())
+	if err != nil {
+		return err
+	}
+	run := p.NewRun()
+	defer run.Close()
+	for i := 0; i < warmup+measure; i++ {
+		if err := tw.WriteEvent(run.Next()); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}
+
+// fileSource adapts a Reader over an open file to program.EventSource.
+type fileSource struct {
+	f *os.File
+	r *Reader
+}
+
+func (s *fileSource) Next() (program.Event, error) { return s.r.Next() }
+
+func (s *fileSource) Close() error {
+	zerr := s.r.Close()
+	ferr := s.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}
+
+// openFile opens path as a streaming event source.
+func openFile(path string) (*fileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fileSource{f: f, r: r}, nil
+}
+
+// Load reconstructs a replayable program from a trace file. The returned
+// program is immutable and safe for concurrent simulation: every
+// Program.NewRun reopens the file and streams events, so replay memory
+// stays constant no matter the trace size.
+func Load(path string) (*program.Program, error) {
+	src, err := openFile(path)
+	if err != nil {
+		return nil, err
+	}
+	meta, cfg := src.r.Meta(), src.r.CFG()
+	src.Close()
+
+	return program.FromTrace(program.TraceInfo{
+		Name: meta.Name, Suite: meta.Suite, Seed: meta.Seed,
+		Warmup: meta.Warmup, Measure: meta.Measure,
+		Blocks: cfg,
+	}, func() (program.EventSource, error) { return openFile(path) })
+}
+
+// Info scans a trace file end to end, validating it, and returns its
+// metadata, its totals, and whether it carries a recorded CFG.
+func Info(path string) (Meta, Stats, bool, error) {
+	src, err := openFile(path)
+	if err != nil {
+		return Meta{}, Stats{}, false, err
+	}
+	defer src.Close()
+	hasCFG := src.r.CFG() != nil
+	for {
+		if _, err := src.r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			return src.r.Meta(), Stats{}, hasCFG, err
+		}
+	}
+	stats, _ := src.r.Stats()
+	return src.r.Meta(), stats, hasCFG, nil
+}
