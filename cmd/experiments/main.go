@@ -3,6 +3,7 @@
 //	experiments -exp fig5          # one experiment
 //	experiments -exp all           # everything, in paper order
 //	experiments -exp all -fast     # reduced windows (smoke test)
+//	experiments -exp all -shards 8 # intra-workload parallel functional sims
 //	experiments -list              # enumerate experiment ids
 //
 // Output is plain text, one table per experiment, deterministic for a
@@ -17,15 +18,18 @@ import (
 
 	"prophetcritic/internal/experiments"
 	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
 	"prophetcritic/internal/trace"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id or 'all'")
-		fast      = flag.Bool("fast", false, "use reduced measurement windows")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		traceFlag = flag.String("trace", "", "replay a recorded trace file as the workload of every simulation experiment")
+		exp        = flag.String("exp", "all", "experiment id or 'all'")
+		fast       = flag.Bool("fast", false, "use reduced measurement windows")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		traceFlag  = flag.String("trace", "", "replay a recorded trace file as the workload of every simulation experiment")
+		shards     = flag.Int("shards", 1, "split each functional simulation into K parallel intervals")
+		warmupFrac = flag.Float64("warmup-frac", 1, "fraction of each shard's prefix replayed as warmup (1 = exact)")
 	)
 	flag.Parse()
 
@@ -36,10 +40,16 @@ func main() {
 		return
 	}
 
+	if err := (sim.ShardOptions{Shards: *shards, WarmupFrac: *warmupFrac}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	opt := experiments.Full
 	if *fast {
 		opt = experiments.Fast
 	}
+	opt.Shards = *shards
+	opt.WarmupFrac = *warmupFrac
 	if *traceFlag != "" {
 		p, err := trace.Load(*traceFlag)
 		if err != nil {

@@ -33,6 +33,8 @@ func main() {
 		warmup      = flag.Int("warmup", 120_000, "warmup branches")
 		measure     = flag.Int("measure", 250_000, "measured branches")
 		list        = flag.Bool("benchmarks", false, "list benchmarks and exit")
+		shards      = flag.Int("shards", 1, "split the measurement window into K parallel intervals (functional runs only)")
+		warmupFrac  = flag.Float64("warmup-frac", 1, "fraction of each shard's prefix replayed as warmup (1 = exact)")
 	)
 	flag.Parse()
 
@@ -67,6 +69,14 @@ func main() {
 	} else if prog, err = program.Load(*bench); err != nil {
 		fatal(err)
 	}
+	so := sim.ShardOptions{Shards: *shards, WarmupFrac: *warmupFrac}
+	if err := so.Validate(); err != nil {
+		fatal(err)
+	}
+	if *timing && so.Shards > 1 {
+		fatal(fmt.Errorf("-shards applies to functional runs only; the timing model is inherently sequential"))
+	}
+
 	h, err := buildHybrid(*prophetFlag, *criticFlag, *fb, *unfiltered)
 	if err != nil {
 		fatal(err)
@@ -89,7 +99,24 @@ func main() {
 		return
 	}
 
-	r := sim.Run(prog, h, sim.Options{WarmupBranches: *warmup, MeasureBranches: *measure})
+	opt := sim.Options{WarmupBranches: *warmup, MeasureBranches: *measure}
+	var r sim.Result
+	if so.Shards > 1 {
+		// Each shard builds its own hybrid; the one constructed above
+		// only reported the configuration banner.
+		build := func() *core.Hybrid {
+			h, err := buildHybrid(*prophetFlag, *criticFlag, *fb, *unfiltered)
+			if err != nil {
+				panic(err) // specs were already validated above
+			}
+			return h
+		}
+		if r, err = sim.RunSharded(prog, build, opt, so); err != nil {
+			fatal(err)
+		}
+	} else {
+		r = sim.Run(prog, h, opt)
+	}
 	fmt.Printf("branches:          %d (%d uops)\n", r.Branches, r.Uops)
 	fmt.Printf("prophet misp:      %d (%.2f%% of branches, %.3f/Kuops)\n",
 		r.ProphetMisp, float64(r.ProphetMisp)/float64(r.Branches)*100, r.ProphetMispPerKuops())

@@ -2,13 +2,18 @@
 //
 //	sweep -bench gcc,unzip -prophet 2Bc-gskew:8 -critic "tagged gshare:8" -fb 0,1,4,8,12
 //	sweep -trace gcc.trc -fb 0,1,4
+//	sweep -trace gcc.trc -shards 8            # intra-workload parallel, exact
+//	sweep -trace gcc.trc -shards 8 -warmup-frac 0.25   # faster, approximate
 //
 // It prints one row per (benchmark, future-bit count) with prophet and
 // final mispredict rates, misp/Kuops, and the critique distribution, and
 // is the calibration tool used while tuning the synthetic workloads. With
 // -trace, the workload is a recorded branch trace instead of a named
 // synthetic benchmark; a trace recorded with the default window replays
-// to exactly the rows the direct run produces.
+// to exactly the rows the direct run produces. With -shards K, each
+// workload's measurement window is split into K intervals simulated in
+// parallel; at the default -warmup-frac 1 the rows are bit-identical to
+// the sequential run's.
 package main
 
 import (
@@ -37,6 +42,8 @@ func main() {
 		measure     = flag.Int("measure", sim.DefaultOptions.MeasureBranches, "measured branches")
 		unfiltered  = flag.Bool("unfiltered", false, "use the critic unfiltered even if tagged")
 		verbose     = flag.Bool("v", false, "per-benchmark rows (default prints means only)")
+		shards      = flag.Int("shards", 1, "split each workload's measurement window into K parallel intervals")
+		warmupFrac  = flag.Float64("warmup-frac", 1, "fraction of each shard's prefix replayed as warmup (1 = exact)")
 	)
 	flag.Parse()
 
@@ -71,6 +78,10 @@ func main() {
 			fatal(err)
 		}
 	}
+	so := sim.ShardOptions{Shards: *shards, WarmupFrac: *warmupFrac}
+	if err := so.Validate(); err != nil {
+		fatal(err)
+	}
 	opt := sim.Options{WarmupBranches: *warmup, MeasureBranches: *measure}
 
 	fmt.Printf("prophet: %s @%dKB   critic: %s   workload: %s\n", prophetCfg.Kind, prophetCfg.KB, *criticFlag, workload)
@@ -87,7 +98,13 @@ func main() {
 			filtered := criticCfg.IsCritic() && !*unfiltered
 			return core.New(p, c, core.Config{FutureBits: uint(fb), Filtered: filtered, BORLen: criticCfg.BORSize})
 		}
-		rs, err := sim.RunPrograms(progs, build, opt)
+		var rs []sim.Result
+		var err error
+		if so.Shards > 1 {
+			rs, err = sim.RunProgramsSharded(progs, build, opt, so)
+		} else {
+			rs, err = sim.RunPrograms(progs, build, opt)
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"prophetcritic/internal/budget"
 	"prophetcritic/internal/core"
+	"prophetcritic/internal/sim"
 )
 
 func TestParseKindKB(t *testing.T) {
@@ -88,5 +89,29 @@ func TestResolveWorkloadErrors(t *testing.T) {
 	}
 	if len(progs) != 2 || !strings.Contains(desc, "2") {
 		t.Fatalf("resolve = %d progs, %q", len(progs), desc)
+	}
+}
+
+// -shards/-warmup-frac validation is shared with pcsim and experiments
+// through sim.ShardOptions.Validate; pin the clean-error contract here
+// where the flags are parsed.
+func TestValidateShardFlags(t *testing.T) {
+	for _, tc := range []struct {
+		shards int
+		frac   float64
+		ok     bool
+	}{
+		{1, 1, true},
+		{4, 0.5, true},
+		{0, 1, false},
+		{-2, 1, false},
+		{1 << 30, 1, false},
+		{4, -0.5, false},
+		{4, 2, false},
+	} {
+		err := sim.ShardOptions{Shards: tc.shards, WarmupFrac: tc.frac}.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("shards=%d frac=%v: err=%v, want ok=%v", tc.shards, tc.frac, err, tc.ok)
+		}
 	}
 }

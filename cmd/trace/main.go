@@ -1,14 +1,25 @@
-// Command trace records, inspects, and replays branch traces:
+// Command trace records, inspects, and replays branch traces, and dumps
+// and restores mid-trace predictor checkpoints:
 //
 //	trace record -bench gcc -o gcc.trc            # capture a run
 //	trace info gcc.trc                            # header + totals
 //	trace replay gcc.trc                          # re-simulate the trace
 //	trace replay -prophet perceptron:8 gcc.trc    # different predictor
+//	trace checkpoint dump -trace gcc.trc -at 30000 -o gcc.ck
+//	trace checkpoint info gcc.ck                  # meta + state size
+//	trace checkpoint restore -trace gcc.trc -ck gcc.ck -measure 50000
 //
 // record captures the default simulation window (the same one sweep and
 // pcsim use), CFG included, so `trace replay` reproduces the direct
 // synthetic run's result bit for bit and `sweep -trace` matches
 // `sweep -bench`.
+//
+// checkpoint dump simulates the workload's first -at branches into a
+// predictor and serializes its complete state (internal/checkpoint);
+// restore rebuilds the predictor from the checkpoint's own metadata,
+// fast-forwards the workload to the recorded position, and measures from
+// there — producing exactly the result a full run measuring the same
+// window would, without re-training the prefix.
 package main
 
 import (
@@ -36,6 +47,8 @@ func main() {
 		info(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "checkpoint":
+		checkpointCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -46,7 +59,13 @@ func usage() {
   trace record -bench <name> -o <file> [-warmup N] [-measure N]
   trace info   <file>
   trace replay [-prophet kind:KB] [-critic kind:KB|none] [-fb N]
-               [-unfiltered] [-warmup N] [-measure N] <file>`)
+               [-unfiltered] [-warmup N] [-measure N] <file>
+  trace checkpoint dump    (-trace <file> | -bench <name>) -at N -o <ck>
+                           [-prophet kind:KB] [-critic kind:KB|none]
+                           [-fb N] [-unfiltered]
+  trace checkpoint info    <ck>
+  trace checkpoint restore (-trace <file> | -bench <name>) -ck <ck>
+                           [-measure N]`)
 	os.Exit(2)
 }
 

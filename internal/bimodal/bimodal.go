@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/checkpoint"
 	"prophetcritic/internal/counter"
 )
 
@@ -65,4 +66,35 @@ func (b *Bimodal) SizeBits() int { return len(b.table) * int(b.ctrWidth) }
 // Name implements predictor.Predictor.
 func (b *Bimodal) Name() string {
 	return fmt.Sprintf("bimodal-%dx%db", len(b.table), b.ctrWidth)
+}
+
+// Snapshot implements checkpoint.Snapshotter: the raw counter values.
+func (b *Bimodal) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("bimodal")
+	vals := make([]uint8, len(b.table))
+	for i := range b.table {
+		vals[i] = b.table[i].Value()
+	}
+	enc.Uint8s(vals)
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (b *Bimodal) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("bimodal")
+	vals := make([]uint8, len(b.table))
+	dec.Uint8s(vals)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	// Validate the whole payload before mutating anything: a failed
+	// Restore must leave the predictor untouched.
+	for i := range vals {
+		if vals[i] > b.table[i].Max() {
+			return fmt.Errorf("bimodal: counter value %d exceeds %d-bit width", vals[i], b.ctrWidth)
+		}
+	}
+	for i := range b.table {
+		b.table[i].Set(vals[i])
+	}
+	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/checkpoint"
 )
 
 // JRS is a resetting-counter confidence estimator.
@@ -96,4 +97,27 @@ func (j *JRS) Name() string {
 		v = "jrs+future"
 	}
 	return fmt.Sprintf("%s-%dent-h%d-t%d", v, len(j.table), j.histLen, j.threshold)
+}
+
+// Snapshot implements checkpoint.Snapshotter: the resetting counters.
+func (j *JRS) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("jrs")
+	enc.Uint8s(j.table)
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (j *JRS) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("jrs")
+	tmp := make([]uint8, len(j.table))
+	dec.Uint8s(tmp)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for i, v := range tmp {
+		if v > j.ceiling {
+			return fmt.Errorf("confidence: counter %d holds %d, above the %d ceiling", i, v, j.ceiling)
+		}
+	}
+	copy(j.table, tmp)
+	return nil
 }

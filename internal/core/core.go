@@ -29,6 +29,7 @@ package core
 import (
 	"fmt"
 
+	"prophetcritic/internal/checkpoint"
 	"prophetcritic/internal/history"
 	"prophetcritic/internal/predictor"
 )
@@ -354,4 +355,98 @@ func (h *Hybrid) Name() string {
 		mode = "filtered"
 	}
 	return fmt.Sprintf("%s + %s (%s, %d future bits)", h.prophet.Name(), h.critic.Name(), mode, h.cfg.FutureBits)
+}
+
+// Snapshot implements checkpoint.Snapshotter: the configuration echo (a
+// restore guard), the architectural BHR/BOR, the accumulated statistics,
+// and both component predictors. It panics if a component does not
+// implement checkpoint.Snapshotter — every predictor in this repository
+// does.
+func (h *Hybrid) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("hybrid")
+	enc.Uvarint(uint64(h.cfg.FutureBits))
+	enc.Bool(h.cfg.Filtered)
+	enc.Uvarint(uint64(h.cfg.BORLen))
+	enc.Uvarint(uint64(h.cfg.BHRLen))
+	enc.Bool(h.critic != nil)
+	enc.Uvarint(h.stats.Branches)
+	enc.Uvarint(h.stats.ProphetMispredict)
+	enc.Uvarint(h.stats.FinalMispredict)
+	for c := range h.stats.Critiques {
+		enc.Uvarint(h.stats.Critiques[c])
+	}
+	h.bhr.Snapshot(enc)
+	snapshotComponent(enc, h.prophet, "prophet")
+	if h.critic != nil {
+		h.bor.Snapshot(enc)
+		snapshotComponent(enc, h.critic, "critic")
+	}
+}
+
+// Restore implements checkpoint.Snapshotter. The hybrid must have been
+// built with the same configuration and component structure the snapshot
+// was taken from; mismatches are reported as errors, never panics.
+func (h *Hybrid) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("hybrid")
+	fb := uint(dec.Uvarint())
+	filtered := dec.Bool()
+	borLen := uint(dec.Uvarint())
+	bhrLen := uint(dec.Uvarint())
+	hasCritic := dec.Bool()
+	if dec.Err() == nil {
+		switch {
+		case fb != h.cfg.FutureBits || filtered != h.cfg.Filtered:
+			dec.Failf("core: snapshot of a (fb=%d, filtered=%v) hybrid restored into (fb=%d, filtered=%v)",
+				fb, filtered, h.cfg.FutureBits, h.cfg.Filtered)
+		case borLen != h.cfg.BORLen || bhrLen != h.cfg.BHRLen:
+			dec.Failf("core: snapshot register lengths (BHR %d, BOR %d) do not match hybrid (BHR %d, BOR %d)",
+				bhrLen, borLen, h.cfg.BHRLen, h.cfg.BORLen)
+		case hasCritic != (h.critic != nil):
+			dec.Failf("core: snapshot critic presence (%v) does not match hybrid (%v)", hasCritic, h.critic != nil)
+		}
+	}
+	var stats Stats
+	stats.Branches = dec.Uvarint()
+	stats.ProphetMispredict = dec.Uvarint()
+	stats.FinalMispredict = dec.Uvarint()
+	for c := range stats.Critiques {
+		stats.Critiques[c] = dec.Uvarint()
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if err := h.bhr.Restore(dec); err != nil {
+		return err
+	}
+	if err := restoreComponent(dec, h.prophet, "prophet"); err != nil {
+		return err
+	}
+	if h.critic != nil {
+		if err := h.bor.Restore(dec); err != nil {
+			return err
+		}
+		if err := restoreComponent(dec, h.critic, "critic"); err != nil {
+			return err
+		}
+	}
+	h.stats = stats
+	return nil
+}
+
+// snapshotComponent and restoreComponent bridge the predictor interface
+// to the checkpoint seam.
+func snapshotComponent(enc *checkpoint.Encoder, p predictor.Predictor, role string) {
+	s, ok := p.(checkpoint.Snapshotter)
+	if !ok {
+		panic(fmt.Sprintf("core: %s %s does not implement checkpoint.Snapshotter", role, p.Name()))
+	}
+	s.Snapshot(enc)
+}
+
+func restoreComponent(dec *checkpoint.Decoder, p predictor.Predictor, role string) error {
+	s, ok := p.(checkpoint.Snapshotter)
+	if !ok {
+		return fmt.Errorf("core: %s %s does not implement checkpoint.Snapshotter", role, p.Name())
+	}
+	return s.Restore(dec)
 }

@@ -10,6 +10,8 @@
 // branch was actually not-taken" (Section 3.2).
 package counter
 
+import "fmt"
+
 // Sat is an unsigned saturating counter of configurable width (1..8 bits).
 type Sat struct {
 	v    uint8
@@ -143,6 +145,18 @@ func Sat2Weak(taken bool) uint8 {
 		return 2
 	}
 	return Sat2Cold
+}
+
+// ValidateSat2 checks that every value in a flat 2-bit counter table is
+// representable (0..3). Restoring a corrupt checkpoint must fail here
+// rather than leave counters the saturation logic can never reach.
+func ValidateSat2(table []uint8) error {
+	for i, v := range table {
+		if v > 3 {
+			return fmt.Errorf("counter: entry %d holds %d, outside the 2-bit range", i, v)
+		}
+	}
+	return nil
 }
 
 // Weight is a signed saturating weight used by perceptron predictors.

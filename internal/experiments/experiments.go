@@ -30,6 +30,27 @@ type Options struct {
 	// uses to run the paper's figures over recorded traces instead of
 	// the synthetic inventory. Formatters label rows by program name.
 	Workloads []*program.Program
+
+	// Shards, when > 1, splits every functional simulation into that
+	// many parallel measurement intervals (sim.RunSharded). WarmupFrac
+	// is the per-shard warmup-replay fraction; 0 means full-warmup
+	// replay, which keeps every emitted table byte-identical to the
+	// sequential run. Timing experiments are inherently sequential and
+	// ignore both fields.
+	Shards     int
+	WarmupFrac float64
+}
+
+// shardOptions translates the experiment options into the functional
+// simulator's shard configuration. An unset WarmupFrac means full-warmup
+// replay here (as the Options doc promises): experiment tables must stay
+// byte-identical unless the caller explicitly opts into approximation.
+func (o Options) shardOptions() sim.ShardOptions {
+	f := o.WarmupFrac
+	if f == 0 {
+		f = 1
+	}
+	return sim.ShardOptions{Shards: o.Shards, WarmupFrac: f}
 }
 
 // Programs resolves an experiment's workload set: the explicit override

@@ -144,3 +144,25 @@ func TestProgramsOverride(t *testing.T) {
 		t.Fatalf("override not honoured: %v", progs)
 	}
 }
+
+// Sharded functional simulation with full-warmup replay must leave every
+// emitted table byte-identical to the sequential run — the invariant the
+// golden-output CI job depends on when -shards is in play.
+func TestShardedOutputByteIdentical(t *testing.T) {
+	e, err := ByID("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq, sharded bytes.Buffer
+	if err := e.Run(&seq, Fast); err != nil {
+		t.Fatal(err)
+	}
+	opt := Fast
+	opt.Shards = 4
+	if err := e.Run(&sharded, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), sharded.Bytes()) {
+		t.Fatal("fig5 output changed under 4-way sharding with full-warmup replay")
+	}
+}

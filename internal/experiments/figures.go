@@ -29,7 +29,7 @@ func Fig5(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
-	rs, err := runSimMatrix(builds, progs, opt.Functional)
+	rs, err := runSimMatrix(builds, progs, opt)
 	if err != nil {
 		return err
 	}
@@ -179,7 +179,7 @@ func Fig8(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
-	rs, err := runSimMatrix(builds, progs, opt.Functional)
+	rs, err := runSimMatrix(builds, progs, opt)
 	if err != nil {
 		return err
 	}

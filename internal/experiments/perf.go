@@ -124,7 +124,7 @@ func Headline(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
-	matrix, err := runSimMatrix(builds, progs, opt.Functional)
+	matrix, err := runSimMatrix(builds, progs, opt)
 	if err != nil {
 		return err
 	}

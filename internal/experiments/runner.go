@@ -38,14 +38,35 @@ func loadPrograms(names []string) ([]*program.Program, error) {
 // functional-simulation matrix concurrently. results[ci][bi] is builder
 // ci on program bi, in input order. Trace-replay programs are safe here:
 // every cell's run opens its own event stream.
-func runSimMatrix(builds []sim.Builder, progs []*program.Program, opt sim.Options) ([][]sim.Result, error) {
+//
+// With opt.Shards > 1 each cell instead splits its measurement window
+// across intra-workload shards (sim.RunSharded) — the regime for few
+// long workloads on many cores. Cells then run sequentially: the
+// parallelism budget belongs to the shards within each cell, and
+// nesting a sharded pool inside the cell pool would oversubscribe the
+// CPUs while full-warmup replay multiplies total work. Full-warmup
+// replay keeps every cell bit-identical to its sequential run, so shard
+// settings never change emitted tables.
+func runSimMatrix(builds []sim.Builder, progs []*program.Program, opt Options) ([][]sim.Result, error) {
 	results := make([][]sim.Result, len(builds))
 	for ci := range results {
 		results[ci] = make([]sim.Result, len(progs))
 	}
+	if so := opt.shardOptions(); so.Shards > 1 {
+		for ci := range builds {
+			for bi := range progs {
+				r, err := sim.RunSharded(progs[bi], builds[ci], opt.Functional, so)
+				if err != nil {
+					return nil, err
+				}
+				results[ci][bi] = r
+			}
+		}
+		return results, nil
+	}
 	err := pool.Run(len(builds)*len(progs), func(k int) error {
 		ci, bi := k/len(progs), k%len(progs)
-		results[ci][bi] = sim.Run(progs[bi], builds[ci](), opt)
+		results[ci][bi] = sim.Run(progs[bi], builds[ci](), opt.Functional)
 		return nil
 	})
 	if err != nil {
@@ -71,7 +92,7 @@ func meanMispMatrix(builds []sim.Builder, opt Options) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	rs, err := runSimMatrix(builds, progs, opt.Functional)
+	rs, err := runSimMatrix(builds, progs, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -109,7 +109,7 @@ func Table4(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
-	matrix, err := runSimMatrix(builds, progs, opt.Functional)
+	matrix, err := runSimMatrix(builds, progs, opt)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@ package filtered
 import (
 	"fmt"
 
+	"prophetcritic/internal/checkpoint"
 	"prophetcritic/internal/perceptron"
 	"prophetcritic/internal/predictor"
 	"prophetcritic/internal/tagtable"
@@ -84,4 +85,21 @@ func (f *Perceptron) Pool() int { return f.pred.Pool() }
 // Name implements predictor.Predictor.
 func (f *Perceptron) Name() string {
 	return fmt.Sprintf("filtered-%s-flt%dx%dway", f.pred.Name(), f.filter.Entries()/f.filter.Ways(), f.filter.Ways())
+}
+
+// Snapshot implements checkpoint.Snapshotter: the perceptron pool and
+// the tag filter.
+func (f *Perceptron) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("filtered-perceptron")
+	f.pred.Snapshot(enc)
+	f.filter.Snapshot(enc)
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (f *Perceptron) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("filtered-perceptron")
+	if err := f.pred.Restore(dec); err != nil {
+		return err
+	}
+	return f.filter.Restore(dec)
 }

@@ -11,7 +11,11 @@
 // FTQ (Section 5).
 package ftq
 
-import "fmt"
+import (
+	"fmt"
+
+	"prophetcritic/internal/checkpoint"
+)
 
 // Entry is one predicted fetch block in the queue.
 type Entry struct {
@@ -131,4 +135,62 @@ func (q *FTQ) EmptyRate() float64 {
 		return 0
 	}
 	return float64(q.empty) / float64(q.polls)
+}
+
+// Snapshot implements checkpoint.Snapshotter: the ring buffer, cursor
+// state, and occupancy statistics.
+func (q *FTQ) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("ftq")
+	enc.Uvarint(uint64(q.cap))
+	enc.Uvarint(uint64(q.head))
+	enc.Uvarint(uint64(q.size))
+	enc.Uvarint(q.empty)
+	enc.Uvarint(q.polls)
+	for i := range q.buf {
+		e := &q.buf[i]
+		enc.Uvarint(e.BranchAddr)
+		enc.Bool(e.Prophet)
+		enc.Bool(e.Final)
+		enc.Bool(e.Criticized)
+		enc.Svarint(int64(e.Uops))
+		enc.Svarint(int64(e.MemUops))
+		enc.Svarint(int64(e.FPUops))
+		enc.Svarint(int64(e.BlockID))
+		enc.Svarint(int64(e.Tag))
+	}
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (q *FTQ) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("ftq")
+	if c := dec.Uvarint(); dec.Err() == nil && c != uint64(q.cap) {
+		dec.Failf("ftq: %d-entry snapshot restored into %d-entry queue", c, q.cap)
+	}
+	head := dec.Uvarint()
+	size := dec.Uvarint()
+	if dec.Err() == nil && (head >= uint64(q.cap) || size > uint64(q.cap)) {
+		dec.Failf("ftq: cursor (head %d, size %d) outside a %d-entry queue", head, size, q.cap)
+	}
+	empty := dec.Uvarint()
+	polls := dec.Uvarint()
+	tmp := make([]Entry, q.cap)
+	for i := range tmp {
+		e := &tmp[i]
+		e.BranchAddr = dec.Uvarint()
+		e.Prophet = dec.Bool()
+		e.Final = dec.Bool()
+		e.Criticized = dec.Bool()
+		e.Uops = int(dec.Svarint())
+		e.MemUops = int(dec.Svarint())
+		e.FPUops = int(dec.Svarint())
+		e.BlockID = int(dec.Svarint())
+		e.Tag = int(dec.Svarint())
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	q.head, q.size = int(head), int(size)
+	q.empty, q.polls = empty, polls
+	copy(q.buf, tmp)
+	return nil
 }

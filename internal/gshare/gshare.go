@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/checkpoint"
 	"prophetcritic/internal/counter"
 )
 
@@ -113,4 +114,26 @@ func (g *Gshare) Name() string {
 // Counter exposes the counter at (addr, hist) for white-box tests.
 func (g *Gshare) Counter(addr, hist uint64) counter.Sat {
 	return counter.NewSat(2, g.table[g.index(addr, hist)])
+}
+
+// Snapshot implements checkpoint.Snapshotter: the flat 2-bit counter
+// table.
+func (g *Gshare) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("gshare")
+	enc.Uint8s(g.table)
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (g *Gshare) Restore(dec *checkpoint.Decoder) error {
+	tmp := make([]uint8, len(g.table))
+	dec.Section("gshare")
+	dec.Uint8s(tmp)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if err := counter.ValidateSat2(tmp); err != nil {
+		return fmt.Errorf("gshare: %w", err)
+	}
+	copy(g.table, tmp)
+	return nil
 }

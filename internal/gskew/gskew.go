@@ -26,6 +26,7 @@ import (
 	"math/bits"
 
 	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/checkpoint"
 	"prophetcritic/internal/counter"
 )
 
@@ -205,4 +206,35 @@ func (g *Gskew) SizeBits() int { return 4 * len(g.bim) * 2 }
 // Name implements predictor.Predictor.
 func (g *Gskew) Name() string {
 	return fmt.Sprintf("2Bc-gskew-%dKent-h%d", len(g.bim)/1024, g.histLen)
+}
+
+// Snapshot implements checkpoint.Snapshotter: the four flat 2-bit
+// counter tables (g1Hist is a derived memo, not state).
+func (g *Gskew) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("gskew")
+	enc.Uint8s(g.bim)
+	enc.Uint8s(g.g0)
+	enc.Uint8s(g.g1)
+	enc.Uint8s(g.meta)
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (g *Gskew) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("gskew")
+	tables := [][]uint8{g.bim, g.g0, g.g1, g.meta}
+	tmp := make([][]uint8, len(tables))
+	for i, t := range tables {
+		tmp[i] = make([]uint8, len(t))
+		dec.Uint8s(tmp[i])
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for i, t := range tmp {
+		if err := counter.ValidateSat2(t); err != nil {
+			return fmt.Errorf("gskew: table %d: %w", i, err)
+		}
+		copy(tables[i], t)
+	}
+	return nil
 }

@@ -17,16 +17,20 @@
 // it (future). The register itself does not distinguish them; the
 // prophet/critic core tracks how many of the newest bits are future bits.
 //
-// Register is a small value type: copying one (plain assignment, or
-// Snapshot) yields an independent register, which is how the simulator's
-// speculative future-bit walks obtain stack-allocated scratch registers
-// without heap allocation.
+// Register is a small value type: copying one (plain assignment) yields
+// an independent register, which is how the simulator's speculative
+// future-bit walks obtain stack-allocated scratch registers without heap
+// allocation. The mispredict-repair checkpointing of Section 3.3 is that
+// same value copy; the Snapshot/Restore pair is the separate persistent
+// serialization seam (internal/checkpoint) shared by every stateful
+// component.
 package history
 
 import (
 	"fmt"
 
 	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/checkpoint"
 )
 
 // MaxLen is the maximum register length. 64 bits covers every configuration
@@ -98,30 +102,31 @@ func (r Register) Window(offset, n uint) uint64 {
 	return (r.v >> offset) & bitutil.Mask(n)
 }
 
-// Snapshot returns an independent copy of the register. Because Register
-// is a value type this is a plain copy — the speculative future-bit walks
-// of the functional simulator keep snapshots on the stack.
-func (r Register) Snapshot() Register { return r }
-
-// Checkpoint captures the register state. Restoring a checkpoint is O(1);
-// this is the repair mechanism of Section 3.3.
-func (r Register) Checkpoint() Checkpoint {
-	return Checkpoint{v: r.v, len: r.len}
+// Snapshot implements checkpoint.Snapshotter: the register length (as a
+// geometry guard) and its contents.
+func (r Register) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("history")
+	enc.Uvarint(uint64(r.len))
+	enc.Uvarint(r.v)
 }
 
-// Restore rewinds the register to a previously captured checkpoint. It
-// panics if the checkpoint was taken from a register of different length.
-func (r *Register) Restore(c Checkpoint) {
-	if c.len != r.len {
-		panic(fmt.Sprintf("history: restoring %d-bit checkpoint into %d-bit register", c.len, r.len))
+// Restore implements checkpoint.Snapshotter. It errors if the snapshot
+// was taken from a register of a different length.
+func (r *Register) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("history")
+	if n := uint(dec.Uvarint()); dec.Err() == nil && n != r.len {
+		dec.Failf("history: restoring %d-bit snapshot into %d-bit register", n, r.len)
 	}
-	r.v = c.v
+	v := dec.Uvarint()
+	if dec.Err() == nil && v&^r.mask != 0 {
+		dec.Failf("history: snapshot value %#x has bits outside the %d-bit register", v, r.len)
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	r.v = v
+	return nil
 }
-
-// Clone returns an independent copy of the register. With the value-type
-// API it is equivalent to Snapshot (plain assignment); it survives as a
-// shim for the older pointer-style call sites.
-func (r Register) Clone() Register { return r }
 
 // Reset clears the register to all not-taken.
 func (r *Register) Reset() { r.v = 0 }
@@ -143,14 +148,3 @@ func (r Register) String() string {
 	}
 	return string(buf)
 }
-
-// Checkpoint is an opaque snapshot of a Register.
-type Checkpoint struct {
-	v   uint64
-	len uint
-}
-
-// Value exposes the checkpointed register contents; predictors record the
-// history value used at prediction time so pattern tables can be updated
-// non-speculatively at commit with that same value.
-func (c Checkpoint) Value() uint64 { return c.v }

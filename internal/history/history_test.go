@@ -3,6 +3,8 @@ package history
 import (
 	"testing"
 	"testing/quick"
+
+	"prophetcritic/internal/checkpoint"
 )
 
 func TestPushShiftsNewestToBit0(t *testing.T) {
@@ -73,29 +75,31 @@ func TestWindow(t *testing.T) {
 	}
 }
 
-func TestCheckpointRestore(t *testing.T) {
+func TestSnapshotRestore(t *testing.T) {
 	r := New(16)
 	r.PushBits(0xABC, 12)
-	cp := r.Checkpoint()
+	enc := checkpoint.NewEncoder()
+	r.Snapshot(enc)
 	r.PushBits(0xFFF, 12)
-	if r.Value() == cp.Value() {
-		t.Fatal("register should have diverged from checkpoint")
+	if r.Value() == 0xABC {
+		t.Fatal("register should have diverged from snapshot")
 	}
-	r.Restore(cp)
-	if r.Value() != cp.Value() {
-		t.Fatalf("restore failed: %#x != %#x", r.Value(), cp.Value())
+	if err := r.Restore(checkpoint.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if r.Value() != 0xABC {
+		t.Fatalf("restore failed: %#x != %#x", r.Value(), 0xABC)
 	}
 }
 
-func TestRestoreLengthMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("restoring a checkpoint of different length must panic")
-		}
-	}()
+func TestRestoreLengthMismatchErrors(t *testing.T) {
 	a := New(8)
 	b := New(16)
-	b.Restore(a.Checkpoint())
+	enc := checkpoint.NewEncoder()
+	a.Snapshot(enc)
+	if err := b.Restore(checkpoint.NewDecoder(enc.Bytes())); err == nil {
+		t.Fatal("restoring a snapshot of different length must error")
+	}
 }
 
 func TestBitOutOfRangePanics(t *testing.T) {
@@ -107,13 +111,13 @@ func TestBitOutOfRangePanics(t *testing.T) {
 	New(4).Bit(4)
 }
 
-func TestCloneIsIndependent(t *testing.T) {
+func TestValueCopyIsIndependent(t *testing.T) {
 	r := New(8)
 	r.PushBits(0b1010, 4)
-	c := r.Clone()
+	c := r
 	c.Push(true)
 	if r.Value() == c.Value() {
-		t.Fatal("clone must not share state with original")
+		t.Fatal("a value copy must not share state with the original")
 	}
 }
 
@@ -155,19 +159,22 @@ func TestValueStaysMasked(t *testing.T) {
 	}
 }
 
-// Property: checkpoint/restore round-trips under arbitrary interleaving.
-func TestCheckpointRoundTrip(t *testing.T) {
+// Property: snapshot/restore round-trips under arbitrary interleaving.
+func TestSnapshotRoundTrip(t *testing.T) {
 	f := func(n uint8, before, after []bool) bool {
 		r := New(uint(n%64) + 1)
 		for _, p := range before {
 			r.Push(p)
 		}
 		want := r.Value()
-		cp := r.Checkpoint()
+		enc := checkpoint.NewEncoder()
+		r.Snapshot(enc)
 		for _, p := range after {
 			r.Push(p)
 		}
-		r.Restore(cp)
+		if err := r.Restore(checkpoint.NewDecoder(enc.Bytes())); err != nil {
+			return false
+		}
 		return r.Value() == want
 	}
 	if err := quick.Check(f, nil); err != nil {

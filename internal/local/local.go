@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/checkpoint"
 	"prophetcritic/internal/counter"
 )
 
@@ -76,4 +77,44 @@ func (l *Local) SizeBits() int {
 // Name implements predictor.Predictor.
 func (l *Local) Name() string {
 	return fmt.Sprintf("local-PAg-%dlht-h%d", len(l.lht), l.histLen)
+}
+
+// Snapshot implements checkpoint.Snapshotter: the local history
+// registers and the shared pattern table.
+func (l *Local) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("local")
+	enc.Uint64s(l.lht)
+	pht := make([]uint8, len(l.pht))
+	for i := range l.pht {
+		pht[i] = l.pht[i].Value()
+	}
+	enc.Uint8s(pht)
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (l *Local) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("local")
+	lht := make([]uint64, len(l.lht))
+	pht := make([]uint8, len(l.pht))
+	dec.Uint64s(lht)
+	dec.Uint8s(pht)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	mask := bitutil.Mask(l.histLen)
+	for i, h := range lht {
+		if h&^mask != 0 {
+			return fmt.Errorf("local: history register %d holds bits outside its %d-bit length", i, l.histLen)
+		}
+	}
+	for i, v := range pht {
+		if v > l.pht[i].Max() {
+			return fmt.Errorf("local: pattern counter %d holds %d, outside its range", i, v)
+		}
+	}
+	copy(l.lht, lht)
+	for i := range l.pht {
+		l.pht[i].Set(pht[i])
+	}
+	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/checkpoint"
 )
 
 // WeightBits is the weight width used by all configurations, following
@@ -273,4 +274,41 @@ func (p *Perceptron) Theta() int32 { return p.theta }
 // Name implements predictor.Predictor.
 func (p *Perceptron) Name() string {
 	return fmt.Sprintf("perceptron-%dx-h%d", p.pool, p.histLen)
+}
+
+// Snapshot implements checkpoint.Snapshotter: the bias weights and the
+// packed weight rows. The row-index cache and the one-entry dot-product
+// memo are derived accelerators, not architectural state — the memo is
+// invalidated on restore, and the row cache memoises a mapping fixed at
+// construction, so stale entries stay correct.
+func (p *Perceptron) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("perceptron")
+	enc.Int8s(p.bias)
+	enc.Uint64s(p.packed)
+}
+
+// Restore implements checkpoint.Snapshotter. Restored lanes are
+// validated against the SWAR invariant (|w| <= maxWeight in every lane),
+// which the carry-free packed dot product depends on.
+func (p *Perceptron) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("perceptron")
+	bias := make([]int8, len(p.bias))
+	packed := make([]uint64, len(p.packed))
+	dec.Int8s(bias)
+	dec.Uint64s(packed)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for i, w := range packed {
+		for l := 0; l < lanesPerW; l++ {
+			v := int32(uint16(w>>(16*l))) - laneBias
+			if v < -int32(maxWeight) || v > int32(maxWeight) {
+				return fmt.Errorf("perceptron: word %d lane %d holds weight %d outside ±%d", i, l, v, maxWeight)
+			}
+		}
+	}
+	copy(p.bias, bias)
+	copy(p.packed, packed)
+	p.mOK = false
+	return nil
 }

@@ -9,6 +9,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -65,4 +66,75 @@ func Run(n int, fn func(i int) error) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// RunCtx is Run with cancellation and fail-fast semantics: no new job is
+// started after ctx is cancelled or after any job returns an error.
+// Jobs already in flight run to completion (fn is never interrupted
+// mid-job), so positional results written by completed jobs are intact.
+// It returns the first job error; ctx.Err() if cancellation actually
+// prevented jobs from running; nil when every job completed (even if
+// ctx was cancelled after the last job had already been claimed). Unlike
+// Run, which always executes all n jobs, callers receiving a non-nil
+// error must treat unstarted jobs' slots as unset.
+func RunCtx(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next     atomic.Int64
+		done     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					stop.Store(true)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if int(done.Load()) == n {
+		return nil // every job completed; a late cancellation stopped nothing
+	}
+	return ctx.Err()
 }

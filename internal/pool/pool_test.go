@@ -1,7 +1,9 @@
 package pool
 
 import (
+	"context"
 	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -56,5 +58,121 @@ func TestRunAllJobsRunDespiteErrors(t *testing.T) {
 	}
 	if ran.Load() != 50 {
 		t.Fatalf("only %d of 50 jobs ran", ran.Load())
+	}
+}
+
+func TestRunCtxExecutesEveryJobOnce(t *testing.T) {
+	const n = 500
+	counts := make([]atomic.Int32, n)
+	if err := RunCtx(context.Background(), n, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestRunCtxPropagatesFirstError(t *testing.T) {
+	want := errors.New("boom")
+	err := RunCtx(context.Background(), 64, func(i int) error {
+		if i == 5 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+// TestRunCtxStopsSchedulingAfterError: once a job fails, no new job
+// starts. Jobs other than the failing one block on a gate the failing
+// job releases only after the error is recorded, so the only jobs that
+// can ever run are the ones already claimed by a worker — at most one
+// per worker.
+func TestRunCtxStopsSchedulingAfterError(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	n := workers*4 + 8
+	gate := make(chan struct{})
+	var ran atomic.Int32
+	err := RunCtx(context.Background(), n, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			defer close(gate) // release blocked jobs after the error returns
+			return errors.New("fail fast")
+		}
+		<-gate
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := int(ran.Load()); got > workers {
+		t.Fatalf("%d jobs ran after the failure; fail-fast allows at most %d in-flight", got, workers)
+	}
+}
+
+func TestRunCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := RunCtx(ctx, 10, func(i int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("no job may start on a cancelled context")
+	}
+}
+
+// TestRunCtxCancelMidRun: cancelling while jobs are blocked stops the
+// scheduler from handing out the remaining jobs.
+func TestRunCtxCancelMidRun(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	n := workers*4 + 8
+	ctx, cancel := context.WithCancel(context.Background())
+	gate := make(chan struct{})
+	var cancelOnce atomic.Bool
+	var ran atomic.Int32
+	err := RunCtx(ctx, n, func(i int) error {
+		ran.Add(1)
+		if cancelOnce.CompareAndSwap(false, true) {
+			cancel()          // cancel while peers are blocked on the gate
+			defer close(gate) // then let them finish
+			return nil
+		}
+		<-gate
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := int(ran.Load()); got > workers {
+		t.Fatalf("%d jobs ran after cancellation; at most %d were in flight", got, workers)
+	}
+}
+
+func TestRunCtxZeroJobs(t *testing.T) {
+	if err := RunCtx(context.Background(), 0, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCtxCompletionBeatsLateCancellation: when every job completed,
+// RunCtx returns nil even if the context was cancelled too late to stop
+// anything.
+func TestRunCtxCompletionBeatsLateCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := RunCtx(ctx, 1, func(i int) error {
+		cancel() // cancellation lands after the only job is already running
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("all jobs completed; err = %v, want nil", err)
 	}
 }

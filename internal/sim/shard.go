@@ -1,0 +1,147 @@
+package sim
+
+// Interval-sharded simulation: one long workload is split into K
+// contiguous measurement intervals that run in parallel on the shared
+// worker pool, each shard warming a private predictor over a
+// configurable prefix of its interval before measuring — the standard
+// batch-orchestration trick of large-scale predictor evaluation
+// harnesses. PR 1 parallelized *across* experiment configurations; this
+// parallelizes *within* a single (workload, configuration) run, which is
+// what a single long trace needs.
+//
+// With WarmupFrac = 1 every shard replays (and trains on) its entire
+// prefix, so its predictor state at the interval boundary is exactly the
+// sequential run's state there, and the merged Result is bit-identical
+// to the sequential Result — the property the shard-merge golden tests
+// pin. Smaller fractions trade exactness for speed: each shard trains on
+// only the newest fraction of its prefix (the rest is fast-forwarded
+// without prediction), which approximates the asymptotic state the same
+// way the paper's post-startup LIT snapshots do. See EXPERIMENTS.md for
+// the accuracy caveats.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+
+	"prophetcritic/internal/pool"
+	"prophetcritic/internal/program"
+)
+
+// MaxShardsPerCPU caps -shards-style fan-out relative to the machine:
+// shards beyond a small multiple of the CPU count cannot run in
+// parallel and only multiply the warmup-replay overhead.
+const MaxShardsPerCPU = 16
+
+// ShardOptions configures interval-sharded simulation.
+type ShardOptions struct {
+	// Shards is the number of parallel measurement intervals K. 1 (or 0)
+	// degenerates to the sequential runner.
+	Shards int
+	// WarmupFrac is the fraction of each shard's prefix that is replayed
+	// through the predictor (training it) before measurement begins, in
+	// [0, 1]. 1 replays the full prefix and reproduces the sequential
+	// run bit for bit; 0 measures from completely cold predictors.
+	// NOTE: the zero value therefore selects cold-state measurement —
+	// callers wanting the exact mode must say WarmupFrac: 1 explicitly
+	// (the CLIs default their -warmup-frac flag to 1).
+	WarmupFrac float64
+}
+
+// Validate rejects nonsense shard configurations with a clean error:
+// zero/negative shard counts (a silent no-op or a panic downstream
+// otherwise), shard counts out of proportion to the machine (validated
+// against runtime.NumCPU), and warmup fractions outside [0, 1].
+func (so ShardOptions) Validate() error {
+	if so.Shards <= 0 {
+		return fmt.Errorf("sim: shard count must be positive, got %d", so.Shards)
+	}
+	if limit := MaxShardsPerCPU * runtime.NumCPU(); so.Shards > limit {
+		return fmt.Errorf("sim: %d shards exceeds %d (%d CPUs × %d); more shards than that only multiply warmup overhead",
+			so.Shards, limit, runtime.NumCPU(), MaxShardsPerCPU)
+	}
+	if math.IsNaN(so.WarmupFrac) || so.WarmupFrac < 0 || so.WarmupFrac > 1 {
+		return fmt.Errorf("sim: warmup fraction must be in [0, 1], got %v", so.WarmupFrac)
+	}
+	return nil
+}
+
+// Merge accumulates another result's counters into r (identity fields
+// keep r's values). The sharded runner sums per-shard windows with it;
+// all Result counters are additive over disjoint measurement windows.
+func (r *Result) Merge(s Result) {
+	r.Branches += s.Branches
+	r.Uops += s.Uops
+	r.ProphetMisp += s.ProphetMisp
+	r.FinalMisp += s.FinalMisp
+	for c := range r.Critiques {
+		r.Critiques[c] += s.Critiques[c]
+	}
+}
+
+// RunSharded simulates the builder's hybrid over p with the measurement
+// window split into so.Shards contiguous intervals, run in parallel and
+// merged in interval order. Each shard gets a fresh hybrid from build,
+// fast-forwards the untrained part of its prefix, replays the newest
+// so.WarmupFrac of the prefix with training, then measures its
+// interval. WarmupFrac 1 is bit-identical to the sequential run;
+// WarmupFrac 0 measures every interval from cold predictors.
+func RunSharded(p *program.Program, build Builder, opt Options, so ShardOptions) (Result, error) {
+	if opt.MeasureBranches <= 0 {
+		opt = DefaultOptions
+	}
+	if so.Shards == 0 {
+		so.Shards = 1
+	}
+	if err := so.Validate(); err != nil {
+		return Result{}, err
+	}
+	k := so.Shards
+	if k > opt.MeasureBranches {
+		k = opt.MeasureBranches // never hand a shard an empty interval
+	}
+	if k == 1 {
+		return Run(p, build(), opt), nil
+	}
+
+	warmup, measure := opt.WarmupBranches, opt.MeasureBranches
+	shards := make([]Result, k)
+	err := pool.RunCtx(context.Background(), k, func(i int) error {
+		start := warmup + i*measure/k
+		end := warmup + (i+1)*measure/k
+		// The shard's prefix is everything before its interval; the
+		// newest WarmupFrac of it trains the predictor, the rest only
+		// advances the committed stream.
+		train := int(so.WarmupFrac * float64(start))
+		if train > start {
+			train = start
+		}
+		shards[i] = RunSegment(p, build(), start-train, train, end-start)
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	merged := shards[0]
+	for _, s := range shards[1:] {
+		merged.Merge(s)
+	}
+	return merged, nil
+}
+
+// RunProgramsSharded runs each program through RunSharded in input
+// order. Programs are processed sequentially — the parallelism budget
+// belongs to the shards within each workload, which is the regime this
+// runner exists for (few long workloads, many cores).
+func RunProgramsSharded(progs []*program.Program, build Builder, opt Options, so ShardOptions) ([]Result, error) {
+	results := make([]Result, len(progs))
+	for i, p := range progs {
+		r, err := RunSharded(p, build, opt, so)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	return results, nil
+}

@@ -104,16 +104,36 @@ func Run(p *program.Program, h *core.Hybrid, opt Options) Result {
 	if opt.MeasureBranches <= 0 {
 		opt = DefaultOptions
 	}
+	return RunSegment(p, h, 0, opt.WarmupBranches, opt.MeasureBranches)
+}
+
+// RunSegment drives h over one contiguous window of p's committed
+// stream: skip branches are fast-forwarded (committed without the
+// predictor seeing them), train branches are predicted and resolved but
+// not measured, and measure branches are measured. Run is
+// RunSegment(p, h, 0, warmup, measure); the sharded runner uses the skip
+// prefix to position each shard, and the checkpoint tooling uses it to
+// resume a restored predictor mid-workload. measure may be 0 (state
+// building only; the Result then carries no measured window).
+func RunSegment(p *program.Program, h *core.Hybrid, skip, train, measure int) Result {
 	run := p.NewRun()
 	defer run.Close() // releases the event stream of trace-replay runs
 	walk := core.WalkFunc(p.Walk)
 
-	total := opt.WarmupBranches + opt.MeasureBranches
-	var baseline core.Stats
 	res := Result{Benchmark: p.Name, Suite: p.Suite, Config: h.Name()}
 
+	// Fast-forward: advance the architectural stream without predicting.
+	// Program state (model RNGs, local and global history) depends only
+	// on the committed stream, never on the predictor, so the stream at
+	// the end of the prefix is identical to a fully simulated run's.
+	for i := 0; i < skip; i++ {
+		run.Next()
+	}
+
+	total := train + measure
+	var baseline core.Stats
 	for i := 0; i < total; i++ {
-		if i == opt.WarmupBranches {
+		if i == train {
 			baseline = h.Stats()
 		}
 		addr := run.CurrentAddr()
@@ -123,9 +143,12 @@ func Run(p *program.Program, h *core.Hybrid, opt Options) Result {
 			panic(fmt.Sprintf("sim: committed branch %#x does not match predicted %#x", ev.Addr, addr))
 		}
 		h.Resolve(pr, ev.Taken)
-		if i >= opt.WarmupBranches {
+		if i >= train {
 			res.Uops += uint64(ev.Uops)
 		}
+	}
+	if measure == 0 {
+		return res
 	}
 
 	final := h.Stats()

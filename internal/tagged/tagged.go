@@ -12,6 +12,7 @@ package tagged
 import (
 	"fmt"
 
+	"prophetcritic/internal/checkpoint"
 	"prophetcritic/internal/predictor"
 	"prophetcritic/internal/tagtable"
 )
@@ -72,4 +73,16 @@ func (g *Gshare) Occupancy() float64 { return g.table.Occupancy() }
 // Name implements predictor.Predictor.
 func (g *Gshare) Name() string {
 	return fmt.Sprintf("tagged-gshare-%dx%dway-bor%d", g.table.Entries()/g.table.Ways(), g.table.Ways(), g.table.HistLen())
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (g *Gshare) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("tagged-gshare")
+	g.table.Snapshot(enc)
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (g *Gshare) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("tagged-gshare")
+	return g.table.Restore(dec)
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/checkpoint"
 	"prophetcritic/internal/counter"
 )
 
@@ -154,6 +155,62 @@ func (t *Table) SizeBits() int {
 		per += 2
 	}
 	return len(t.entries) * per
+}
+
+// Snapshot implements checkpoint.Snapshotter: every entry (valid, tag,
+// counter, LRU timestamp) plus the LRU clock.
+func (t *Table) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("tagtable")
+	enc.Uvarint(uint64(len(t.entries)))
+	enc.Uvarint(uint64(t.ways))
+	enc.Uvarint(t.clock)
+	for i := range t.entries {
+		e := &t.entries[i]
+		enc.Bool(e.valid)
+		enc.Uvarint(uint64(e.tag))
+		enc.Uvarint(uint64(e.ctr))
+		enc.Uvarint(e.used)
+	}
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (t *Table) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("tagtable")
+	if n := dec.Uvarint(); dec.Err() == nil && n != uint64(len(t.entries)) {
+		dec.Failf("tagtable: %d entries restored into %d-entry table", n, len(t.entries))
+	}
+	if w := dec.Uvarint(); dec.Err() == nil && w != uint64(t.ways) {
+		dec.Failf("tagtable: %d-way snapshot restored into %d-way table", w, t.ways)
+	}
+	clock := dec.Uvarint()
+	tagMask := bitutil.Mask(t.tagBits)
+	tmp := make([]entry, len(t.entries))
+	for i := range tmp {
+		e := &tmp[i]
+		e.valid = dec.Bool()
+		tag := dec.Uvarint()
+		ctr := dec.Uvarint()
+		e.used = dec.Uvarint()
+		if dec.Err() != nil {
+			break
+		}
+		if tag&^tagMask != 0 {
+			dec.Failf("tagtable: entry %d tag %#x exceeds %d bits", i, tag, t.tagBits)
+			break
+		}
+		if ctr > 3 {
+			dec.Failf("tagtable: entry %d counter %d outside the 2-bit range", i, ctr)
+			break
+		}
+		e.tag = uint32(tag)
+		e.ctr = uint8(ctr)
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	t.clock = clock
+	copy(t.entries, tmp)
+	return nil
 }
 
 // Occupancy returns the fraction of valid entries, for diagnostics.

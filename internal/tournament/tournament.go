@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"prophetcritic/internal/bitutil"
+	"prophetcritic/internal/checkpoint"
 	"prophetcritic/internal/counter"
 	"prophetcritic/internal/predictor"
 )
@@ -88,4 +89,50 @@ func (t *Tournament) SizeBits() int {
 // Name implements predictor.Predictor.
 func (t *Tournament) Name() string {
 	return fmt.Sprintf("tournament(%s,%s)", t.a.Name(), t.b.Name())
+}
+
+// Snapshot implements checkpoint.Snapshotter: the chooser table and both
+// components. It panics if a component does not implement
+// checkpoint.Snapshotter — every predictor in this repository does, so a
+// non-snapshottable component is a programming error.
+func (t *Tournament) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("tournament")
+	chooser := make([]uint8, len(t.chooser))
+	for i := range t.chooser {
+		chooser[i] = t.chooser[i].Value()
+	}
+	enc.Uint8s(chooser)
+	component(t.a).Snapshot(enc)
+	component(t.b).Snapshot(enc)
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (t *Tournament) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("tournament")
+	chooser := make([]uint8, len(t.chooser))
+	dec.Uint8s(chooser)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for i, v := range chooser {
+		if v > t.chooser[i].Max() {
+			return fmt.Errorf("tournament: chooser counter %d holds %d, outside its range", i, v)
+		}
+	}
+	for i := range t.chooser {
+		t.chooser[i].Set(chooser[i])
+	}
+	if err := component(t.a).Restore(dec); err != nil {
+		return err
+	}
+	return component(t.b).Restore(dec)
+}
+
+// component asserts that a tournament component supports checkpointing.
+func component(p predictor.Predictor) checkpoint.Snapshotter {
+	s, ok := p.(checkpoint.Snapshotter)
+	if !ok {
+		panic(fmt.Sprintf("tournament: component %s does not implement checkpoint.Snapshotter", p.Name()))
+	}
+	return s
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"prophetcritic/internal/bimodal"
+	"prophetcritic/internal/checkpoint"
 	"prophetcritic/internal/tagtable"
 )
 
@@ -86,4 +87,25 @@ func (y *YAGS) SizeBits() int {
 // Name implements predictor.Predictor.
 func (y *YAGS) Name() string {
 	return fmt.Sprintf("yags-%dch-%dexc-h%d", y.choice.SizeBits()/2, y.tCache.Entries(), y.histLen)
+}
+
+// Snapshot implements checkpoint.Snapshotter: the choice table and both
+// exception caches.
+func (y *YAGS) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("yags")
+	y.choice.Snapshot(enc)
+	y.tCache.Snapshot(enc)
+	y.ntCache.Snapshot(enc)
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (y *YAGS) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("yags")
+	if err := y.choice.Restore(dec); err != nil {
+		return err
+	}
+	if err := y.tCache.Restore(dec); err != nil {
+		return err
+	}
+	return y.ntCache.Restore(dec)
 }

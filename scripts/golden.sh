@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Golden-output regression wall: byte-compare the full fast-window
+# experiment suite against the committed golden copy. Catches silent
+# numeric drift (a changed hash, counter policy, or merge order) that
+# unit tests structured around properties would miss.
+#
+#   scripts/golden.sh check   # regenerate and diff against the golden (CI)
+#   scripts/golden.sh gen     # re-bless the golden after an intended change
+#
+# Timing lines ("---- <id> done in ... ----") are stripped: they are the
+# only nondeterministic bytes in the output. The golden is gzipped with
+# -n so regeneration is byte-stable too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=${1:-check}
+golden=testdata/golden/experiments-fast.txt.gz
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+go run ./cmd/experiments -exp all -fast | sed '/^---- /d' > "$out"
+
+case "$mode" in
+gen)
+    mkdir -p "$(dirname "$golden")"
+    gzip -9 -n -c "$out" > "$golden"
+    echo "blessed $(wc -l < "$out") lines into $golden"
+    ;;
+check)
+    if ! gzip -dc "$golden" | diff -u - "$out"; then
+        echo >&2
+        echo "golden-output mismatch: cmd/experiments no longer reproduces $golden." >&2
+        echo "If the change is intended, re-bless with: scripts/golden.sh gen" >&2
+        exit 1
+    fi
+    echo "golden output matches ($(wc -l < "$out") lines)"
+    ;;
+*)
+    echo "usage: scripts/golden.sh [check|gen]" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Perf-guard: re-run the pinned hot-path smoke benchmarks with -benchmem
+# and fail if the zero-allocation guarantees from PR 1 regress. Wall-time
+# deltas are reported (benchstat against testdata/bench/baseline.txt in
+# CI) but never gate: shared runners are too noisy for that. Allocations
+# are deterministic, so they gate hard.
+#
+#   scripts/perfguard.sh [output-file]   # default /tmp/bench-new.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-/tmp/bench-new.txt}
+go test -run=NONE -bench='BenchmarkHybridPredictResolve$|BenchmarkProphetAlone$' \
+    -benchtime=2000x -benchmem -count=3 . | tee "$out"
+
+fail=0
+for b in BenchmarkHybridPredictResolve BenchmarkProphetAlone; do
+    # Every sampled run of a pinned benchmark must report 0 allocs/op.
+    runs=$(grep -c "^$b" "$out" || true)
+    clean=$(grep "^$b" "$out" | grep -c " 0 allocs/op" || true)
+    if [ "$runs" -eq 0 ]; then
+        echo "perf-guard: $b did not run" >&2
+        fail=1
+    elif [ "$clean" -ne "$runs" ]; then
+        echo "perf-guard: $b regressed the 0 allocs/op hot-path guarantee:" >&2
+        grep "^$b" "$out" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "perf-guard: hot-path allocation guarantees hold (0 allocs/op)"
