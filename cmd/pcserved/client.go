@@ -1,0 +1,228 @@
+package main
+
+// The pcserved client modes: submit, watch, result, list. They speak the
+// server's JSON API (see EXPERIMENTS.md), so everything they do is also
+// reachable with curl; the client exists for ergonomics and for the
+// scripted smoke tests.
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"prophetcritic/internal/service"
+)
+
+func submit(args []string) {
+	fs := flag.NewFlagSet("pcserved submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8917", "server base URL")
+	bench := fs.String("bench", "", "comma-separated benchmarks, suites, or 'all'")
+	traceFlag := fs.String("trace", "", "comma-separated trace files (relative to the server's trace dir)")
+	prophetFlag := fs.String("prophet", "2Bc-gskew:8", "prophet as kind:KB")
+	criticFlag := fs.String("critic", "tagged gshare:8", "critic as kind:KB, or 'none'")
+	fb := fs.Uint("fb", 1, "number of future bits")
+	unfiltered := fs.Bool("unfiltered", false, "critique every branch (no tag filter)")
+	warmup := fs.Int("warmup", 0, "warmup branches (0 = server default)")
+	measure := fs.Int("measure", 0, "measured branches (0 = server default)")
+	shards := fs.Int("shards", 0, "intra-workload parallel intervals (0 = 1)")
+	warmupFrac := fs.Float64("warmup-frac", 1, "per-shard warmup replay fraction (1 = exact)")
+	priority := fs.Int("priority", 0, "queue priority (higher runs sooner)")
+	client := fs.String("client", "", "client name for admission control")
+	watchFlag := fs.Bool("watch", false, "stream the job's events after submitting")
+	fs.Parse(args)
+
+	spec := service.JobSpec{
+		Client:     *client,
+		Priority:   *priority,
+		Prophet:    *prophetFlag,
+		Critic:     *criticFlag,
+		FutureBits: *fb,
+		Unfiltered: *unfiltered,
+		Warmup:     *warmup,
+		Measure:    *measure,
+		Shards:     *shards,
+	}
+	if *warmupFrac != 1 {
+		spec.WarmupFrac = warmupFrac
+	}
+	if *bench != "" {
+		spec.Benches = strings.Split(*bench, ",")
+	}
+	if *traceFlag != "" {
+		spec.Traces = strings.Split(*traceFlag, ",")
+	}
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := http.Post(*addr+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		fatal(fmt.Errorf("submit rejected: %s: %s", resp.Status, readError(resp.Body)))
+	}
+	var job service.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("submitted %s (%d workloads, state %s)\n", job.ID, len(job.Workloads), job.State)
+	if *watchFlag {
+		streamEvents(*addr, job.ID, false)
+	}
+}
+
+func watch(args []string) {
+	fs := flag.NewFlagSet("pcserved watch", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8917", "server base URL")
+	raw := fs.Bool("json", false, "print raw NDJSON lines instead of formatted progress")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("watch needs exactly one job id"))
+	}
+	streamEvents(*addr, fs.Arg(0), *raw)
+}
+
+// streamEvents follows a job's NDJSON stream to its end. With raw, lines
+// pass through verbatim (the scripted consumers' mode); otherwise each
+// event renders as a one-line summary.
+func streamEvents(addr, id string, raw bool) {
+	resp, err := http.Get(addr + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("events rejected: %s: %s", resp.Status, readError(resp.Body)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	failed := false
+	for sc.Scan() {
+		var e service.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			fatal(fmt.Errorf("bad event line %q: %w", sc.Text(), err))
+		}
+		failed = failed || e.Type == "failed"
+		if raw {
+			fmt.Println(sc.Text())
+			continue
+		}
+		printEvent(e)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func printEvent(e service.Event) {
+	switch e.Type {
+	case "progress":
+		pct := 0.0
+		if e.Total > 0 {
+			pct = float64(e.Done) / float64(e.Total) * 100
+		}
+		line := fmt.Sprintf("[%3d] progress  %-12s %9d/%d branches (%5.1f%%)", e.Seq, e.Workload, e.Done, e.Total, pct)
+		if e.Row != nil {
+			line += fmt.Sprintf("  misp/Ku %.4f", e.Row.MispPerKuops)
+		}
+		fmt.Println(line)
+	case "result":
+		fmt.Printf("[%3d] result    %-12s misp/Ku %.4f  misp%% %.3f  uops/flush %.0f\n",
+			e.Seq, e.Row.Benchmark, e.Row.MispPerKuops, e.Row.MispRate*100, e.Row.UopsPerFlush)
+	case "done":
+		fmt.Printf("[%3d] done      %d workload(s)\n", e.Seq, len(e.Rows))
+	case "failed":
+		fmt.Printf("[%3d] failed    %s\n", e.Seq, e.Error)
+	default:
+		fmt.Printf("[%3d] %s\n", e.Seq, e.Type)
+	}
+}
+
+// result prints a finished job's rows as NDJSON, one row per line — the
+// stable, byte-comparable form the restart-resume smoke test diffs.
+func result(args []string) {
+	fs := flag.NewFlagSet("pcserved result", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8917", "server base URL")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("result needs exactly one job id"))
+	}
+	job := getJob(*addr, fs.Arg(0))
+	switch job.State {
+	case service.StateDone:
+	case service.StateFailed:
+		fatal(fmt.Errorf("job %s failed: %s", job.ID, job.Error))
+	default:
+		fatal(fmt.Errorf("job %s is %s, not done", job.ID, job.State))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, row := range job.Rows {
+		if err := enc.Encode(row); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func list(args []string) {
+	fs := flag.NewFlagSet("pcserved list", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8917", "server base URL")
+	fs.Parse(args)
+	resp, err := http.Get(*addr + "/v1/jobs")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("list rejected: %s: %s", resp.Status, readError(resp.Body)))
+	}
+	var jobs []service.Job
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-10s %-9s %-4s %-9s %s\n", "ID", "STATE", "PRIO", "WORKLOADS", "PREDICTOR")
+	for _, j := range jobs {
+		critic := j.Spec.Critic
+		if critic == "" {
+			critic = "none"
+		}
+		fmt.Printf("%-10s %-9s %-4d %-9d %s + %s\n",
+			j.ID, j.State, j.Spec.Priority, len(j.Workloads), j.Spec.Prophet, critic)
+	}
+}
+
+func getJob(addr, id string) service.Job {
+	resp, err := http.Get(addr + "/v1/jobs/" + id)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("job %s: %s: %s", id, resp.Status, readError(resp.Body)))
+	}
+	var j service.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		fatal(err)
+	}
+	return j
+}
+
+func readError(r io.Reader) string {
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(r).Decode(&body) == nil && body.Error != "" {
+		return body.Error
+	}
+	return "(no error body)"
+}

@@ -1,0 +1,137 @@
+// Command pcserved is the simulation-as-a-service daemon and its client:
+//
+//	pcserved serve -addr :8917 -data ./pcserved-data
+//	pcserved submit -addr http://localhost:8917 -bench gcc -fb 1
+//	pcserved submit -addr ... -bench all -shards 8 -watch
+//	pcserved watch  -addr ... j000000
+//	pcserved result -addr ... j000000
+//	pcserved list   -addr ...
+//
+// serve runs the HTTP job server: a bounded priority queue with
+// per-client admission control feeding a scheduler that maps jobs onto
+// the shared worker pool, streams per-interval progress as NDJSON, and
+// periodically checkpoints running jobs so a killed or restarted server
+// resumes mid-measurement with bit-identical metrics (see EXPERIMENTS.md
+// for the API and durability contract).
+//
+// SIGINT/SIGTERM drains gracefully: admissions stop, running jobs
+// checkpoint at their next interval boundary, then the process exits;
+// a second signal exits immediately. Jobs interrupted either way are
+// resumed by the next `pcserved serve` over the same -data directory.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"prophetcritic/internal/service"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		serve(os.Args[2:])
+	case "submit":
+		submit(os.Args[2:])
+	case "watch":
+		watch(os.Args[2:])
+	case "result":
+		result(os.Args[2:])
+	case "list":
+		list(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pcserved serve  -data <dir> [-addr :8917] [-queue N] [-per-client N]
+                  [-workers N] [-ckpt-every N] [-trace-dir <dir>]
+                  [-drain-timeout 30s] [-crash-after-checkpoints N]
+  pcserved submit -addr <url> (-bench a,b|-trace f.trc) [-prophet kind:KB]
+                  [-critic kind:KB|none] [-fb N] [-unfiltered] [-warmup N]
+                  [-measure N] [-shards K] [-warmup-frac F] [-priority P]
+                  [-client NAME] [-watch]
+  pcserved watch  -addr <url> [-json] <job-id>
+  pcserved result -addr <url> <job-id>
+  pcserved list   -addr <url>`)
+	os.Exit(2)
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("pcserved serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8917", "listen address")
+	data := fs.String("data", "", "data directory (job records + checkpoints); required")
+	queueCap := fs.Int("queue", 64, "maximum queued jobs")
+	perClient := fs.Int("per-client", 16, "maximum queued+running jobs per client")
+	workers := fs.Int("workers", 1, "jobs run concurrently (each fans out on the worker pool)")
+	ckptEvery := fs.Int("ckpt-every", 20_000, "measured branches between checkpoints/progress events")
+	traceDir := fs.String("trace-dir", "", "directory job trace workloads resolve against (default: -data)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	crashAfter := fs.Int("crash-after-checkpoints", 0,
+		"fault injection: exit(3) after N checkpoint writes (used by the CI restart-resume smoke test)")
+	fs.Parse(args)
+	if *data == "" {
+		fatal(fmt.Errorf("serve needs -data"))
+	}
+
+	sched, err := service.New(service.Config{
+		DataDir:               *data,
+		QueueCap:              *queueCap,
+		PerClient:             *perClient,
+		Workers:               *workers,
+		CheckpointEvery:       *ckptEvery,
+		TraceDir:              *traceDir,
+		CrashAfterCheckpoints: *crashAfter,
+		Crash: func() {
+			fmt.Fprintln(os.Stderr, "pcserved: crash injection fired, exiting")
+			os.Exit(3)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sched.Start()
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	fmt.Printf("pcserved: serving on %s, data in %s\n", *addr, *data)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "pcserved: %v, draining (second signal exits immediately)\n", sig)
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "pcserved: forced exit")
+			os.Exit(1)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := sched.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "pcserved:", err)
+		}
+		srv.Close() // cut event streams; their jobs are checkpointed
+		fmt.Fprintln(os.Stderr, "pcserved: drained; unfinished jobs resume on next start")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcserved:", err)
+	os.Exit(1)
+}

@@ -27,6 +27,7 @@ import (
 	"prophetcritic/internal/core"
 	"prophetcritic/internal/metrics"
 	"prophetcritic/internal/program"
+	"prophetcritic/internal/service"
 	"prophetcritic/internal/sim"
 	"prophetcritic/internal/trace"
 )
@@ -51,13 +52,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prophetCfg, err := parseKindKB(*prophetFlag)
+	prophetCfg, err := budget.ParseSpec(*prophetFlag)
 	if err != nil {
 		fatal(err)
 	}
 	var criticCfg *budget.Config
 	if *criticFlag != "none" {
-		c, err := parseKindKB(*criticFlag)
+		c, err := budget.ParseSpec(*criticFlag)
 		if err != nil {
 			fatal(err)
 		}
@@ -90,13 +91,7 @@ func main() {
 
 	for _, fb := range fbs {
 		build := func() *core.Hybrid {
-			p := prophetCfg.Build()
-			if criticCfg == nil {
-				return core.New(p, nil, core.Config{})
-			}
-			c := criticCfg.Build()
-			filtered := criticCfg.IsCritic() && !*unfiltered
-			return core.New(p, c, core.Config{FutureBits: uint(fb), Filtered: filtered, BORLen: criticCfg.BORSize})
+			return service.NewHybrid(prophetCfg, criticCfg, uint(fb), *unfiltered)
 		}
 		var rs []sim.Result
 		var err error
@@ -219,25 +214,6 @@ func validateFutureBits(fbs []int) error {
 		}
 	}
 	return nil
-}
-
-// parseKindKB parses a "kind:KB" predictor spec against Table 3,
-// returning a clean error (not a downstream panic) for malformed specs,
-// unknown kinds, and budgets outside the published table.
-func parseKindKB(s string) (budget.Config, error) {
-	i := strings.LastIndex(s, ":")
-	if i < 0 {
-		return budget.Config{}, fmt.Errorf("malformed predictor spec %q: want kind:KB (e.g. %q)", s, "2Bc-gskew:8")
-	}
-	kind, kbStr := strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:])
-	if kind == "" {
-		return budget.Config{}, fmt.Errorf("malformed predictor spec %q: empty kind", s)
-	}
-	kb, err := strconv.Atoi(kbStr)
-	if err != nil {
-		return budget.Config{}, fmt.Errorf("malformed predictor spec %q: bad size %q", s, kbStr)
-	}
-	return budget.Lookup(budget.Kind(kind), kb)
 }
 
 func parseInts(s string) ([]int, error) {

@@ -9,6 +9,8 @@ import (
 	"prophetcritic/internal/sim"
 )
 
+// Spec parsing moved to budget.ParseSpec (shared with cmd/trace and the
+// service's job specs); this pins the CLI-facing contract.
 func TestParseKindKB(t *testing.T) {
 	good := []struct {
 		spec string
@@ -21,7 +23,7 @@ func TestParseKindKB(t *testing.T) {
 		{"filtered perceptron:32", budget.FilteredPerceptron, 32},
 	}
 	for _, g := range good {
-		c, err := parseKindKB(g.spec)
+		c, err := budget.ParseSpec(g.spec)
 		if err != nil {
 			t.Errorf("%q: %v", g.spec, err)
 			continue
@@ -43,7 +45,7 @@ func TestParseKindKB(t *testing.T) {
 		"gshare:-8",      // negative budget
 	}
 	for _, s := range bad {
-		if _, err := parseKindKB(s); err == nil {
+		if _, err := budget.ParseSpec(s); err == nil {
 			t.Errorf("%q must be rejected", s)
 		}
 	}

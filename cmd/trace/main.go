@@ -26,12 +26,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"prophetcritic/internal/budget"
 	"prophetcritic/internal/core"
 	"prophetcritic/internal/program"
+	"prophetcritic/internal/service"
 	"prophetcritic/internal/sim"
 	"prophetcritic/internal/trace"
 )
@@ -178,41 +176,15 @@ func replay(args []string) {
 	}
 }
 
+// buildHybrid assembles the predictor through the shared construction
+// path (service.HybridBuilder), so the CLIs, the experiment harness,
+// and the pcserved scheduler all agree on spec syntax and semantics.
 func buildHybrid(prophetSpec, criticSpec string, fb uint, unfiltered bool) (*core.Hybrid, error) {
-	pc, err := parseKindKB(prophetSpec)
+	build, err := service.HybridBuilder(prophetSpec, criticSpec, fb, unfiltered)
 	if err != nil {
 		return nil, err
 	}
-	p := pc.Build()
-	if criticSpec == "none" {
-		return core.New(p, nil, core.Config{}), nil
-	}
-	cc, err := parseKindKB(criticSpec)
-	if err != nil {
-		return nil, err
-	}
-	c := cc.Build()
-	borLen := cc.BORSize
-	if borLen == 0 {
-		borLen = c.HistoryLen()
-	}
-	return core.New(p, c, core.Config{
-		FutureBits: fb,
-		Filtered:   cc.IsCritic() && !unfiltered,
-		BORLen:     borLen,
-	}), nil
-}
-
-func parseKindKB(s string) (budget.Config, error) {
-	i := strings.LastIndex(s, ":")
-	if i < 0 || s[:i] == "" {
-		return budget.Config{}, fmt.Errorf("malformed predictor spec %q: want kind:KB (e.g. %q)", s, "2Bc-gskew:8")
-	}
-	kb, err := strconv.Atoi(s[i+1:])
-	if err != nil {
-		return budget.Config{}, fmt.Errorf("malformed predictor spec %q: bad size %q", s, s[i+1:])
-	}
-	return budget.Lookup(budget.Kind(s[:i]), kb)
+	return build(), nil
 }
 
 func fatal(err error) {

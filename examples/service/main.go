@@ -1,0 +1,199 @@
+// Simulation-as-a-service walkthrough: start an in-process pcserved
+// scheduler + HTTP server, submit jobs over the API, stream NDJSON
+// progress, and read the operational metrics — everything `pcserved
+// serve` does, wired up by hand so the moving parts are visible.
+//
+//	go run ./examples/service
+//
+// The walkthrough also demonstrates the durability contract directly:
+// it drains the server mid-job, restarts a fresh scheduler over the same
+// data directory, and shows the job resuming from its checkpoint with
+// results identical to an uninterrupted run.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/service"
+	"prophetcritic/internal/sim"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "pcserved-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. A scheduler over a durable data directory, checkpointing every
+	// 5000 measured branches, and its HTTP face.
+	cfg := service.Config{DataDir: dir, CheckpointEvery: 5_000}
+	sched, err := service.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched.Start()
+	url, closeSrv := serveHTTP(sched)
+	fmt.Println("serving on", url)
+
+	// 2. Submit a job: predictor config × workload set × sim options.
+	spec := service.JobSpec{
+		Benches:    []string{"gcc", "unzip"},
+		Prophet:    "2Bc-gskew:8",
+		Critic:     "tagged gshare:8",
+		FutureBits: 1,
+		Warmup:     8_000,
+		Measure:    25_000,
+	}
+	id := submit(url, spec)
+	fmt.Println("submitted", id)
+
+	// 3. Stream its NDJSON events to completion.
+	rows := stream(url, id)
+	for _, r := range rows {
+		fmt.Printf("  %-8s misp/Kuops %.4f (prophet %.4f)\n", r.Benchmark, r.MispPerKuops, r.ProphetMispPerKuops)
+	}
+
+	// 4. Durability: submit a longer job, drain mid-run (as SIGTERM
+	// does), restart over the same directory, and watch it resume.
+	long := spec
+	long.Benches = []string{"crafty"}
+	long.Measure = 1_500_000
+	longID := submit(url, long)
+	waitForCheckpoint(sched, longID)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	sched.Drain(ctx)
+	cancel()
+	closeSrv()
+	fmt.Println("drained mid-job; restarting over the same data directory")
+
+	sched2, err := service.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched2.Start()
+	url2, closeSrv2 := serveHTTP(sched2)
+	defer closeSrv2()
+	resumed := stream(url2, longID)
+
+	// The resumed result is identical to a direct uninterrupted run.
+	build, err := service.HybridBuilder(long.Prophet, long.Critic, long.FutureBits, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct := sim.RunSegment(program.MustLoad("crafty"), build(), 0, long.Warmup, long.Measure)
+	fmt.Printf("resumed:  %d final mispredicts over %d branches\n", resumed[0].FinalMisp, resumed[0].Branches)
+	fmt.Printf("direct:   %d final mispredicts over %d branches\n", direct.FinalMisp, direct.Branches)
+	if resumed[0].FinalMisp != direct.FinalMisp || resumed[0].Branches != direct.Branches {
+		log.Fatal("resumed run diverged from the direct run")
+	}
+	fmt.Println("resume is bit-identical to the uninterrupted run")
+
+	// 5. Operational surface.
+	resp, err := http.Get(url2 + "/metricsz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "pcserved_jobs") || strings.HasPrefix(sc.Text(), "pcserved_checkpoints") {
+			fmt.Println(" ", sc.Text())
+		}
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	sched2.Drain(ctx2)
+}
+
+// waitForCheckpoint blocks until the job has emitted its first progress
+// event — which the scheduler emits right after writing a checkpoint —
+// so the subsequent drain is guaranteed to interrupt mid-measurement.
+func waitForCheckpoint(s *service.Scheduler, id string) {
+	log2, ok := s.Events(id)
+	if !ok {
+		log.Fatalf("no event log for %s", id)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		events, _ := log2.Snapshot(0)
+		for _, e := range events {
+			if e.Type == "progress" {
+				return
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	log.Fatal("job never reached a checkpoint boundary")
+}
+
+// serveHTTP exposes a scheduler on a loopback listener.
+func serveHTTP(s *service.Scheduler) (url string, closeFn func()) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewServer(s).Handler()}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }
+}
+
+func submit(url string, spec service.JobSpec) string {
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		log.Fatalf("submit: %s", resp.Status)
+	}
+	var j service.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		log.Fatal(err)
+	}
+	return j.ID
+}
+
+// stream follows a job's event stream to its terminal event and returns
+// the final rows, printing progress as it goes.
+func stream(url, id string) []service.ResultRow {
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var rows []service.ResultRow
+	for sc.Scan() {
+		var e service.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			log.Fatal(err)
+		}
+		switch e.Type {
+		case "progress":
+			fmt.Printf("  %s %s: %d/%d branches\n", id, e.Workload, e.Done, e.Total)
+		case "resumed":
+			fmt.Printf("  %s resumed from checkpoint\n", id)
+		case "failed":
+			log.Fatalf("job failed: %s", e.Error)
+		case "done":
+			rows = e.Rows
+		}
+	}
+	if rows == nil {
+		log.Fatalf("stream for %s ended without a done event", id)
+	}
+	return rows
+}

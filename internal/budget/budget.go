@@ -27,6 +27,8 @@ package budget
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"prophetcritic/internal/filtered"
 	"prophetcritic/internal/gshare"
@@ -117,6 +119,27 @@ func Lookup(kind Kind, kb int) (Config, error) {
 		return Config{}, fmt.Errorf("budget: no %s configuration for %dKB (Table 3 covers %v)", kind, kb, Budgets)
 	}
 	return c, nil
+}
+
+// ParseSpec parses a "kind:KB" predictor spec (e.g. "2Bc-gskew:8",
+// "tagged gshare:16") against Table 3, returning a clean error — not a
+// downstream panic — for malformed specs, unknown kinds, and budgets
+// outside the published table. It is the single spec parser behind the
+// CLI flags and the service's job specs.
+func ParseSpec(s string) (Config, error) {
+	i := strings.LastIndex(s, ":")
+	if i < 0 {
+		return Config{}, fmt.Errorf("budget: malformed predictor spec %q: want kind:KB (e.g. %q)", s, "2Bc-gskew:8")
+	}
+	kind, kbStr := strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:])
+	if kind == "" {
+		return Config{}, fmt.Errorf("budget: malformed predictor spec %q: empty kind", s)
+	}
+	kb, err := strconv.Atoi(kbStr)
+	if err != nil {
+		return Config{}, fmt.Errorf("budget: malformed predictor spec %q: bad size %q", s, kbStr)
+	}
+	return Lookup(Kind(kind), kb)
 }
 
 // MustLookup is Lookup that panics on error; experiment tables are static

@@ -91,3 +91,31 @@ func TestBuildNamesDistinct(t *testing.T) {
 		seen[n] = true
 	}
 }
+
+func TestParseSpec(t *testing.T) {
+	good := map[string]struct {
+		kind Kind
+		kb   int
+	}{
+		"2Bc-gskew:8":            {Gskew, 8},
+		"gshare:16":              {Gshare, 16},
+		"tagged gshare:8":        {TaggedGshare, 8},
+		" filtered perceptron:4": {FilteredPerceptron, 4},
+		"perceptron: 32":         {Perceptron, 32},
+	}
+	for spec, want := range good {
+		c, err := ParseSpec(spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", spec, err)
+			continue
+		}
+		if c.Kind != want.kind || c.KB != want.kb {
+			t.Errorf("ParseSpec(%q) = (%s, %d), want (%s, %d)", spec, c.Kind, c.KB, want.kind, want.kb)
+		}
+	}
+	for _, spec := range []string{"", "gshare", ":8", "gshare:x", "gshare:3", "nosuch:8"} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}

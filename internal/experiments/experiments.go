@@ -16,6 +16,7 @@ import (
 	"prophetcritic/internal/core"
 	"prophetcritic/internal/pipeline"
 	"prophetcritic/internal/program"
+	"prophetcritic/internal/service"
 	"prophetcritic/internal/sim"
 )
 
@@ -118,25 +119,17 @@ func ByID(id string) (Experiment, error) {
 
 // ---- shared builders ----
 
-// hybridBuilder builds prophet(kind,kb) + critic(kind,kb) hybrids. critic
+// hybridBuilder builds prophet(kind,kb) + critic(kind,kb) hybrids
+// through the shared construction path (service.NewHybrid). critic
 // kb = 0 means prophet alone. Filtered follows the critic kind unless
 // forceUnfiltered.
 func hybridBuilder(prophetKind budget.Kind, prophetKB int, criticKind budget.Kind, criticKB int, fb uint, forceUnfiltered bool) sim.Builder {
 	return func() *core.Hybrid {
-		p := budget.MustLookup(prophetKind, prophetKB).Build()
+		pc := budget.MustLookup(prophetKind, prophetKB)
 		if criticKB == 0 {
-			return core.New(p, nil, core.Config{})
+			return service.NewHybrid(pc, nil, 0, false)
 		}
 		cc := budget.MustLookup(criticKind, criticKB)
-		c := cc.Build()
-		borLen := cc.BORSize
-		if borLen == 0 {
-			borLen = c.HistoryLen() // unfiltered critics use their own history length
-		}
-		return core.New(p, c, core.Config{
-			FutureBits: fb,
-			Filtered:   cc.IsCritic() && !forceUnfiltered,
-			BORLen:     borLen,
-		})
+		return service.NewHybrid(pc, &cc, fb, forceUnfiltered)
 	}
 }

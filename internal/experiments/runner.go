@@ -10,10 +10,13 @@ package experiments
 // jobs were scheduled.
 
 import (
+	"context"
+
 	"prophetcritic/internal/budget"
 	"prophetcritic/internal/pipeline"
 	"prophetcritic/internal/pool"
 	"prophetcritic/internal/program"
+	"prophetcritic/internal/service"
 	"prophetcritic/internal/sim"
 )
 
@@ -35,44 +38,15 @@ func loadPrograms(names []string) ([]*program.Program, error) {
 }
 
 // runSimMatrix runs every (builder × workload) pair of a figure's
-// functional-simulation matrix concurrently. results[ci][bi] is builder
-// ci on program bi, in input order. Trace-replay programs are safe here:
-// every cell's run opens its own event stream.
-//
-// With opt.Shards > 1 each cell instead splits its measurement window
-// across intra-workload shards (sim.RunSharded) — the regime for few
-// long workloads on many cores. Cells then run sequentially: the
-// parallelism budget belongs to the shards within each cell, and
-// nesting a sharded pool inside the cell pool would oversubscribe the
-// CPUs while full-warmup replay multiplies total work. Full-warmup
-// replay keeps every cell bit-identical to its sequential run, so shard
-// settings never change emitted tables.
+// functional-simulation matrix through the service scheduler's Matrix
+// entry point — the experiment harness is a thin client of the same
+// scheduler the pcserved server uses, so the fan-out policy (pooled
+// cells, or sequential cells with intra-workload shards when
+// opt.Shards > 1) lives in exactly one place. results[ci][bi] is
+// builder ci on program bi, in input order; trace-replay programs are
+// safe here because every cell's run opens its own event stream.
 func runSimMatrix(builds []sim.Builder, progs []*program.Program, opt Options) ([][]sim.Result, error) {
-	results := make([][]sim.Result, len(builds))
-	for ci := range results {
-		results[ci] = make([]sim.Result, len(progs))
-	}
-	if so := opt.shardOptions(); so.Shards > 1 {
-		for ci := range builds {
-			for bi := range progs {
-				r, err := sim.RunSharded(progs[bi], builds[ci], opt.Functional, so)
-				if err != nil {
-					return nil, err
-				}
-				results[ci][bi] = r
-			}
-		}
-		return results, nil
-	}
-	err := pool.Run(len(builds)*len(progs), func(k int) error {
-		ci, bi := k/len(progs), k%len(progs)
-		results[ci][bi] = sim.Run(progs[bi], builds[ci](), opt.Functional)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
+	return service.Matrix(context.Background(), builds, progs, opt.Functional, opt.shardOptions())
 }
 
 // meanMispRow reduces one builder's results to the mean misp/Kuops,

@@ -15,6 +15,47 @@ import (
 	"sync/atomic"
 )
 
+// Stats is a snapshot of the pool's lifetime counters, exposed for the
+// simulation service's /metricsz endpoint (and any other operational
+// surface): how many jobs the process has run through the pool and the
+// high-water mark of concurrently running jobs.
+type Stats struct {
+	JobsRun     uint64 // jobs completed across all Run/RunCtx invocations
+	MaxInFlight int64  // high-water mark of concurrently executing jobs
+}
+
+var (
+	statJobsRun     atomic.Uint64
+	statInFlight    atomic.Int64
+	statMaxInFlight atomic.Int64
+)
+
+// Snapshot returns the pool's lifetime counters. Safe for concurrent use
+// with running pools; the two fields are read independently, so they are
+// each exact but not mutually atomic.
+func Snapshot() Stats {
+	return Stats{
+		JobsRun:     statJobsRun.Load(),
+		MaxInFlight: statMaxInFlight.Load(),
+	}
+}
+
+// track wraps one job execution in the lifetime counters: in-flight up
+// (raising the high-water mark if passed), and jobs-run on completion.
+func track(fn func(i int) error, i int) error {
+	cur := statInFlight.Add(1)
+	for {
+		max := statMaxInFlight.Load()
+		if cur <= max || statMaxInFlight.CompareAndSwap(max, cur) {
+			break
+		}
+	}
+	err := fn(i)
+	statInFlight.Add(-1)
+	statJobsRun.Add(1)
+	return err
+}
+
 // Run executes fn(i) for every i in [0, n) using up to GOMAXPROCS
 // workers and returns the first error any job reported. Each job runs
 // exactly once; jobs are handed out in index order, so with a single
@@ -32,7 +73,7 @@ func Run(n int, fn func(i int) error) error {
 	if workers <= 1 {
 		var firstErr error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && firstErr == nil {
+			if err := track(fn, i); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -54,7 +95,7 @@ func Run(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := track(fn, i); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -121,7 +162,7 @@ func RunCtx(ctx context.Context, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := track(fn, i); err != nil {
 					fail(err)
 					return
 				}

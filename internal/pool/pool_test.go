@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -174,5 +175,52 @@ func TestRunCtxCompletionBeatsLateCancellation(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("all jobs completed; err = %v, want nil", err)
+	}
+}
+
+// TestStatsSnapshot exercises the lifetime counters from many concurrent
+// pools (run under -race in CI): every job is counted exactly once, and
+// the in-flight high-water mark stays within the theoretical bound.
+func TestStatsSnapshot(t *testing.T) {
+	const pools, jobs = 4, 64
+	before := Snapshot()
+
+	var wg sync.WaitGroup
+	var ran atomic.Int64
+	for p := 0; p < pools; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var err error
+			if p%2 == 0 {
+				err = Run(jobs, func(i int) error {
+					ran.Add(1)
+					return nil
+				})
+			} else {
+				err = RunCtx(context.Background(), jobs, func(i int) error {
+					ran.Add(1)
+					return nil
+				})
+			}
+			if err != nil {
+				t.Error(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	after := Snapshot()
+	if got, want := after.JobsRun-before.JobsRun, uint64(pools*jobs); got != want {
+		t.Errorf("JobsRun delta = %d, want %d", got, want)
+	}
+	if int64(ran.Load()) != int64(pools*jobs) {
+		t.Errorf("ran %d jobs, want %d", ran.Load(), pools*jobs)
+	}
+	if after.MaxInFlight < 1 {
+		t.Errorf("MaxInFlight = %d, want >= 1", after.MaxInFlight)
+	}
+	if limit := int64(pools * runtime.GOMAXPROCS(0)); after.MaxInFlight > limit {
+		t.Errorf("MaxInFlight = %d exceeds bound %d", after.MaxInFlight, limit)
 	}
 }

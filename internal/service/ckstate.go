@@ -1,0 +1,116 @@
+package service
+
+import (
+	"prophetcritic/internal/checkpoint"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/sim"
+)
+
+// Job checkpoint payloads, carried in the state section of a standard
+// "PCCK" file (the meta record reuses checkpoint.Meta, so `trace
+// checkpoint info` can inspect a service checkpoint too). Two modes:
+//
+//   - stepped (Shards <= 1): the measured-so-far partial counters plus a
+//     full hybrid snapshot at Position. Resume restores the hybrid,
+//     fast-forwards the workload to Position, and keeps measuring; the
+//     final counters are the persisted partial merged with the
+//     post-resume window, bit-identical to an uninterrupted run.
+//   - sharded (Shards > 1): the results of completed shards. Resume
+//     reruns only the missing shards and merges in interval order,
+//     reproducing sim.RunSharded exactly.
+const (
+	ckModeStepped = 1
+	ckModeSharded = 2
+)
+
+type ckState struct {
+	mode     uint64
+	workload int // index into Job.Workloads
+
+	// stepped mode
+	measuredDone int
+	partial      sim.Result
+	hybrid       *core.Hybrid
+
+	// sharded mode
+	done   []bool
+	shards []sim.Result
+}
+
+func encodeCounters(enc *checkpoint.Encoder, r sim.Result) {
+	enc.Uvarint(r.Branches)
+	enc.Uvarint(r.Uops)
+	enc.Uvarint(r.ProphetMisp)
+	enc.Uvarint(r.FinalMisp)
+	for c := 0; c < len(r.Critiques); c++ {
+		enc.Uvarint(r.Critiques[c])
+	}
+}
+
+func decodeCounters(dec *checkpoint.Decoder) sim.Result {
+	var r sim.Result
+	r.Branches = dec.Uvarint()
+	r.Uops = dec.Uvarint()
+	r.ProphetMisp = dec.Uvarint()
+	r.FinalMisp = dec.Uvarint()
+	for c := 0; c < len(r.Critiques); c++ {
+		r.Critiques[c] = dec.Uvarint()
+	}
+	return r
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (c *ckState) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("svcjob")
+	enc.Uvarint(c.mode)
+	enc.Uvarint(uint64(c.workload))
+	switch c.mode {
+	case ckModeStepped:
+		enc.Uvarint(uint64(c.measuredDone))
+		encodeCounters(enc, c.partial)
+		c.hybrid.Snapshot(enc)
+	case ckModeSharded:
+		enc.Uvarint(uint64(len(c.done)))
+		for i, d := range c.done {
+			enc.Bool(d)
+			if d {
+				encodeCounters(enc, c.shards[i])
+			}
+		}
+	}
+}
+
+// Restore implements checkpoint.Snapshotter. For stepped checkpoints the
+// caller must have built c.hybrid (from the job spec) before calling;
+// for sharded checkpoints it must have sized c.done/c.shards to the
+// job's shard count. Mode or geometry mismatches fail cleanly.
+func (c *ckState) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("svcjob")
+	mode := dec.Uvarint()
+	workload := dec.Uvarint()
+	if dec.Err() == nil && mode != c.mode {
+		dec.Failf("service: checkpoint mode %d does not match the job's mode %d (spec changed?)", mode, c.mode)
+	}
+	c.workload = int(workload)
+	switch c.mode {
+	case ckModeStepped:
+		c.measuredDone = int(dec.Uvarint())
+		c.partial = decodeCounters(dec)
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		return c.hybrid.Restore(dec)
+	case ckModeSharded:
+		n := dec.Uvarint()
+		if dec.Err() == nil && n != uint64(len(c.done)) {
+			dec.Failf("service: checkpoint has %d shards, job has %d", n, len(c.done))
+		}
+		for i := range c.done {
+			c.done[i] = dec.Bool()
+			if c.done[i] {
+				c.shards[i] = decodeCounters(dec)
+			}
+		}
+	}
+	return dec.Err()
+}

@@ -1,0 +1,56 @@
+package service
+
+import (
+	"context"
+
+	"prophetcritic/internal/pool"
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
+)
+
+// Matrix runs every (builder × program) cell of a simulation matrix and
+// returns results[ci][bi] in input order. It is the scheduler's batch
+// entry point, shared by the experiment harness (whose runner is a thin
+// client of this function) and ad-hoc callers; server jobs use the
+// durable per-workload runners instead, which add checkpointing on top
+// of the same sim primitives.
+//
+// With so.Shards <= 1 the whole matrix fans out on the shared worker
+// pool — the regime for many (configuration × benchmark) cells. With
+// so.Shards > 1 each cell instead splits its measurement window across
+// intra-workload shards (sim.RunSharded) and cells run sequentially:
+// the parallelism budget belongs to the shards within each cell, and
+// nesting a sharded pool inside the cell pool would oversubscribe the
+// CPUs while full-warmup replay multiplies total work. Full-warmup
+// replay keeps every cell bit-identical to its sequential run, so shard
+// settings never change emitted tables.
+func Matrix(ctx context.Context, builds []sim.Builder, progs []*program.Program, opt sim.Options, so sim.ShardOptions) ([][]sim.Result, error) {
+	results := make([][]sim.Result, len(builds))
+	for ci := range results {
+		results[ci] = make([]sim.Result, len(progs))
+	}
+	if so.Shards > 1 {
+		for ci := range builds {
+			for bi := range progs {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				r, err := sim.RunSharded(progs[bi], builds[ci], opt, so)
+				if err != nil {
+					return nil, err
+				}
+				results[ci][bi] = r
+			}
+		}
+		return results, nil
+	}
+	err := pool.RunCtx(ctx, len(builds)*len(progs), func(k int) error {
+		ci, bi := k/len(progs), k%len(progs)
+		results[ci][bi] = sim.Run(progs[bi], builds[ci](), opt)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

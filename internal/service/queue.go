@@ -1,0 +1,168 @@
+package service
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Admission errors. The HTTP layer maps ErrQueueFull and ErrClientQuota
+// to 429 and ErrDraining to 503.
+var (
+	ErrQueueFull   = errors.New("service: job queue is full")
+	ErrClientQuota = errors.New("service: per-client job quota exceeded")
+	ErrDraining    = errors.New("service: server is draining, not accepting jobs")
+	// ErrInternal marks server-side faults (e.g. the data directory is
+	// unwritable) so the HTTP layer answers 500, not 400.
+	ErrInternal = errors.New("service: internal error")
+)
+
+// jobQueue is the bounded priority queue with per-client admission
+// control. Higher Priority dequeues sooner; equal priorities dequeue in
+// submission order. A client's admission count covers queued AND running
+// jobs — it is released only when the job reaches a terminal state — so
+// one client cannot monopolize the service by keeping the queue shallow.
+type jobQueue struct {
+	mu        sync.Mutex
+	capacity  int
+	perClient int
+	heap      jobHeap
+	active    map[string]int // queued+running per client
+	seq       int
+	closed    bool
+
+	notify chan struct{} // non-blocking wake token for Dequeue waiters
+	done   chan struct{} // closed by Close: wakes and terminates all waiters
+}
+
+func newJobQueue(capacity, perClient int) *jobQueue {
+	return &jobQueue{
+		capacity:  capacity,
+		perClient: perClient,
+		active:    make(map[string]int),
+		notify:    make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+}
+
+// Enqueue admits a job or reports why it cannot. force bypasses the
+// capacity and quota checks — used only when re-enqueueing persisted
+// jobs during crash recovery, which must never be dropped by a
+// configuration that shrank across the restart.
+func (q *jobQueue) Enqueue(j *Job, force bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if !force {
+		if len(q.heap) >= q.capacity {
+			return fmt.Errorf("%w (capacity %d)", ErrQueueFull, q.capacity)
+		}
+		if q.active[j.Spec.Client] >= q.perClient {
+			return fmt.Errorf("%w (client %q, limit %d)", ErrClientQuota, j.Spec.Client, q.perClient)
+		}
+	}
+	q.active[j.Spec.Client]++
+	q.seq++
+	heap.Push(&q.heap, queued{job: j, prio: j.Spec.Priority, seq: q.seq})
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Dequeue blocks until a job is available, the queue is closed, or ctx
+// is done; ok is false in the latter two cases. Close wins over a
+// non-empty heap: once draining, no further queued job is handed out —
+// they stay in the heap (and in the store) for the next start.
+func (q *jobQueue) Dequeue(ctx context.Context) (j *Job, ok bool) {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return nil, false
+		}
+		if len(q.heap) > 0 {
+			it := heap.Pop(&q.heap).(queued)
+			if len(q.heap) > 0 {
+				// The notify token is consumed per wakeup, not per job:
+				// re-signal so another parked worker claims the rest.
+				select {
+				case q.notify <- struct{}{}:
+				default:
+				}
+			}
+			q.mu.Unlock()
+			return it.job, true
+		}
+		q.mu.Unlock()
+		select {
+		case <-q.notify:
+		case <-q.done:
+			return nil, false
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+}
+
+// Release returns a client's admission slot once a job is terminal.
+func (q *jobQueue) Release(client string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.active[client] > 1 {
+		q.active[client]--
+	} else {
+		delete(q.active, client)
+	}
+}
+
+// Depth returns the number of queued (not yet running) jobs.
+func (q *jobQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// Close stops admissions and wakes every Dequeue waiter. Queued jobs
+// stay in the heap; with durability they are re-enqueued from the store
+// on the next start.
+func (q *jobQueue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.done)
+	}
+}
+
+// queued is one heap entry.
+type queued struct {
+	job  *Job
+	prio int
+	seq  int
+}
+
+// jobHeap orders by priority descending, then submission order.
+type jobHeap []queued
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(queued)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,649 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"prophetcritic/internal/checkpoint"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/pool"
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
+	"prophetcritic/internal/trace"
+)
+
+// Config configures a Scheduler.
+type Config struct {
+	// DataDir is the durability root: job records under jobs/,
+	// checkpoints under ck/. Required.
+	DataDir string
+	// QueueCap bounds the number of queued jobs (default 64).
+	QueueCap int
+	// PerClient bounds one client's queued+running jobs (default 16).
+	PerClient int
+	// Workers is the number of jobs run concurrently (default 1: one job
+	// at a time, each fanning its workloads/shards out on the shared
+	// worker pool — the batching regime the pool is sized for).
+	Workers int
+	// CheckpointEvery is the measured-branch interval between hybrid
+	// snapshots and progress events (default 20000).
+	CheckpointEvery int
+	// TraceDir is where job trace workloads are resolved (default
+	// DataDir).
+	TraceDir string
+
+	// CrashAfterCheckpoints, when > 0, invokes Crash after that many
+	// checkpoint writes — fault injection for the kill-and-restart
+	// smoke tests. Crash runs on whatever goroutine wrote the
+	// checkpoint; cmd/pcserved wires it to os.Exit.
+	CrashAfterCheckpoints int
+	Crash                 func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.PerClient == 0 {
+		c.PerClient = 16
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 20_000
+	}
+	if c.TraceDir == "" {
+		c.TraceDir = c.DataDir
+	}
+	if c.Crash == nil {
+		c.Crash = func() { panic("service: checkpoint crash injection fired with no Crash hook") }
+	}
+	return c
+}
+
+// Metrics is a point-in-time snapshot of the scheduler's operational
+// counters, rendered by the server's /metricsz endpoint.
+type Metrics struct {
+	Submitted          uint64
+	Completed          uint64
+	Failed             uint64
+	Rejected           uint64
+	ResumedJobs        uint64
+	CheckpointsWritten uint64
+	QueueDepth         int
+	Running            int
+	Draining           bool
+}
+
+// errStopped reports that a job was interrupted by drain or kill; the
+// job record stays "running" on disk and is resumed on the next start.
+var errStopped = errors.New("service: scheduler stopping")
+
+// Scheduler owns the job queue, the worker goroutines, durability, and
+// the per-job event logs. One Scheduler per data directory.
+type Scheduler struct {
+	cfg Config
+	st  *store
+	q   *jobQueue
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	logs   map[string]*EventLog
+	nextID int
+
+	ctx  context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	rejected  atomic.Uint64
+	resumed   atomic.Uint64
+	ckWrites  atomic.Uint64
+	crashLeft atomic.Int64
+	running   atomic.Int64
+	draining  atomic.Bool
+}
+
+// New opens (or creates) the data directory, loads every persisted job,
+// and re-enqueues unfinished ones: queued jobs restart from scratch,
+// running jobs resume from their last checkpoint. Call Start to begin
+// executing.
+func New(cfg Config) (*Scheduler, error) {
+	cfg = cfg.withDefaults()
+	st, err := newStore(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:  cfg,
+		st:   st,
+		q:    newJobQueue(cfg.QueueCap, cfg.PerClient),
+		jobs: make(map[string]*Job),
+		logs: make(map[string]*EventLog),
+		ctx:  ctx,
+		stop: cancel,
+	}
+	s.crashLeft.Store(int64(cfg.CrashAfterCheckpoints))
+
+	jobs, err := st.loadJobs()
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	for _, j := range jobs {
+		s.jobs[j.ID] = j
+		s.logs[j.ID] = newEventLog()
+		if n := idNumber(j.ID); n >= s.nextID {
+			s.nextID = n + 1
+		}
+		switch j.State {
+		case StateQueued, StateRunning:
+			if j.State == StateRunning {
+				j.Resumed = true
+				j.State = StateQueued
+				if err := st.saveJob(j); err != nil {
+					cancel()
+					return nil, err
+				}
+			}
+			s.emit(j.ID, Event{Type: "queued", Job: j.ID})
+			if err := s.q.Enqueue(j, true); err != nil {
+				cancel()
+				return nil, err
+			}
+		case StateDone:
+			// Seed the fresh event log with the terminal event so a
+			// post-restart stream still ends with the job's rows.
+			s.emit(j.ID, Event{Type: "done", Job: j.ID, Rows: j.Rows})
+		case StateFailed:
+			s.emit(j.ID, Event{Type: "failed", Job: j.ID, Error: j.Error})
+		}
+	}
+	return s, nil
+}
+
+func idNumber(id string) int {
+	var n int
+	fmt.Sscanf(id, "j%d", &n)
+	return n
+}
+
+// Start launches the worker goroutines.
+func (s *Scheduler) Start() {
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				j, ok := s.q.Dequeue(s.ctx)
+				if !ok {
+					return
+				}
+				s.runJob(j)
+			}
+		}()
+	}
+}
+
+// Submit validates, persists, and enqueues a job.
+func (s *Scheduler) Submit(spec JobSpec) (Job, error) {
+	if s.draining.Load() {
+		return Job{}, ErrDraining
+	}
+	spec = spec.normalized()
+	if err := spec.validate(); err != nil {
+		return Job{}, err
+	}
+	refs, err := spec.resolveWorkloads(s.cfg.TraceDir)
+	if err != nil {
+		return Job{}, err
+	}
+
+	s.mu.Lock()
+	id := fmt.Sprintf("j%06d", s.nextID)
+	s.nextID++
+	j := &Job{ID: id, Spec: spec, Workloads: refs, State: StateQueued}
+	s.jobs[id] = j
+	s.logs[id] = newEventLog()
+	s.mu.Unlock()
+
+	// Persist before enqueueing: a worker may pick the job up the
+	// instant it is queued, and every later transition assumes the
+	// record exists. The returned copy is taken before Enqueue for the
+	// same reason — afterwards a worker may already be mutating the job.
+	if err := s.st.saveJob(j); err != nil {
+		s.dropJob(id)
+		return Job{}, fmt.Errorf("%w: %v", ErrInternal, err)
+	}
+	cp := *j
+	// The "queued" event goes out before Enqueue: the instant the job is
+	// queued a worker may emit "started", and the stream's documented
+	// order (queued first) must not race that. dropJob discards the log
+	// if admission then fails.
+	s.emit(id, Event{Type: "queued", Job: id})
+	if err := s.q.Enqueue(j, false); err != nil {
+		s.rejected.Add(1)
+		s.dropJob(id)
+		return Job{}, err
+	}
+	s.submitted.Add(1)
+	return cp, nil
+}
+
+// dropJob removes a job that failed admission.
+func (s *Scheduler) dropJob(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	delete(s.logs, id)
+	s.mu.Unlock()
+	os.Remove(s.st.jobPath(id))
+}
+
+// JobSnapshot returns a copy of one job's current state.
+func (s *Scheduler) JobSnapshot(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	cp := *j
+	cp.Rows = append([]ResultRow(nil), j.Rows...)
+	return cp, true
+}
+
+// Jobs returns a copy of every job, ordered by ID.
+func (s *Scheduler) Jobs() []Job {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.JobSnapshot(id); ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Events returns the event log for one job.
+func (s *Scheduler) Events(id string) (*EventLog, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.logs[id]
+	return l, ok
+}
+
+// Metrics returns the operational counter snapshot.
+func (s *Scheduler) Metrics() Metrics {
+	return Metrics{
+		Submitted:          s.submitted.Load(),
+		Completed:          s.completed.Load(),
+		Failed:             s.failed.Load(),
+		Rejected:           s.rejected.Load(),
+		ResumedJobs:        s.resumed.Load(),
+		CheckpointsWritten: s.ckWrites.Load(),
+		QueueDepth:         s.q.Depth(),
+		Running:            int(s.running.Load()),
+		Draining:           s.draining.Load(),
+	}
+}
+
+// Drain gracefully stops the scheduler: admissions are rejected, running
+// jobs checkpoint at their next interval boundary and stop (their
+// records stay "running" for the next start to resume), and Drain
+// returns once every worker has parked or ctx expires.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.q.Close()
+	s.stop()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("service: drain timed out: %w", ctx.Err())
+	}
+	s.endLogs()
+	return err
+}
+
+// Kill stops the scheduler abruptly, persisting nothing beyond the
+// checkpoints already written — the in-process equivalent of the
+// process dying, used by the restart-resume tests.
+func (s *Scheduler) Kill() {
+	s.draining.Store(true)
+	s.q.Close()
+	s.stop()
+	s.wg.Wait()
+	s.endLogs()
+}
+
+func (s *Scheduler) endLogs() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, l := range s.logs {
+		l.end()
+	}
+}
+
+func (s *Scheduler) emit(id string, e Event) {
+	s.mu.Lock()
+	l, ok := s.logs[id]
+	s.mu.Unlock()
+	if ok {
+		l.append(e)
+	}
+}
+
+// setState persists a job state transition.
+func (s *Scheduler) setState(j *Job, state string) error {
+	s.mu.Lock()
+	j.State = state
+	s.mu.Unlock()
+	return s.st.saveJob(j)
+}
+
+// failJob marks a job failed.
+func (s *Scheduler) failJob(j *Job, err error) {
+	s.mu.Lock()
+	j.State = StateFailed
+	j.Error = err.Error()
+	s.mu.Unlock()
+	_ = s.st.saveJob(j)
+	s.st.removeCheckpoint(j.ID)
+	s.failed.Add(1)
+	s.q.Release(j.Spec.Client)
+	s.emit(j.ID, Event{Type: "failed", Job: j.ID, Error: err.Error()})
+}
+
+// loadWorkload resolves one workload reference to a runnable program.
+func (s *Scheduler) loadWorkload(ref WorkloadRef) (*program.Program, error) {
+	switch ref.Kind {
+	case "bench":
+		return program.Load(ref.Name)
+	case "trace":
+		return trace.Load(filepath.Join(s.cfg.TraceDir, ref.Name))
+	default:
+		return nil, fmt.Errorf("service: unknown workload kind %q", ref.Kind)
+	}
+}
+
+// checkpointWritten counts a write and fires crash injection.
+func (s *Scheduler) checkpointWritten() {
+	s.ckWrites.Add(1)
+	if s.cfg.CrashAfterCheckpoints > 0 && s.crashLeft.Add(-1) == 0 {
+		s.cfg.Crash()
+	}
+}
+
+// runJob executes one job to completion, drain, or failure.
+func (s *Scheduler) runJob(j *Job) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	build, err := HybridBuilder(j.Spec.Prophet, j.Spec.Critic, j.Spec.FutureBits, j.Spec.Unfiltered)
+	if err != nil {
+		s.failJob(j, err) // unreachable for specs admitted by Submit
+		return
+	}
+	if err := s.setState(j, StateRunning); err != nil {
+		s.failJob(j, err)
+		return
+	}
+	if j.Resumed {
+		s.resumed.Add(1)
+		s.emit(j.ID, Event{Type: "resumed", Job: j.ID})
+	} else {
+		s.emit(j.ID, Event{Type: "started", Job: j.ID})
+	}
+
+	// A resumed job continues at the first workload without a persisted
+	// row; its checkpoint, if any, belongs to that workload.
+	for wi := len(j.Rows); wi < len(j.Workloads); wi++ {
+		ref := j.Workloads[wi]
+		p, err := s.loadWorkload(ref)
+		if err != nil {
+			s.failJob(j, err)
+			return
+		}
+		var r sim.Result
+		if j.Spec.Shards <= 1 {
+			r, err = s.runStepped(j, wi, p, build)
+		} else {
+			r, err = s.runSharded(j, wi, p, build)
+		}
+		if errors.Is(err, errStopped) {
+			return // record stays "running"; next start resumes
+		}
+		if err != nil {
+			s.failJob(j, err)
+			return
+		}
+		row := rowFromResult(r)
+		s.mu.Lock()
+		j.Rows = append(j.Rows, row)
+		s.mu.Unlock()
+		if err := s.st.saveJob(j); err != nil {
+			s.failJob(j, err)
+			return
+		}
+		s.st.removeCheckpoint(j.ID)
+		s.emit(j.ID, Event{Type: "result", Job: j.ID, Workload: p.Name,
+			Done: j.Spec.Measure, Total: j.Spec.Measure, Row: &row})
+	}
+
+	if err := s.setState(j, StateDone); err != nil {
+		s.failJob(j, err)
+		return
+	}
+	s.st.removeCheckpoint(j.ID)
+	s.completed.Add(1)
+	s.q.Release(j.Spec.Client)
+	s.mu.Lock()
+	rows := append([]ResultRow(nil), j.Rows...)
+	s.mu.Unlock()
+	s.emit(j.ID, Event{Type: "done", Job: j.ID, Rows: rows})
+}
+
+// steppedResume loads a stepped checkpoint applicable to workload wi, if
+// one exists.
+func (s *Scheduler) steppedResume(j *Job, wi int, wlName string, build sim.Builder) (ck *ckState, meta checkpoint.Meta, err error) {
+	meta, dec, ok, err := s.st.readCheckpoint(j.ID)
+	if err != nil || !ok {
+		return nil, meta, err
+	}
+	if meta.Workload != wlName {
+		return nil, meta, nil // checkpoint from another workload; restart this one
+	}
+	c := &ckState{mode: ckModeStepped, hybrid: build()}
+	if err := c.Restore(dec); err != nil {
+		return nil, meta, fmt.Errorf("service: restoring checkpoint for job %s: %w", j.ID, err)
+	}
+	if c.workload != wi {
+		return nil, meta, nil
+	}
+	return c, meta, nil
+}
+
+// runStepped runs one workload through a sim.Stepper in
+// CheckpointEvery-sized measured chunks, snapshotting the hybrid and
+// partial counters at every boundary. Interrupted runs resume from the
+// snapshot and produce counters bit-identical to an uninterrupted run.
+func (s *Scheduler) runStepped(j *Job, wi int, p *program.Program, build sim.Builder) (sim.Result, error) {
+	opt := j.Spec.simOptions()
+	total := opt.MeasureBranches
+
+	var (
+		partial      sim.Result
+		measuredDone int
+		skip         int
+		train        = opt.WarmupBranches
+		hybrid       *core.Hybrid
+	)
+	if j.Resumed {
+		ck, meta, err := s.steppedResume(j, wi, p.Name, build)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		if ck != nil {
+			hybrid = ck.hybrid
+			partial = ck.partial
+			measuredDone = ck.measuredDone
+			skip = int(meta.Position)
+			train = 0
+			if want := opt.WarmupBranches + measuredDone; skip != want {
+				return sim.Result{}, fmt.Errorf("service: checkpoint position %d does not match warmup %d + measured %d",
+					skip, opt.WarmupBranches, measuredDone)
+			}
+		}
+	}
+	if hybrid == nil {
+		hybrid = build()
+	}
+	st := sim.NewStepper(p, hybrid)
+	defer st.Close()
+	st.Skip(skip)
+	st.Train(train)
+
+	meta := checkpoint.Meta{
+		Workload:   p.Name,
+		Prophet:    j.Spec.Prophet,
+		Critic:     j.Spec.Critic,
+		FutureBits: j.Spec.FutureBits,
+		Unfiltered: j.Spec.Unfiltered,
+	}
+	for measuredDone < total {
+		n := s.cfg.CheckpointEvery
+		if n > total-measuredDone {
+			n = total - measuredDone
+		}
+		st.Measure(n)
+		measuredDone += n
+		cur := st.Result()
+		cur.Merge(partial)
+		if measuredDone >= total {
+			return cur, nil
+		}
+
+		// Interval boundary: persist, report, honor crash injection and
+		// drain/kill.
+		meta.Position = uint64(opt.WarmupBranches + measuredDone)
+		state := &ckState{mode: ckModeStepped, workload: wi, measuredDone: measuredDone, partial: cur, hybrid: hybrid}
+		if err := s.st.writeCheckpoint(j.ID, meta, state); err != nil {
+			return sim.Result{}, err
+		}
+		s.checkpointWritten()
+		row := rowFromResult(cur)
+		s.emit(j.ID, Event{Type: "progress", Job: j.ID, Workload: p.Name,
+			Done: measuredDone, Total: total, Row: &row})
+		select {
+		case <-s.ctx.Done():
+			return sim.Result{}, errStopped
+		default:
+		}
+	}
+	return st.Result(), nil // unreachable: loop exits via measuredDone >= total
+}
+
+// runSharded runs one workload's shard windows (exactly sim.RunSharded's
+// windows) on the shared pool, persisting each completed shard's
+// counters. A restarted server reruns only the missing shards; the
+// merged result is bit-identical to RunSharded's.
+func (s *Scheduler) runSharded(j *Job, wi int, p *program.Program, build sim.Builder) (sim.Result, error) {
+	opt := j.Spec.simOptions()
+	ws, err := sim.ShardWindows(opt, j.Spec.shardOptions())
+	if err != nil {
+		return sim.Result{}, err
+	}
+	done := make([]bool, len(ws))
+	results := make([]sim.Result, len(ws))
+
+	if j.Resumed {
+		meta, dec, ok, err := s.st.readCheckpoint(j.ID)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		if ok && meta.Workload == p.Name {
+			c := &ckState{mode: ckModeSharded, done: done, shards: results}
+			if err := c.Restore(dec); err != nil {
+				return sim.Result{}, fmt.Errorf("service: restoring checkpoint for job %s: %w", j.ID, err)
+			}
+			if c.workload != wi {
+				// Another workload's checkpoint: restart this one clean.
+				done = make([]bool, len(ws))
+				results = make([]sim.Result, len(ws))
+			}
+		}
+	}
+
+	cfgName := build().Name()
+	meta := checkpoint.Meta{
+		Workload:   p.Name,
+		Prophet:    j.Spec.Prophet,
+		Critic:     j.Spec.Critic,
+		FutureBits: j.Spec.FutureBits,
+		Unfiltered: j.Spec.Unfiltered,
+	}
+	var mu sync.Mutex
+	doneBranches := 0
+	for i, d := range done {
+		if d {
+			doneBranches += ws[i].Measure
+		}
+	}
+	err = pool.RunCtx(s.ctx, len(ws), func(i int) error {
+		if done[i] {
+			return nil // completed before the restart
+		}
+		w := ws[i]
+		r := sim.RunSegment(p, build(), w.Skip, w.Train, w.Measure)
+
+		mu.Lock()
+		results[i] = r
+		done[i] = true
+		doneBranches += w.Measure
+		meta.Position = uint64(opt.WarmupBranches + doneBranches)
+		state := &ckState{mode: ckModeSharded, workload: wi, done: done, shards: results}
+		werr := s.st.writeCheckpoint(j.ID, meta, state)
+		progress := doneBranches
+		mu.Unlock()
+		if werr != nil {
+			return werr
+		}
+		s.checkpointWritten()
+		s.emit(j.ID, Event{Type: "progress", Job: j.ID, Workload: p.Name,
+			Done: progress, Total: opt.MeasureBranches})
+		return nil
+	})
+	if err != nil {
+		if s.ctx.Err() != nil {
+			return sim.Result{}, errStopped
+		}
+		return sim.Result{}, err
+	}
+
+	merged := sim.Result{Benchmark: p.Name, Suite: p.Suite, Config: cfgName}
+	for _, r := range results {
+		merged.Merge(r)
+	}
+	return merged, nil
+}

@@ -1,0 +1,373 @@
+package service
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
+)
+
+// fastSpec is the standard test job: small windows so a full run takes
+// tens of milliseconds, with enough measured branches for several
+// checkpoint intervals.
+func fastSpec() JobSpec {
+	return JobSpec{
+		Benches:    []string{"gcc"},
+		Prophet:    "2Bc-gskew:8",
+		Critic:     "tagged gshare:8",
+		FutureBits: 1,
+		Warmup:     4_000,
+		Measure:    24_000,
+	}
+}
+
+// directRows computes the rows an uninterrupted run of the spec must
+// produce, straight from the sim primitives (RunSegment / RunSharded) —
+// the reference the service's results and resume guarantee are checked
+// against.
+func directRows(t *testing.T, spec JobSpec) []ResultRow {
+	t.Helper()
+	spec = spec.normalized()
+	build, err := HybridBuilder(spec.Prophet, spec.Critic, spec.FutureBits, spec.Unfiltered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []ResultRow
+	for _, b := range spec.Benches {
+		p, err := program.Load(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r sim.Result
+		if spec.Shards <= 1 {
+			r = sim.RunSegment(p, build(), 0, spec.Warmup, spec.Measure)
+		} else {
+			r, err = sim.RunSharded(p, build, spec.simOptions(), spec.shardOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		rows = append(rows, rowFromResult(r))
+	}
+	return rows
+}
+
+func newTestSched(t *testing.T, dir string, mod func(*Config)) *Scheduler {
+	t.Helper()
+	cfg := Config{DataDir: dir, CheckpointEvery: 4_000}
+	if mod != nil {
+		mod(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// waitState polls until the job reaches the state or the deadline hits.
+func waitState(t *testing.T, s *Scheduler, id, state string) Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := s.JobSnapshot(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if j.State == state {
+			return j
+		}
+		if j.State == StateFailed && state != StateFailed {
+			t.Fatalf("job %s failed: %s", id, j.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, _ := s.JobSnapshot(id)
+	t.Fatalf("job %s stuck in %s, want %s", id, j.State, state)
+	return Job{}
+}
+
+func eventTypes(t *testing.T, s *Scheduler, id string) []string {
+	t.Helper()
+	log, ok := s.Events(id)
+	if !ok {
+		t.Fatalf("no event log for %s", id)
+	}
+	events, _ := log.Snapshot(0)
+	types := make([]string, len(events))
+	for i, e := range events {
+		types[i] = e.Type
+	}
+	return types
+}
+
+// A job run with no interruption must equal the direct sim run exactly,
+// and its event stream must be well-formed.
+func TestJobMatchesDirectRun(t *testing.T) {
+	spec := fastSpec()
+	spec.Benches = []string{"gcc", "unzip"}
+	want := directRows(t, spec)
+
+	s := newTestSched(t, t.TempDir(), nil)
+	s.Start()
+	defer s.Kill()
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, s, j.ID, StateDone)
+	if !reflect.DeepEqual(done.Rows, want) {
+		t.Errorf("service rows = %+v\nwant %+v", done.Rows, want)
+	}
+
+	types := eventTypes(t, s, j.ID)
+	if types[0] != "queued" || types[1] != "started" || types[len(types)-1] != "done" {
+		t.Errorf("event sequence %v", types)
+	}
+	seenProgress, seenResult := false, false
+	for _, ty := range types {
+		seenProgress = seenProgress || ty == "progress"
+		seenResult = seenResult || ty == "result"
+	}
+	if !seenProgress || !seenResult {
+		t.Errorf("event sequence %v lacks progress/result", types)
+	}
+	// Sequence numbers are strictly increasing from 1.
+	log, _ := s.Events(j.ID)
+	events, ended := log.Snapshot(0)
+	if !ended {
+		t.Error("stream not ended after done")
+	}
+	for i, e := range events {
+		if e.Seq != i+1 {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+// The acceptance criterion: kill the scheduler mid-measurement (crash
+// injection fires after exactly two checkpoint writes), restart over the
+// same data directory, and the resumed job's metrics must be
+// bit-identical to a direct uninterrupted sim.RunSegment run.
+func TestCrashRestartResumeBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	spec := fastSpec()
+	want := directRows(t, spec)
+
+	crashed := make(chan struct{})
+	s := newTestSched(t, dir, func(c *Config) {
+		c.CrashAfterCheckpoints = 2
+		// Crash like the process died: stop this worker goroutine on the
+		// spot, persisting nothing beyond the checkpoint just written.
+		c.Crash = func() {
+			close(crashed)
+			runtime.Goexit()
+		}
+	})
+	s.Start()
+	if _, err := s.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-crashed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("crash injection never fired")
+	}
+	s.Kill()
+
+	// The wreckage a real crash leaves: a running job record plus a
+	// checkpoint strictly mid-measurement.
+	if _, err := os.Stat(filepath.Join(dir, "ck", "j000000.ck")); err != nil {
+		t.Fatalf("no checkpoint on disk: %v", err)
+	}
+
+	s2 := newTestSched(t, dir, nil)
+	j2, ok := s2.JobSnapshot("j000000")
+	if !ok {
+		t.Fatal("job lost across restart")
+	}
+	if !j2.Resumed || j2.State != StateQueued {
+		t.Fatalf("recovered job %+v not queued for resume", j2)
+	}
+	s2.Start()
+	defer s2.Kill()
+	done := waitState(t, s2, "j000000", StateDone)
+	if !reflect.DeepEqual(done.Rows, want) {
+		t.Errorf("resumed rows = %+v\nwant %+v", done.Rows, want)
+	}
+	types := eventTypes(t, s2, "j000000")
+	if types[1] != "resumed" {
+		t.Errorf("resumed job's events %v", types)
+	}
+	if m := s2.Metrics(); m.ResumedJobs != 1 {
+		t.Errorf("ResumedJobs = %d", m.ResumedJobs)
+	}
+}
+
+// Same invariant for a sharded job: completed shards are persisted, the
+// restart reruns only the missing ones, and the merged rows equal
+// sim.RunSharded exactly.
+func TestCrashRestartResumeSharded(t *testing.T) {
+	dir := t.TempDir()
+	spec := fastSpec()
+	spec.Shards = 6
+	want := directRows(t, spec)
+
+	crashed := make(chan struct{})
+	s := newTestSched(t, dir, func(c *Config) {
+		c.CrashAfterCheckpoints = 2
+		c.Crash = func() { close(crashed) }
+	})
+	s.Start()
+	if _, err := s.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-crashed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("crash injection never fired")
+	}
+	// Crash fired inside a pool worker; kill the scheduler from outside
+	// (in-flight shards complete and persist, the rest never run).
+	s.Kill()
+
+	s2 := newTestSched(t, dir, nil)
+	s2.Start()
+	defer s2.Kill()
+	done := waitState(t, s2, "j000000", StateDone)
+	if !reflect.DeepEqual(done.Rows, want) {
+		t.Errorf("resumed sharded rows = %+v\nwant %+v", done.Rows, want)
+	}
+}
+
+// Graceful drain checkpoints the running job, leaves it "running" on
+// disk, and a new scheduler finishes it with exact results.
+func TestDrainMidJobResumes(t *testing.T) {
+	dir := t.TempDir()
+	spec := fastSpec()
+	spec.Measure = 120_000 // long enough to drain mid-run
+	want := directRows(t, spec)
+
+	s := newTestSched(t, dir, func(c *Config) { c.CheckpointEvery = 2_000 })
+	s.Start()
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first checkpoint boundary, then drain.
+	log, _ := s.Events(j.ID)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if events, _ := log.Snapshot(0); len(events) >= 3 { // queued, started, progress
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no progress event")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(fastSpec()); err == nil {
+		t.Fatal("draining scheduler accepted a submit")
+	}
+
+	s2 := newTestSched(t, dir, nil)
+	s2.Start()
+	defer s2.Kill()
+	done := waitState(t, s2, j.ID, StateDone)
+	if !reflect.DeepEqual(done.Rows, want) {
+		t.Errorf("drained+resumed rows = %+v\nwant %+v", done.Rows, want)
+	}
+}
+
+// Completed jobs survive restarts: records reload, and the event stream
+// is reseeded with the terminal event.
+func TestCompletedJobsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := fastSpec()
+	s := newTestSched(t, dir, nil)
+	s.Start()
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, s, j.ID, StateDone)
+	s.Kill()
+
+	s2 := newTestSched(t, dir, nil)
+	defer s2.Kill()
+	j2, ok := s2.JobSnapshot(j.ID)
+	if !ok || j2.State != StateDone || !reflect.DeepEqual(j2.Rows, done.Rows) {
+		t.Fatalf("reloaded job %+v", j2)
+	}
+	types := eventTypes(t, s2, j.ID)
+	if len(types) != 1 || types[0] != "done" {
+		t.Fatalf("reseeded events %v", types)
+	}
+	// New submissions continue the ID sequence instead of colliding.
+	s2.Start()
+	nj, err := s2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nj.ID == j.ID {
+		t.Fatalf("ID %s reused", nj.ID)
+	}
+	waitState(t, s2, nj.ID, StateDone)
+}
+
+// service.Matrix must behave exactly like the per-cell sim primitives —
+// the contract the experiment harness's golden wall rests on.
+func TestMatrixMatchesSim(t *testing.T) {
+	progs := []*program.Program{program.MustLoad("gcc"), program.MustLoad("unzip")}
+	b1, err := HybridBuilder("2Bc-gskew:8", "tagged gshare:8", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := HybridBuilder("gshare:16", "none", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := []sim.Builder{b1, b2}
+	opt := sim.Options{WarmupBranches: 2_000, MeasureBranches: 10_000}
+
+	got, err := Matrix(context.Background(), builds, progs, opt, sim.ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range builds {
+		for bi := range progs {
+			want := sim.Run(progs[bi], builds[ci](), opt)
+			if !reflect.DeepEqual(got[ci][bi], want) {
+				t.Errorf("cell (%d,%d) = %+v, want %+v", ci, bi, got[ci][bi], want)
+			}
+		}
+	}
+
+	so := sim.ShardOptions{Shards: 3, WarmupFrac: 1}
+	got, err = Matrix(context.Background(), builds, progs, opt, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range builds {
+		for bi := range progs {
+			want, err := sim.RunSharded(progs[bi], builds[ci], opt, so)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got[ci][bi], want) {
+				t.Errorf("sharded cell (%d,%d) = %+v, want %+v", ci, bi, got[ci][bi], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"prophetcritic/internal/pool"
+)
+
+// Server is the HTTP face of a Scheduler:
+//
+//	POST /v1/jobs             submit a JobSpec; 201 + job record
+//	GET  /v1/jobs             list all jobs
+//	GET  /v1/jobs/{id}        one job's record
+//	GET  /v1/jobs/{id}/events NDJSON event stream (replays history, then
+//	                          follows until the job is terminal)
+//	GET  /healthz             liveness + drain state
+//	GET  /metricsz            Prometheus-style counters
+//
+// Error responses are JSON {"error": "..."}: 400 for malformed or
+// invalid job specs, 429 when the queue or the client's quota is full
+// (with Retry-After), 503 while draining, 404 for unknown jobs.
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewServer wires the routes for one scheduler.
+func NewServer(s *Scheduler) *Server {
+	srv := &Server{sched: s, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("POST /v1/jobs", srv.handleSubmit)
+	srv.mux.HandleFunc("GET /v1/jobs", srv.handleList)
+	srv.mux.HandleFunc("GET /v1/jobs/{id}", srv.handleJob)
+	srv.mux.HandleFunc("GET /v1/jobs/{id}/events", srv.handleEvents)
+	srv.mux.HandleFunc("GET /healthz", srv.handleHealth)
+	srv.mux.HandleFunc("GET /metricsz", srv.handleMetrics)
+	return srv
+}
+
+// Handler returns the route multiplexer.
+func (srv *Server) Handler() http.Handler { return srv.mux }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: malformed job spec: %w", err))
+		return
+	}
+	j, err := srv.sched.Submit(spec)
+	switch {
+	case err == nil:
+		w.Header().Set("Location", "/v1/jobs/"+j.ID)
+		writeJSON(w, http.StatusCreated, j)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClientQuota):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrInternal):
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (srv *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, srv.sched.Jobs())
+}
+
+func (srv *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := srv.sched.JobSnapshot(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// handleEvents streams a job's events as NDJSON: the full history first,
+// then live events until the job reaches a terminal state, the server
+// drains, or the client disconnects.
+func (srv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	log, ok := srv.sched.Events(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	enc := json.NewEncoder(w)
+	from := 0
+	for {
+		events, ended := log.Snapshot(from)
+		for _, e := range events {
+			if enc.Encode(e) != nil {
+				return // client gone
+			}
+		}
+		from += len(events)
+		if flusher != nil && len(events) > 0 {
+			flusher.Flush()
+		}
+		if ended {
+			return
+		}
+		log.Wait(r.Context(), from)
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+}
+
+func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	m := srv.sched.Metrics()
+	status := "serving"
+	if m.Draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"queued":  m.QueueDepth,
+		"running": m.Running,
+	})
+}
+
+func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := srv.sched.Metrics()
+	ps := pool.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	draining := 0
+	if m.Draining {
+		draining = 1
+	}
+	fmt.Fprintf(w, "pcserved_jobs_submitted_total %d\n", m.Submitted)
+	fmt.Fprintf(w, "pcserved_jobs_completed_total %d\n", m.Completed)
+	fmt.Fprintf(w, "pcserved_jobs_failed_total %d\n", m.Failed)
+	fmt.Fprintf(w, "pcserved_jobs_rejected_total %d\n", m.Rejected)
+	fmt.Fprintf(w, "pcserved_jobs_resumed_total %d\n", m.ResumedJobs)
+	fmt.Fprintf(w, "pcserved_checkpoints_written_total %d\n", m.CheckpointsWritten)
+	fmt.Fprintf(w, "pcserved_queue_depth %d\n", m.QueueDepth)
+	fmt.Fprintf(w, "pcserved_jobs_running %d\n", m.Running)
+	fmt.Fprintf(w, "pcserved_draining %d\n", draining)
+	fmt.Fprintf(w, "pool_jobs_run_total %d\n", ps.JobsRun)
+	fmt.Fprintf(w, "pool_max_in_flight %d\n", ps.MaxInFlight)
+}

@@ -1,0 +1,322 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, dir string, mod func(*Config)) (*Scheduler, *httptest.Server) {
+	t.Helper()
+	s := newTestSched(t, dir, mod)
+	s.Start()
+	ts := httptest.NewServer(NewServer(s).Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func submitHTTP(t *testing.T, ts *httptest.Server, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func specJSON(t *testing.T, spec JobSpec) string {
+	t.Helper()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// Malformed and invalid job specs are 400s with a JSON error body.
+func TestSubmitBadRequests(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir(), nil)
+	defer s.Kill()
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"broken JSON", `{"prophet": `},
+		{"unknown field", `{"prophet":"2Bc-gskew:8","benches":["gcc"],"warp_drive":9}`},
+		{"malformed prophet", `{"prophet":"gskew","benches":["gcc"]}`},
+		{"unknown benchmark", `{"prophet":"2Bc-gskew:8","benches":["nope"]}`},
+		{"no workloads", `{"prophet":"2Bc-gskew:8"}`},
+		{"trace escape", `{"prophet":"2Bc-gskew:8","traces":["../x.trc"]}`},
+		{"fb over BOR", `{"prophet":"2Bc-gskew:8","critic":"tagged gshare:8","future_bits":19,"benches":["gcc"]}`},
+	}
+	for _, tc := range cases {
+		resp, body := submitHTTP(t, ts, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s: no error body", tc.name)
+		}
+	}
+	if m := s.Metrics(); m.Submitted != 0 {
+		t.Errorf("bad requests counted as submissions: %d", m.Submitted)
+	}
+}
+
+// A full queue and an exhausted client quota both come back as 429 with
+// Retry-After; the rejected job leaves no trace.
+func TestSubmitQueueFull429(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir(), func(c *Config) {
+		c.QueueCap = 1
+		c.PerClient = 2
+		c.CheckpointEvery = 2_000
+	})
+	defer s.Kill()
+
+	long := fastSpec()
+	long.Measure = 5_000_000 // keeps the single worker busy for the whole test
+	if resp, _ := submitHTTP(t, ts, specJSON(t, long)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	// Wait until the worker picks it up so the queue slot frees.
+	waitState(t, s, "j000000", StateRunning)
+
+	if resp, _ := submitHTTP(t, ts, specJSON(t, fastSpec())); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("second submit (fills queue): %d", resp.StatusCode)
+	}
+	resp, body := submitHTTP(t, ts, specJSON(t, fastSpec()))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full submit: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if !strings.Contains(fmt.Sprint(body["error"]), "queue") {
+		t.Errorf("queue-full error %v", body["error"])
+	}
+
+	// Per-client quota: a distinct client is admitted to the queue-full
+	// check first, so use a fresh server for a clean quota 429.
+	s2, ts2 := newTestServer(t, t.TempDir(), func(c *Config) {
+		c.QueueCap = 64
+		c.PerClient = 1
+		c.CheckpointEvery = 2_000
+	})
+	defer s2.Kill()
+	long2 := long
+	long2.Client = "alice"
+	if resp, _ := submitHTTP(t, ts2, specJSON(t, long2)); resp.StatusCode != http.StatusCreated {
+		t.Fatal("alice's first job rejected")
+	}
+	resp, body = submitHTTP(t, ts2, specJSON(t, long2))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("quota submit: %d, want 429", resp.StatusCode)
+	}
+	if !strings.Contains(fmt.Sprint(body["error"]), "quota") {
+		t.Errorf("quota error %v", body["error"])
+	}
+	// Another client still gets in.
+	other := fastSpec()
+	other.Client = "bob"
+	if resp, _ := submitHTTP(t, ts2, specJSON(t, other)); resp.StatusCode != http.StatusCreated {
+		t.Error("bob rejected by alice's quota")
+	}
+	if m := s2.Metrics(); m.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", m.Rejected)
+	}
+}
+
+// The happy-path HTTP lifecycle: submit, status, NDJSON stream to the
+// terminal event, health and metrics surfaces.
+func TestHTTPLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir(), nil)
+	defer s.Kill()
+
+	resp, body := submitHTTP(t, ts, specJSON(t, fastSpec()))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	id := fmt.Sprint(body["id"])
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+id {
+		t.Errorf("Location %q", loc)
+	}
+
+	// Stream events until the terminal line.
+	stream, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	var events []Event
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) < 3 {
+		t.Fatalf("only %d events", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Type != "done" || len(last.Rows) != 1 {
+		t.Fatalf("terminal event %+v", last)
+	}
+
+	// Status reflects completion and carries the same rows.
+	st, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j Job
+	if err := json.NewDecoder(st.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	st.Body.Close()
+	if j.State != StateDone || !reflect.DeepEqual(j.Rows, last.Rows) {
+		t.Fatalf("status %+v vs terminal rows %+v", j, last.Rows)
+	}
+
+	// List includes the job; unknown IDs are 404.
+	if resp, err := http.Get(ts.URL + "/v1/jobs"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %v %v", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs/zzz"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %v %v", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Health and metrics.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(hr.Body).Decode(&health)
+	hr.Body.Close()
+	if health["status"] != "serving" {
+		t.Errorf("health %v", health)
+	}
+	mr, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mr.Body)
+	mr.Body.Close()
+	for _, metric := range []string{
+		"pcserved_jobs_submitted_total 1",
+		"pcserved_jobs_completed_total 1",
+		"pool_jobs_run_total",
+		"pool_max_in_flight",
+		"pcserved_checkpoints_written_total",
+	} {
+		if !strings.Contains(buf.String(), metric) {
+			t.Errorf("metricsz lacks %q:\n%s", metric, buf.String())
+		}
+	}
+}
+
+// Graceful shutdown mid-job over HTTP: drain checkpoints the running
+// job, submits are 503, and a restarted server resumes and finishes with
+// metrics bit-identical to the direct run.
+func TestHTTPShutdownMidJobAndResume(t *testing.T) {
+	dir := t.TempDir()
+	spec := fastSpec()
+	spec.Measure = 120_000
+	want := directRows(t, spec)
+
+	s, ts := newTestServer(t, dir, func(c *Config) { c.CheckpointEvery = 2_000 })
+	resp, body := submitHTTP(t, ts, specJSON(t, spec))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	id := fmt.Sprint(body["id"])
+
+	// Wait for the first progress event, then drain.
+	log, _ := s.Events(id)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if events, _ := log.Snapshot(0); len(events) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no progress before drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Draining: health reports it and submits bounce with 503.
+	hr, _ := http.Get(ts.URL + "/healthz")
+	var health map[string]any
+	json.NewDecoder(hr.Body).Decode(&health)
+	hr.Body.Close()
+	if health["status"] != "draining" {
+		t.Errorf("health during drain %v", health)
+	}
+	if resp, _ := submitHTTP(t, ts, specJSON(t, fastSpec())); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit during drain: %d, want 503", resp.StatusCode)
+	}
+	ts.Close()
+
+	// Restart over the same data directory.
+	s2, ts2 := newTestServer(t, dir, nil)
+	defer s2.Kill()
+	stream, err := http.Get(ts2.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	var events []Event
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, e)
+	}
+	sawResumed := false
+	for _, e := range events {
+		sawResumed = sawResumed || e.Type == "resumed"
+	}
+	last := events[len(events)-1]
+	if last.Type != "done" {
+		t.Fatalf("terminal event %+v", last)
+	}
+	if !sawResumed && last.Type == "done" {
+		// The job may legitimately have finished before the drain landed;
+		// in that case the resume machinery was not exercised, but the
+		// result contract below still must hold.
+		t.Log("job completed before drain; resume not exercised this run")
+	}
+	if !reflect.DeepEqual(last.Rows, want) {
+		t.Errorf("resumed rows = %+v\nwant %+v", last.Rows, want)
+	}
+}

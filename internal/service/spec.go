@@ -1,0 +1,222 @@
+// Package service is the simulation-as-a-service layer: a durable job
+// queue with priority scheduling and per-client admission control, a
+// scheduler that maps jobs onto the shared worker pool (interval-sharded
+// via the sim package where requested), an NDJSON event stream of
+// per-interval progress, and checkpoint-backed durability — running jobs
+// periodically snapshot their hybrid through internal/checkpoint, so a
+// restarted server resumes mid-measurement and produces metrics
+// bit-identical to an uninterrupted run.
+//
+// The package has three consumers: cmd/pcserved (the HTTP server and its
+// client modes), internal/experiments (whose runner is a thin client of
+// the same scheduler's Matrix entry point), and examples/service.
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
+)
+
+// JobSpec is the wire form of one simulation job: a predictor
+// configuration × a workload set × simulation options. Zero-valued
+// windows take the sim defaults; WarmupFrac nil means exact full-warmup
+// replay (1.0), mirroring the CLIs' -warmup-frac default.
+type JobSpec struct {
+	// Client identifies the submitter for per-client admission control;
+	// empty submissions share one anonymous bucket.
+	Client string `json:"client,omitempty"`
+	// Priority orders the queue: higher runs sooner; equal priorities
+	// run FIFO.
+	Priority int `json:"priority,omitempty"`
+
+	// Benches names synthetic benchmark workloads: exact names, suite
+	// names, or "all". Traces names recorded trace files, resolved
+	// relative to the server's trace directory.
+	Benches []string `json:"benches,omitempty"`
+	Traces  []string `json:"traces,omitempty"`
+
+	Prophet    string `json:"prophet"`          // kind:KB (Table 3)
+	Critic     string `json:"critic,omitempty"` // kind:KB, "none", or empty for prophet alone
+	FutureBits uint   `json:"future_bits,omitempty"`
+	Unfiltered bool   `json:"unfiltered,omitempty"`
+
+	Warmup     int      `json:"warmup,omitempty"`  // warmup branches (default sim.DefaultOptions)
+	Measure    int      `json:"measure,omitempty"` // measured branches (default sim.DefaultOptions)
+	Shards     int      `json:"shards,omitempty"`  // intra-workload parallel intervals (default 1)
+	WarmupFrac *float64 `json:"warmup_frac,omitempty"`
+}
+
+// WorkloadRef is one resolved workload of a job: a synthetic benchmark
+// name or a trace file relative to the server's trace directory.
+type WorkloadRef struct {
+	Kind string `json:"kind"` // "bench" or "trace"
+	Name string `json:"name"`
+}
+
+// normalized returns the spec with defaults applied.
+func (js JobSpec) normalized() JobSpec {
+	if js.Warmup == 0 {
+		js.Warmup = sim.DefaultOptions.WarmupBranches
+	}
+	if js.Measure == 0 {
+		js.Measure = sim.DefaultOptions.MeasureBranches
+	}
+	if js.Shards == 0 {
+		js.Shards = 1
+	}
+	if js.WarmupFrac == nil {
+		one := 1.0
+		js.WarmupFrac = &one
+	}
+	if js.Critic == "" {
+		js.Critic = "none"
+	}
+	return js
+}
+
+func (js JobSpec) simOptions() sim.Options {
+	return sim.Options{WarmupBranches: js.Warmup, MeasureBranches: js.Measure}
+}
+
+func (js JobSpec) shardOptions() sim.ShardOptions {
+	return sim.ShardOptions{Shards: js.Shards, WarmupFrac: *js.WarmupFrac}
+}
+
+// resolveWorkloads validates and expands the spec's workload set against
+// the benchmark inventory and the server's trace directory. The spec
+// must already be normalized.
+func (js JobSpec) resolveWorkloads(traceDir string) ([]WorkloadRef, error) {
+	var refs []WorkloadRef
+	for _, b := range js.Benches {
+		names, err := expandBenches(b)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			refs = append(refs, WorkloadRef{Kind: "bench", Name: n})
+		}
+	}
+	for _, tr := range js.Traces {
+		if err := validTracePath(tr); err != nil {
+			return nil, err
+		}
+		if _, err := os.Stat(filepath.Join(traceDir, tr)); err != nil {
+			return nil, fmt.Errorf("service: trace workload %q: %w", tr, err)
+		}
+		refs = append(refs, WorkloadRef{Kind: "trace", Name: tr})
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("service: job names no workloads (set benches and/or traces)")
+	}
+	return refs, nil
+}
+
+// expandBenches maps one benches entry to concrete benchmark names:
+// "all", a suite name, or an exact benchmark name.
+func expandBenches(b string) ([]string, error) {
+	if b == "all" {
+		return program.Names(), nil
+	}
+	if names, ok := program.Suites()[b]; ok {
+		return names, nil
+	}
+	if _, err := program.SpecByName(b); err != nil {
+		return nil, fmt.Errorf("service: unknown benchmark or suite %q", b)
+	}
+	return []string{b}, nil
+}
+
+// validTracePath rejects trace references that escape the server's trace
+// directory: absolute paths and any ".." component.
+func validTracePath(p string) error {
+	if p == "" {
+		return fmt.Errorf("service: empty trace path")
+	}
+	if filepath.IsAbs(p) {
+		return fmt.Errorf("service: trace path %q must be relative to the server's trace directory", p)
+	}
+	for _, part := range strings.Split(filepath.ToSlash(p), "/") {
+		if part == ".." {
+			return fmt.Errorf("service: trace path %q escapes the trace directory", p)
+		}
+	}
+	return nil
+}
+
+// validate checks everything that does not need the trace directory. The
+// spec must already be normalized.
+func (js JobSpec) validate() error {
+	if _, err := HybridBuilder(js.Prophet, js.Critic, js.FutureBits, js.Unfiltered); err != nil {
+		return err
+	}
+	if js.Warmup < 0 {
+		return fmt.Errorf("service: warmup must be >= 0, got %d", js.Warmup)
+	}
+	if js.Measure <= 0 {
+		return fmt.Errorf("service: measure must be positive, got %d", js.Measure)
+	}
+	if err := js.shardOptions().Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// NewHybrid assembles a prophet/critic hybrid from Table 3
+// configurations — the single construction path shared by the CLIs, the
+// experiment harness, and the job scheduler. critic nil is the prophet
+// alone; a tagged critic kind runs filtered unless forceUnfiltered.
+func NewHybrid(prophet budget.Config, critic *budget.Config, fb uint, forceUnfiltered bool) *core.Hybrid {
+	p := prophet.Build()
+	if critic == nil {
+		return core.New(p, nil, core.Config{})
+	}
+	return core.New(p, critic.Build(), core.Config{
+		FutureBits: fb,
+		Filtered:   critic.IsCritic() && !forceUnfiltered,
+		BORLen:     critic.BORSize, // 0 defaults to the critic's history length in core.New
+	})
+}
+
+// HybridBuilder parses and validates "kind:KB" prophet/critic specs once
+// and returns a builder producing fresh hybrids — errors (malformed
+// specs, future bits exceeding the BOR) surface here instead of as
+// panics inside a running job. criticSpec "none" or "" is the prophet
+// alone.
+func HybridBuilder(prophetSpec, criticSpec string, fb uint, unfiltered bool) (sim.Builder, error) {
+	pc, err := budget.ParseSpec(prophetSpec)
+	if err != nil {
+		return nil, err
+	}
+	var cc *budget.Config
+	if criticSpec != "" && criticSpec != "none" {
+		c, err := budget.ParseSpec(criticSpec)
+		if err != nil {
+			return nil, err
+		}
+		cc = &c
+	}
+	if fb > core.MaxFutureBits {
+		return nil, fmt.Errorf("service: %d future bits exceeds the maximum of %d", fb, core.MaxFutureBits)
+	}
+	if cc != nil {
+		// BORSize 0 (non-critic kinds) defaults to the critic's own
+		// history length, which for those kinds is the Table 3 HistLen —
+		// read it statically rather than building the predictor just to
+		// ask it (validation runs on every submission).
+		borLen := cc.BORSize
+		if borLen == 0 {
+			borLen = cc.HistLen
+		}
+		if fb > borLen {
+			return nil, fmt.Errorf("service: %d future bits exceeds the %s critic's %d-bit BOR", fb, cc.Kind, borLen)
+		}
+	}
+	return func() *core.Hybrid { return NewHybrid(pc, cc, fb, unfiltered) }, nil
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prophetcritic/internal/program"
+)
+
+func validSpec() JobSpec {
+	return JobSpec{
+		Benches: []string{"gcc"},
+		Prophet: "2Bc-gskew:8",
+		Critic:  "tagged gshare:8",
+	}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	if err := validSpec().normalized().validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mod  func(*JobSpec)
+	}{
+		{"malformed prophet", func(s *JobSpec) { s.Prophet = "gskew" }},
+		{"unknown prophet kind", func(s *JobSpec) { s.Prophet = "bogus:8" }},
+		{"budget off table", func(s *JobSpec) { s.Prophet = "gshare:7" }},
+		{"malformed critic", func(s *JobSpec) { s.Critic = "tagged gshare" }},
+		{"fb over maximum", func(s *JobSpec) { s.FutureBits = 99 }},
+		{"fb over critic BOR", func(s *JobSpec) { s.FutureBits = 19 }}, // tagged gshare BOR is 18
+		{"negative warmup", func(s *JobSpec) { s.Warmup = -1 }},
+		{"negative measure", func(s *JobSpec) { s.Measure = -5 }},
+		{"negative shards", func(s *JobSpec) { s.Shards = -2 }},
+		{"warmup frac out of range", func(s *JobSpec) { f := 1.5; s.WarmupFrac = &f }},
+	}
+	for _, tc := range cases {
+		s := validSpec()
+		tc.mod(&s)
+		if err := s.normalized().validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestJobSpecDefaults(t *testing.T) {
+	s := validSpec().normalized()
+	if s.Warmup == 0 || s.Measure == 0 || s.Shards != 1 || s.WarmupFrac == nil || *s.WarmupFrac != 1 {
+		t.Fatalf("normalized spec %+v lacks defaults", s)
+	}
+	if s.Critic == "" {
+		t.Fatal("critic not normalized")
+	}
+	// A prophet-alone spec is valid.
+	alone := JobSpec{Benches: []string{"gcc"}, Prophet: "gshare:16"}
+	if err := alone.normalized().validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveWorkloads(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "w.trc"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := JobSpec{Benches: []string{"gcc", "unzip"}, Traces: []string{"w.trc"}}
+	refs, err := s.resolveWorkloads(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 3 || refs[0].Name != "gcc" || refs[2].Kind != "trace" {
+		t.Fatalf("refs = %+v", refs)
+	}
+
+	// Suite and "all" expansion.
+	if refs, err = (JobSpec{Benches: []string{"INT00"}}).resolveWorkloads(dir); err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != len(program.Suites()["INT00"]) {
+		t.Fatalf("suite expansion gave %d workloads", len(refs))
+	}
+	if refs, err = (JobSpec{Benches: []string{"all"}}).resolveWorkloads(dir); err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != len(program.Names()) {
+		t.Fatalf("all expansion gave %d workloads", len(refs))
+	}
+
+	bad := []JobSpec{
+		{},                                  // no workloads
+		{Benches: []string{"nope"}},         // unknown benchmark
+		{Traces: []string{"missing.trc"}},   // trace does not exist
+		{Traces: []string{"/etc/passwd"}},   // absolute path
+		{Traces: []string{"../escape.trc"}}, // parent escape
+		{Traces: []string{"a/../../b.trc"}}, // nested escape
+		{Traces: []string{""}},              // empty path
+	}
+	for _, s := range bad {
+		if _, err := s.resolveWorkloads(dir); err == nil {
+			t.Errorf("spec %+v accepted", s)
+		}
+	}
+}
+
+func TestHybridBuilderConstruction(t *testing.T) {
+	build, err := HybridBuilder("2Bc-gskew:8", "tagged gshare:8", 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := build()
+	if !strings.Contains(h.Name(), "filtered") || !strings.Contains(h.Name(), "2 future bits") {
+		t.Fatalf("hybrid name %q", h.Name())
+	}
+	// "none" and "" are the prophet alone.
+	for _, critic := range []string{"none", ""} {
+		build, err := HybridBuilder("gshare:16", critic, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h := build(); h.Critic() != nil {
+			t.Fatalf("critic %q produced a critic", critic)
+		}
+	}
+	// An unfiltered (non-critic) critic kind defaults its BOR to its own
+	// history length (13 for gshare:2), so fb up to that length is
+	// accepted and anything longer is rejected before core.New can panic.
+	if _, err := HybridBuilder("gshare:8", "gshare:2", 12, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HybridBuilder("gshare:8", "gshare:2", 14, false); err == nil {
+		t.Fatal("fb beyond an unfiltered critic's history accepted")
+	}
+}

@@ -80,14 +80,20 @@ func (r *Result) Merge(s Result) {
 	}
 }
 
-// RunSharded simulates the builder's hybrid over p with the measurement
-// window split into so.Shards contiguous intervals, run in parallel and
-// merged in interval order. Each shard gets a fresh hybrid from build,
-// fast-forwards the untrained part of its prefix, replays the newest
-// so.WarmupFrac of the prefix with training, then measures its
-// interval. WarmupFrac 1 is bit-identical to the sequential run;
-// WarmupFrac 0 measures every interval from cold predictors.
-func RunSharded(p *program.Program, build Builder, opt Options, so ShardOptions) (Result, error) {
+// Window is one contiguous execution window of a workload's committed
+// stream, in RunSegment's terms: Skip branches fast-forwarded, Train
+// branches predicted but unmeasured, Measure branches measured.
+type Window struct {
+	Skip, Train, Measure int
+}
+
+// ShardWindows returns the per-shard windows RunSharded executes for the
+// given options, after validating them: shard i's prefix is everything
+// before its measurement interval, with the newest WarmupFrac of it
+// trained and the rest fast-forwarded. The service scheduler uses the
+// same windows to run shards durably, which keeps its merged results
+// bit-identical to RunSharded's.
+func ShardWindows(opt Options, so ShardOptions) ([]Window, error) {
 	if opt.MeasureBranches <= 0 {
 		opt = DefaultOptions
 	}
@@ -95,19 +101,18 @@ func RunSharded(p *program.Program, build Builder, opt Options, so ShardOptions)
 		so.Shards = 1
 	}
 	if err := so.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	k := so.Shards
 	if k > opt.MeasureBranches {
 		k = opt.MeasureBranches // never hand a shard an empty interval
 	}
-	if k == 1 {
-		return Run(p, build(), opt), nil
-	}
-
 	warmup, measure := opt.WarmupBranches, opt.MeasureBranches
-	shards := make([]Result, k)
-	err := pool.RunCtx(context.Background(), k, func(i int) error {
+	if k == 1 {
+		return []Window{{Skip: 0, Train: warmup, Measure: measure}}, nil
+	}
+	ws := make([]Window, k)
+	for i := range ws {
 		start := warmup + i*measure/k
 		end := warmup + (i+1)*measure/k
 		// The shard's prefix is everything before its interval; the
@@ -117,7 +122,32 @@ func RunSharded(p *program.Program, build Builder, opt Options, so ShardOptions)
 		if train > start {
 			train = start
 		}
-		shards[i] = RunSegment(p, build(), start-train, train, end-start)
+		ws[i] = Window{Skip: start - train, Train: train, Measure: end - start}
+	}
+	return ws, nil
+}
+
+// RunSharded simulates the builder's hybrid over p with the measurement
+// window split into so.Shards contiguous intervals, run in parallel and
+// merged in interval order. Each shard gets a fresh hybrid from build,
+// fast-forwards the untrained part of its prefix, replays the newest
+// so.WarmupFrac of the prefix with training, then measures its
+// interval. WarmupFrac 1 is bit-identical to the sequential run;
+// WarmupFrac 0 measures every interval from cold predictors.
+func RunSharded(p *program.Program, build Builder, opt Options, so ShardOptions) (Result, error) {
+	ws, err := ShardWindows(opt, so)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(ws) == 1 {
+		w := ws[0]
+		return RunSegment(p, build(), w.Skip, w.Train, w.Measure), nil
+	}
+
+	shards := make([]Result, len(ws))
+	err = pool.RunCtx(context.Background(), len(ws), func(i int) error {
+		w := ws[i]
+		shards[i] = RunSegment(p, build(), w.Skip, w.Train, w.Measure)
 		return nil
 	})
 	if err != nil {

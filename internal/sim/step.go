@@ -1,0 +1,118 @@
+package sim
+
+// Incremental execution: a Stepper drives one hybrid over one program's
+// committed stream in caller-controlled increments, exposing the partial
+// Result measured so far. It is the substrate of the simulation service's
+// durable jobs: the scheduler measures in chunks, snapshotting the hybrid
+// between chunks through internal/checkpoint, so a killed server resumes
+// mid-measurement (Skip to the recorded position, keep measuring) and
+// produces counters bit-identical to an uninterrupted RunSegment — the
+// property TestStepperMatchesRunSegment and the service resume tests pin.
+
+import (
+	"fmt"
+
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/program"
+)
+
+// Stepper executes one (program, hybrid) pair incrementally. The three
+// advance methods mirror RunSegment's windows: Skip fast-forwards the
+// committed stream without the predictor seeing it, Train predicts and
+// resolves without measuring, Measure predicts, resolves, and measures.
+// Increments may be interleaved with external work (snapshots, progress
+// reports); the concatenation of all increments behaves exactly like one
+// RunSegment call with the same totals.
+type Stepper struct {
+	h         *core.Hybrid
+	run       *program.Run
+	walk      core.WalkFunc
+	pos       int
+	res       Result
+	baseline  core.Stats
+	measuring bool
+}
+
+// NewStepper opens a run of p for h. Close releases the event stream of
+// trace-replay runs.
+func NewStepper(p *program.Program, h *core.Hybrid) *Stepper {
+	return &Stepper{
+		h:    h,
+		run:  p.NewRun(),
+		walk: core.WalkFunc(p.Walk),
+		res:  Result{Benchmark: p.Name, Suite: p.Suite, Config: h.Name()},
+	}
+}
+
+// Close releases the underlying run.
+func (s *Stepper) Close() error { return s.run.Close() }
+
+// Pos returns the number of committed branches consumed so far — the
+// position a resuming Stepper must Skip to.
+func (s *Stepper) Pos() int { return s.pos }
+
+// Skip fast-forwards n committed branches without predicting. Program
+// state depends only on the committed stream, never on the predictor, so
+// the stream after Skip is identical to a fully simulated run's (the
+// same argument RunSegment's fast-forward makes).
+func (s *Stepper) Skip(n int) {
+	for i := 0; i < n; i++ {
+		s.run.Next()
+	}
+	s.pos += n
+}
+
+func (s *Stepper) step(measured bool) {
+	addr := s.run.CurrentAddr()
+	pr := s.h.Predict(addr, s.walk)
+	ev := s.run.Next()
+	if ev.Addr != addr {
+		panic(fmt.Sprintf("sim: committed branch %#x does not match predicted %#x", ev.Addr, addr))
+	}
+	s.h.Resolve(pr, ev.Taken)
+	if measured {
+		s.res.Uops += uint64(ev.Uops)
+	}
+	s.pos++
+}
+
+// Train predicts and resolves n branches without measuring them (the
+// warmup window).
+func (s *Stepper) Train(n int) {
+	for i := 0; i < n; i++ {
+		s.step(false)
+	}
+}
+
+// Measure predicts, resolves, and measures n branches. The first call
+// records the stats baseline, so Result reports deltas over the measured
+// window only, exactly as RunSegment does.
+func (s *Stepper) Measure(n int) {
+	if !s.measuring {
+		s.baseline = s.h.Stats()
+		s.measuring = true
+	}
+	for i := 0; i < n; i++ {
+		s.step(true)
+	}
+}
+
+// Result returns the statistics of the window measured so far. Before the
+// first Measure call it carries only the identity fields. Counters are
+// additive over disjoint windows, so a resumed run's Result merged
+// (Result.Merge) with the partial counters recorded before the
+// interruption equals the uninterrupted run's Result exactly.
+func (s *Stepper) Result() Result {
+	res := s.res
+	if !s.measuring {
+		return res
+	}
+	final := s.h.Stats()
+	res.Branches = final.Branches - s.baseline.Branches
+	res.ProphetMisp = final.ProphetMispredict - s.baseline.ProphetMispredict
+	res.FinalMisp = final.FinalMispredict - s.baseline.FinalMispredict
+	for c := 0; c < len(res.Critiques); c++ {
+		res.Critiques[c] = final.Critiques[c] - s.baseline.Critiques[c]
+	}
+	return res
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"prophetcritic/internal/budget"
+	"prophetcritic/internal/checkpoint"
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/program"
+)
+
+func snapshotHybrid(t *testing.T, h *core.Hybrid) []byte {
+	t.Helper()
+	enc := checkpoint.NewEncoder()
+	h.Snapshot(enc)
+	return append([]byte(nil), enc.Bytes()...)
+}
+
+func restoreHybrid(t *testing.T, h *core.Hybrid, buf []byte) {
+	t.Helper()
+	if err := h.Restore(checkpoint.NewDecoder(buf)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func stepTestBuilder() *core.Hybrid {
+	return core.New(
+		budget.MustLookup(budget.Gskew, 8).Build(),
+		budget.MustLookup(budget.TaggedGshare, 8).Build(),
+		core.Config{FutureBits: 2, Filtered: true, BORLen: 18},
+	)
+}
+
+// The Stepper run in one Skip/Train/Measure sequence must reproduce
+// RunSegment exactly, whatever the chunking.
+func TestStepperMatchesRunSegment(t *testing.T) {
+	p := program.MustLoad("gcc")
+	const skip, train, measure = 500, 3_000, 12_000
+	want := RunSegment(p, stepTestBuilder(), skip, train, measure)
+
+	for _, chunk := range []int{measure, 5_000, 1_000, 137} {
+		st := NewStepper(p, stepTestBuilder())
+		st.Skip(skip)
+		st.Train(train)
+		for done := 0; done < measure; {
+			n := chunk
+			if n > measure-done {
+				n = measure - done
+			}
+			st.Measure(n)
+			done += n
+		}
+		got := st.Result()
+		st.Close()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("chunk %d: stepper result %+v != RunSegment %+v", chunk, got, want)
+		}
+		if wantPos := skip + train + measure; st.Pos() != wantPos {
+			t.Errorf("chunk %d: pos %d, want %d", chunk, st.Pos(), wantPos)
+		}
+	}
+}
+
+// A Stepper resumed from a checkpointed hybrid mid-measurement must, when
+// its partial counters are merged with the pre-interruption partial,
+// reproduce the uninterrupted run bit for bit — the service's
+// kill-and-restart invariant at the sim layer.
+func TestStepperCheckpointResume(t *testing.T) {
+	p := program.MustLoad("unzip")
+	const train, measure, cut = 2_000, 10_000, 4_000
+	want := RunSegment(p, stepTestBuilder(), 0, train, measure)
+
+	// First half: measure `cut` branches, then snapshot.
+	h := stepTestBuilder()
+	st := NewStepper(p, h)
+	st.Train(train)
+	st.Measure(cut)
+	partial := st.Result()
+	buf := snapshotHybrid(t, h)
+	pos := st.Pos()
+	st.Close()
+
+	// "Restart": fresh hybrid restored from the snapshot, fresh stepper
+	// fast-forwarded to the recorded position.
+	h2 := stepTestBuilder()
+	restoreHybrid(t, h2, buf)
+	st2 := NewStepper(p, h2)
+	st2.Skip(pos)
+	st2.Measure(measure - cut)
+	got := st2.Result()
+	st2.Close()
+	got.Merge(partial)
+
+	// Identity fields come from the resumed stepper; counters must match
+	// the uninterrupted run exactly.
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed result %+v != uninterrupted %+v", got, want)
+	}
+}
+
+// TestShardWindowsMatchRunSharded pins the extracted window math to the
+// sharded runner: executing ShardWindows by hand and merging must equal
+// RunSharded for exact and fractional warmup.
+func TestShardWindowsMatchRunSharded(t *testing.T) {
+	p := program.MustLoad("gcc")
+	opt := Options{WarmupBranches: 2_000, MeasureBranches: 12_000}
+	for _, so := range []ShardOptions{
+		{Shards: 1, WarmupFrac: 1},
+		{Shards: 4, WarmupFrac: 1},
+		{Shards: 3, WarmupFrac: 0.5},
+	} {
+		want, err := RunSharded(p, stepTestBuilder, opt, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := ShardWindows(opt, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Result
+		for i, w := range ws {
+			r := RunSegment(p, stepTestBuilder(), w.Skip, w.Train, w.Measure)
+			if i == 0 {
+				got = r
+			} else {
+				got.Merge(r)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards %+v: window merge %+v != RunSharded %+v", so, got, want)
+		}
+	}
+}
+
+func TestShardWindowsValidate(t *testing.T) {
+	if _, err := ShardWindows(Options{}, ShardOptions{Shards: -1, WarmupFrac: 1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if _, err := ShardWindows(Options{}, ShardOptions{Shards: 2, WarmupFrac: 1.5}); err == nil {
+		t.Error("warmup fraction > 1 accepted")
+	}
+	ws, err := ShardWindows(Options{WarmupBranches: 100, MeasureBranches: 1000}, ShardOptions{WarmupFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || ws[0] != (Window{Skip: 0, Train: 100, Measure: 1000}) {
+		t.Errorf("degenerate shard windows %+v", ws)
+	}
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Load generator for pcserved: submit a burst of jobs with mixed
+# predictors, priorities, and clients against a running server, wait for
+# the fleet to finish, and print the server's counters. Exercises the
+# queue, admission control (expect some 429s when the burst exceeds
+# -queue/-per-client), and the scheduler under sustained load.
+#
+#   pcserved serve -data ./pcserved-data &
+#   scripts/loadgen.sh [base-url] [jobs]
+set -euo pipefail
+
+url=${1:-http://localhost:8917}
+n=${2:-16}
+
+benches=(gcc crafty unzip parser twolf vortex gzip verilog)
+prophets=("2Bc-gskew:8" "gshare:16" "perceptron:8")
+critics=("tagged gshare:8" "filtered perceptron:8" "none")
+
+submitted=0 rejected=0
+for i in $(seq 1 "$n"); do
+    bench=${benches[$((i % ${#benches[@]}))]}
+    prophet=${prophets[$((i % ${#prophets[@]}))]}
+    critic=${critics[$((i % ${#critics[@]}))]}
+    body=$(printf '{"client":"loadgen-%d","priority":%d,"benches":["%s"],"prophet":"%s","critic":"%s","future_bits":1,"warmup":8000,"measure":30000}' \
+        $((i % 4)) $((i % 3)) "$bench" "$prophet" "$critic")
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$url/v1/jobs" \
+        -H 'Content-Type: application/json' -d "$body")
+    case "$code" in
+    201) submitted=$((submitted + 1)) ;;
+    429) rejected=$((rejected + 1)) ;;
+    *)
+        echo "loadgen: unexpected status $code for job $i" >&2
+        exit 1
+        ;;
+    esac
+done
+echo "loadgen: $submitted submitted, $rejected rejected (429)"
+
+# Wait until nothing is queued or running.
+for _ in $(seq 1 600); do
+    health=$(curl -fsS "$url/healthz")
+    queued=$(echo "$health" | sed -n 's/.*"queued": *\([0-9]*\).*/\1/p')
+    running=$(echo "$health" | sed -n 's/.*"running": *\([0-9]*\).*/\1/p')
+    if [ "${queued:-0}" -eq 0 ] && [ "${running:-0}" -eq 0 ]; then
+        break
+    fi
+    sleep 0.5
+done
+
+echo "loadgen: server counters:"
+curl -fsS "$url/metricsz"
