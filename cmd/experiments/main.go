@@ -5,6 +5,8 @@
 //	experiments -exp all -fast     # reduced windows (smoke test)
 //	experiments -exp all -shards 8 # intra-workload parallel functional sims
 //	experiments -list              # enumerate experiment ids
+//	experiments -exp fig7a -kinds yags,tournament,local
+//	                               # sweep registry families outside Table 3
 //
 // Output is plain text, one table per experiment, deterministic for a
 // given configuration.
@@ -14,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"prophetcritic/internal/experiments"
@@ -30,6 +33,7 @@ func main() {
 		traceFlag  = flag.String("trace", "", "replay a recorded trace file as the workload of every simulation experiment")
 		shards     = flag.Int("shards", 1, "split each functional simulation into K parallel intervals")
 		warmupFrac = flag.Float64("warmup-frac", 1, "fraction of each shard's prefix replayed as warmup (1 = exact)")
+		kinds      = flag.String("kinds", "", "comma-separated prophet kinds for the kind-sweeping experiments (fig7a/b, fig9); any registered family")
 	)
 	flag.Parse()
 
@@ -50,6 +54,11 @@ func main() {
 	}
 	opt.Shards = *shards
 	opt.WarmupFrac = *warmupFrac
+	if *kinds != "" {
+		for _, k := range strings.Split(*kinds, ",") {
+			opt.Kinds = append(opt.Kinds, strings.TrimSpace(k))
+		}
+	}
 	if *traceFlag != "" {
 		p, err := trace.Load(*traceFlag)
 		if err != nil {

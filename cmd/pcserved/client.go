@@ -23,8 +23,8 @@ func submit(args []string) {
 	addr := fs.String("addr", "http://localhost:8917", "server base URL")
 	bench := fs.String("bench", "", "comma-separated benchmarks, suites, or 'all'")
 	traceFlag := fs.String("trace", "", "comma-separated trace files (relative to the server's trace dir)")
-	prophetFlag := fs.String("prophet", "2Bc-gskew:8", "prophet as kind:KB")
-	criticFlag := fs.String("critic", "tagged gshare:8", "critic as kind:KB, or 'none'")
+	prophetFlag := fs.String("prophet", "2Bc-gskew:8", "prophet spec: kind:KB or kind(name=value,...); see sweep -list-kinds")
+	criticFlag := fs.String("critic", "tagged gshare:8", "critic spec (same grammar as -prophet), or 'none'")
 	fb := fs.Uint("fb", 1, "number of future bits")
 	unfiltered := fs.Bool("unfiltered", false, "critique every branch (no tag filter)")
 	warmup := fs.Int("warmup", 0, "warmup branches (0 = server default)")

@@ -13,10 +13,10 @@ import (
 	"fmt"
 	"os"
 
-	"prophetcritic/internal/budget"
 	"prophetcritic/internal/core"
 	"prophetcritic/internal/pipeline"
 	"prophetcritic/internal/program"
+	"prophetcritic/internal/service"
 	"prophetcritic/internal/sim"
 	"prophetcritic/internal/trace"
 )
@@ -25,8 +25,8 @@ func main() {
 	var (
 		bench       = flag.String("bench", "gcc", "benchmark name (see -benchmarks)")
 		traceFlag   = flag.String("trace", "", "replay a recorded trace file as the workload (overrides -bench)")
-		prophetFlag = flag.String("prophet", "2Bc-gskew:8", "prophet as kind:KB")
-		criticFlag  = flag.String("critic", "tagged gshare:8", "critic as kind:KB, or 'none'")
+		prophetFlag = flag.String("prophet", "2Bc-gskew:8", "prophet spec: kind:KB or kind(name=value,...); see sweep -list-kinds")
+		criticFlag  = flag.String("critic", "tagged gshare:8", "critic spec (same grammar as -prophet), or 'none'")
 		fb          = flag.Uint("fb", 1, "number of future bits")
 		unfiltered  = flag.Bool("unfiltered", false, "critique every branch (no tag filter)")
 		timing      = flag.Bool("timing", false, "run the cycle timing model (uPC) instead of the functional simulator")
@@ -132,46 +132,16 @@ func main() {
 	}
 }
 
+// buildHybrid assembles the predictor through the shared construction
+// path (service.HybridBuilder), so any registered kind — pinned Table 3
+// cells, solver budgets, or explicit geometry — works here exactly as it
+// does in sweep, the experiment harness, and the pcserved scheduler.
 func buildHybrid(prophetSpec, criticSpec string, fb uint, unfiltered bool) (*core.Hybrid, error) {
-	pk, pkb, err := parseKindKB(prophetSpec)
+	build, err := service.HybridBuilder(prophetSpec, criticSpec, fb, unfiltered)
 	if err != nil {
 		return nil, err
 	}
-	p := budget.MustLookup(pk, pkb).Build()
-	if criticSpec == "none" {
-		return core.New(p, nil, core.Config{}), nil
-	}
-	ck, ckb, err := parseKindKB(criticSpec)
-	if err != nil {
-		return nil, err
-	}
-	cc := budget.MustLookup(ck, ckb)
-	c := cc.Build()
-	borLen := cc.BORSize
-	if borLen == 0 {
-		borLen = c.HistoryLen()
-	}
-	return core.New(p, c, core.Config{
-		FutureBits: fb,
-		Filtered:   cc.IsCritic() && !unfiltered,
-		BORLen:     borLen,
-	}), nil
-}
-
-func parseKindKB(s string) (budget.Kind, int, error) {
-	var kb int
-	for i := len(s) - 1; i >= 0; i-- {
-		if s[i] == ':' {
-			if _, err := fmt.Sscanf(s[i+1:], "%d", &kb); err != nil {
-				return "", 0, fmt.Errorf("bad size in %q: %v", s, err)
-			}
-			if _, err := budget.Lookup(budget.Kind(s[:i]), kb); err != nil {
-				return "", 0, err
-			}
-			return budget.Kind(s[:i]), kb, nil
-		}
-	}
-	return "", 0, fmt.Errorf("want kind:KB, got %q", s)
+	return build(), nil
 }
 
 func fatal(err error) {

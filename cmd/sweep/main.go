@@ -1,19 +1,25 @@
 // Command sweep runs free-form prophet/critic parameter sweeps:
 //
 //	sweep -bench gcc,unzip -prophet 2Bc-gskew:8 -critic "tagged gshare:8" -fb 0,1,4,8,12
+//	sweep -prophet yags:8 -critic none        # any registered family
+//	sweep -prophet "gshare(entries=8192,hist=13)"   # explicit geometry
+//	sweep -list-kinds                         # registry + param schemas
 //	sweep -trace gcc.trc -fb 0,1,4
 //	sweep -trace gcc.trc -shards 8            # intra-workload parallel, exact
 //	sweep -trace gcc.trc -shards 8 -warmup-frac 0.25   # faster, approximate
 //
 // It prints one row per (benchmark, future-bit count) with prophet and
 // final mispredict rates, misp/Kuops, and the critique distribution, and
-// is the calibration tool used while tuning the synthetic workloads. With
-// -trace, the workload is a recorded branch trace instead of a named
-// synthetic benchmark; a trace recorded with the default window replays
-// to exactly the rows the direct run produces. With -shards K, each
-// workload's measurement window is split into K intervals simulated in
-// parallel; at the default -warmup-frac 1 the rows are bit-identical to
-// the sequential run's.
+// is the calibration tool used while tuning the synthetic workloads.
+// Predictor specs accept the full budget grammar: Table 3 cells resolve
+// to the published geometry, off-table budgets invoke the family's
+// solver, and kind(name=value,...) sets explicit geometry. With -trace,
+// the workload is a recorded branch trace instead of a named synthetic
+// benchmark; a trace recorded with the default window replays to exactly
+// the rows the direct run produces. With -shards K, each workload's
+// measurement window is split into K intervals simulated in parallel; at
+// the default -warmup-frac 1 the rows are bit-identical to the
+// sequential run's.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"prophetcritic/internal/core"
 	"prophetcritic/internal/metrics"
 	"prophetcritic/internal/program"
+	"prophetcritic/internal/registry"
 	"prophetcritic/internal/service"
 	"prophetcritic/internal/sim"
 	"prophetcritic/internal/trace"
@@ -36,8 +43,8 @@ func main() {
 	var (
 		benchFlag   = flag.String("bench", "all", "comma-separated benchmark names, a suite name, or 'all'")
 		traceFlag   = flag.String("trace", "", "replay a recorded trace file as the workload (overrides -bench)")
-		prophetFlag = flag.String("prophet", "2Bc-gskew:8", "prophet as kind:KB")
-		criticFlag  = flag.String("critic", "tagged gshare:8", "critic as kind:KB, or 'none'")
+		prophetFlag = flag.String("prophet", "2Bc-gskew:8", "prophet spec: kind:KB or kind(name=value,...); see sweep -list-kinds")
+		criticFlag  = flag.String("critic", "tagged gshare:8", "critic spec (same grammar as -prophet), or 'none'")
 		fbFlag      = flag.String("fb", "8", "comma-separated future bit counts")
 		warmup      = flag.Int("warmup", sim.DefaultOptions.WarmupBranches, "warmup branches")
 		measure     = flag.Int("measure", sim.DefaultOptions.MeasureBranches, "measured branches")
@@ -45,8 +52,14 @@ func main() {
 		verbose     = flag.Bool("v", false, "per-benchmark rows (default prints means only)")
 		shards      = flag.Int("shards", 1, "split each workload's measurement window into K parallel intervals")
 		warmupFrac  = flag.Float64("warmup-frac", 1, "fraction of each shard's prefix replayed as warmup (1 = exact)")
+		listKinds   = flag.Bool("list-kinds", false, "list every registered predictor family with its parameter schema and exit")
 	)
 	flag.Parse()
+
+	if *listKinds {
+		printKinds()
+		return
+	}
 
 	progs, workload, err := resolveWorkload(*benchFlag, *traceFlag)
 	if err != nil {
@@ -55,14 +68,6 @@ func main() {
 	prophetCfg, err := budget.ParseSpec(*prophetFlag)
 	if err != nil {
 		fatal(err)
-	}
-	var criticCfg *budget.Config
-	if *criticFlag != "none" {
-		c, err := budget.ParseSpec(*criticFlag)
-		if err != nil {
-			fatal(err)
-		}
-		criticCfg = &c
 	}
 	fbs, err := parseInts(*fbFlag)
 	if err != nil {
@@ -85,14 +90,24 @@ func main() {
 	}
 	opt := sim.Options{WarmupBranches: *warmup, MeasureBranches: *measure}
 
-	fmt.Printf("prophet: %s @%dKB   critic: %s   workload: %s\n", prophetCfg.Kind, prophetCfg.KB, *criticFlag, workload)
+	// Validate every future-bit count against the specs up front through
+	// the shared construction path — a count exceeding the critic's BOR
+	// must fail before any simulation runs, not panic mid-sweep.
+	builders := make([]sim.Builder, len(fbs))
+	for i, fb := range fbs {
+		b, err := service.HybridBuilder(*prophetFlag, *criticFlag, uint(fb), *unfiltered)
+		if err != nil {
+			fatal(err)
+		}
+		builders[i] = b
+	}
+
+	fmt.Printf("prophet: %s   critic: %s   workload: %s\n", describe(prophetCfg), *criticFlag, workload)
 	fmt.Printf("%-6s %-12s %9s %9s %9s %9s %8s %8s %8s %8s\n",
 		"fb", "bench", "pMisp%", "misp%", "misp/Ku", "uops/fl", "c_agr", "c_dis", "i_agr", "i_dis")
 
-	for _, fb := range fbs {
-		build := func() *core.Hybrid {
-			return service.NewHybrid(prophetCfg, criticCfg, uint(fb), *unfiltered)
-		}
+	for i, fb := range fbs {
+		build := builders[i]
 		var rs []sim.Result
 		var err error
 		if so.Shards > 1 {
@@ -226,6 +241,46 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// describe renders a config for the banner: "2Bc-gskew @8KB" for budget
+// specs, the full parameter form for explicit geometry.
+func describe(c budget.Config) string {
+	if c.KB > 0 {
+		return fmt.Sprintf("%s @%dKB", c.Kind, c.KB)
+	}
+	return c.String()
+}
+
+// printKinds lists the predictor registry: every family sweep (and the
+// other CLIs and pcserved job specs) can construct, with aliases, roles,
+// pinned Table 3 budgets, and the parameter schema the explicit
+// kind(name=value,...) spec form accepts.
+func printKinds() {
+	for _, d := range registry.All() {
+		role := "prophet"
+		if d.Critic {
+			role = "prophet or filtered critic"
+		}
+		fmt.Printf("%s  (%s)\n", d.Name, role)
+		if len(d.Aliases) > 0 {
+			fmt.Printf("    aliases:  %s\n", strings.Join(d.Aliases, ", "))
+		}
+		fmt.Printf("    %s\n", d.Desc)
+		if kbs := budget.TableBudgets(budget.Kind(d.Name)); len(kbs) > 0 {
+			fmt.Printf("    Table 3 budgets (KB): %v; other budgets use the solver\n", kbs)
+		} else {
+			fmt.Printf("    no Table 3 cells; budgets use the solver\n")
+		}
+		for _, p := range d.Params {
+			pow2 := ""
+			if p.Pow2 {
+				pow2 = ", power of two"
+			}
+			fmt.Printf("    %-12s %s (default %d, range [%d, %d]%s)\n", p.Name, p.Desc, p.Default, p.Min, p.Max, pow2)
+		}
+		fmt.Println()
+	}
 }
 
 func fatal(err error) {

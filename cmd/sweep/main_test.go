@@ -21,6 +21,9 @@ func TestParseKindKB(t *testing.T) {
 		{"2Bc-gskew:16", budget.Gskew, 16},
 		{"tagged gshare:8", budget.TaggedGshare, 8},
 		{"filtered perceptron:32", budget.FilteredPerceptron, 32},
+		{"gshare:7", budget.Gshare, 7}, // off-table budgets invoke the solver
+		{"yags:8", budget.YAGS, 8},     // any registered family works
+		{"tournament:4", budget.Tournament, 4},
 	}
 	for _, g := range good {
 		c, err := budget.ParseSpec(g.spec)
@@ -34,15 +37,17 @@ func TestParseKindKB(t *testing.T) {
 	}
 
 	bad := []string{
-		"",               // empty
-		"gshare",         // no size
-		":8",             // no kind
-		"gshare:",        // empty size
-		"gshare:x",       // non-numeric size
-		"gshare:8:extra", // trailing junk becomes a bad size
-		"bogus:8",        // unknown kind
-		"gshare:7",       // budget outside Table 3
-		"gshare:-8",      // negative budget
+		"",                   // empty
+		"gshare",             // no size
+		":8",                 // no kind
+		"gshare:",            // empty size
+		"gshare:x",           // non-numeric size
+		"gshare:8:extra",     // trailing junk becomes a bad size
+		"bogus:8",            // unknown kind
+		"gshare:0",           // budget below the solver's range
+		"gshare:-8",          // negative budget
+		"gshare(entries=99)", // explicit geometry must be a power of two
+		"gshare(bogus=1)",    // unknown parameter
 	}
 	for _, s := range bad {
 		if _, err := budget.ParseSpec(s); err == nil {

@@ -50,8 +50,8 @@ func checkpointDump(args []string) {
 	fs := flag.NewFlagSet("trace checkpoint dump", flag.ExitOnError)
 	traceFlag := fs.String("trace", "", "workload trace file")
 	bench := fs.String("bench", "", "synthetic benchmark workload")
-	prophetFlag := fs.String("prophet", "2Bc-gskew:8", "prophet as kind:KB")
-	criticFlag := fs.String("critic", "tagged gshare:8", "critic as kind:KB, or 'none'")
+	prophetFlag := fs.String("prophet", "2Bc-gskew:8", "prophet spec: kind:KB or kind(name=value,...); see sweep -list-kinds")
+	criticFlag := fs.String("critic", "tagged gshare:8", "critic spec (same grammar as -prophet), or 'none'")
 	fb := fs.Uint("fb", 1, "number of future bits")
 	unfiltered := fs.Bool("unfiltered", false, "critique every branch (no tag filter)")
 	at := fs.Int("at", 0, "branches to simulate before the snapshot")

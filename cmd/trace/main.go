@@ -127,8 +127,8 @@ func info(args []string) {
 
 func replay(args []string) {
 	fs := flag.NewFlagSet("trace replay", flag.ExitOnError)
-	prophetFlag := fs.String("prophet", "2Bc-gskew:8", "prophet as kind:KB")
-	criticFlag := fs.String("critic", "tagged gshare:8", "critic as kind:KB, or 'none'")
+	prophetFlag := fs.String("prophet", "2Bc-gskew:8", "prophet spec: kind:KB or kind(name=value,...); see sweep -list-kinds")
+	criticFlag := fs.String("critic", "tagged gshare:8", "critic spec (same grammar as -prophet), or 'none'")
 	fb := fs.Uint("fb", 1, "number of future bits")
 	unfiltered := fs.Bool("unfiltered", false, "critique every branch (no tag filter)")
 	warmup := fs.Int("warmup", -1, "warmup branches (default: the trace's recorded window)")

@@ -62,7 +62,7 @@ func main() {
 			return core.New(
 				budget.MustLookup(budget.Gshare, half).Build(),
 				cc.Build(),
-				core.Config{FutureBits: 1, Filtered: true, BORLen: cc.BORSize})
+				core.Config{FutureBits: 1, Filtered: true, BORLen: cc.BORSize()})
 		}},
 		{fmt.Sprintf("%d+%dKB perceptron + t.gshare (1fb)", half, half), func() *core.Hybrid {
 			return core.New(

@@ -27,7 +27,7 @@ func build(pk budget.Kind, pkb int, ck budget.Kind, ckb int, fb uint) sim.Builde
 		}
 		cc := budget.MustLookup(ck, ckb)
 		c := cc.Build()
-		bor := cc.BORSize
+		bor := cc.BORSize()
 		if bor == 0 {
 			bor = c.HistoryLen()
 		}

@@ -1,7 +1,22 @@
-// Package budget maps hardware budgets (in bytes) to predictor
-// configurations, reproducing Table 3 of the paper ("Prophet and critic
-// configurations") and providing the constructors the experiment harness
-// uses to instantiate prophets and critics by (kind, size).
+// Package budget maps predictor specs to configurations. It reproduces
+// Table 3 of the paper ("Prophet and critic configurations") exactly —
+// the published (kind, budget) cells are pinned and resolve
+// byte-identically — and generalises beyond it through the predictor
+// registry: any registered family can be requested at any budget (the
+// family's solver picks the largest geometry that fits) or with fully
+// explicit geometry.
+//
+// The spec grammar accepted by ParseSpec, and therefore by every CLI
+// flag and service job spec:
+//
+//	kind:KB              budget form. Table 3 cells resolve to the
+//	                     published geometry; any other budget invokes
+//	                     the family's SolveBudget.
+//	kind(name=v,...)     explicit geometry. Omitted parameters take the
+//	                     schema defaults; kind() is all defaults.
+//
+// Kind names are matched case-insensitively against registry names and
+// aliases ("2Bc-gskew:8", "gskew:8", and "tagged-gshare:16" all work).
 //
 // Table 3 of the paper:
 //
@@ -30,108 +45,189 @@ import (
 	"strconv"
 	"strings"
 
-	"prophetcritic/internal/filtered"
-	"prophetcritic/internal/gshare"
-	"prophetcritic/internal/gskew"
-	"prophetcritic/internal/perceptron"
 	"prophetcritic/internal/predictor"
-	"prophetcritic/internal/tagged"
+	"prophetcritic/internal/registry"
+
+	// Every predictor family self-registers with the registry; importing
+	// the packages here is what makes them reachable from any spec.
+	_ "prophetcritic/internal/bimodal"
+	_ "prophetcritic/internal/filtered"
+	_ "prophetcritic/internal/gshare"
+	_ "prophetcritic/internal/gskew"
+	_ "prophetcritic/internal/local"
+	_ "prophetcritic/internal/perceptron"
+	_ "prophetcritic/internal/tagged"
+	_ "prophetcritic/internal/tournament"
+	_ "prophetcritic/internal/yags"
 )
 
-// Kind names a predictor family from Table 3.
+// Kind names a predictor family by its canonical registry name.
 type Kind string
 
-// The predictor families of Table 3.
+// The predictor families of Table 3, plus the families reachable only
+// through the registry (solver budgets or explicit geometry).
 const (
 	Gshare             Kind = "gshare"
 	Perceptron         Kind = "perceptron"
 	Gskew              Kind = "2Bc-gskew"
 	TaggedGshare       Kind = "tagged gshare"
 	FilteredPerceptron Kind = "filtered perceptron"
+	Bimodal            Kind = "bimodal"
+	Local              Kind = "local"
+	Tournament         Kind = "tournament"
+	YAGS               Kind = "yags"
 )
 
 // Budgets are the hardware budgets of Table 3, in kilobytes.
 var Budgets = []int{2, 4, 8, 16, 32}
 
-// Config describes one cell of Table 3: how to build a predictor of the
-// given kind at the given budget.
+// MaxKB bounds solver budgets; anything larger is a typo, not hardware.
+const MaxKB = 1 << 16
+
+// bitsPerKB converts a kilobyte budget to the bit budget solvers see.
+const bitsPerKB = 8192
+
+// Config describes how to build one predictor: a registered kind plus a
+// complete parameter set. KB records the hardware budget for configs
+// resolved from a budget spec (pinned Table 3 cells or solver results);
+// explicit-geometry configs have KB == 0.
 type Config struct {
-	Kind     Kind
-	KB       int  // hardware budget in kilobytes
-	Entries  int  // table entries (per table for gskew; pool size for perceptron)
-	Ways     int  // associativity for tagged structures (0 otherwise)
-	HistLen  uint // history length (perceptron/gshare/gskew) or filtered perceptron history
-	BORSize  uint // total BOR length for critics (0 for prophets)
-	FilterN  int  // filter entries (filtered perceptron only)
-	FilterW  int  // filter ways
-	TagBits  uint // tag width for tagged structures
-	IndexLog uint // log2 of table entries / sets (derived, cached for constructors)
+	Kind   Kind
+	KB     int
+	Params registry.Params
 }
 
-// table3 holds the published configurations.
+// table3 holds the published configurations, keyed by canonical kind.
 var table3 = map[Kind]map[int]Config{
 	Gshare: {
-		2:  {Kind: Gshare, KB: 2, Entries: 8 << 10, HistLen: 13, IndexLog: 13},
-		4:  {Kind: Gshare, KB: 4, Entries: 16 << 10, HistLen: 14, IndexLog: 14},
-		8:  {Kind: Gshare, KB: 8, Entries: 32 << 10, HistLen: 15, IndexLog: 15},
-		16: {Kind: Gshare, KB: 16, Entries: 64 << 10, HistLen: 16, IndexLog: 16},
-		32: {Kind: Gshare, KB: 32, Entries: 128 << 10, HistLen: 17, IndexLog: 17},
+		2:  cell(Gshare, 2, registry.Params{"entries": 8 << 10, "hist": 13}),
+		4:  cell(Gshare, 4, registry.Params{"entries": 16 << 10, "hist": 14}),
+		8:  cell(Gshare, 8, registry.Params{"entries": 32 << 10, "hist": 15}),
+		16: cell(Gshare, 16, registry.Params{"entries": 64 << 10, "hist": 16}),
+		32: cell(Gshare, 32, registry.Params{"entries": 128 << 10, "hist": 17}),
 	},
 	Perceptron: {
-		2:  {Kind: Perceptron, KB: 2, Entries: 113, HistLen: 17},
-		4:  {Kind: Perceptron, KB: 4, Entries: 163, HistLen: 24},
-		8:  {Kind: Perceptron, KB: 8, Entries: 282, HistLen: 28},
-		16: {Kind: Perceptron, KB: 16, Entries: 348, HistLen: 47},
-		32: {Kind: Perceptron, KB: 32, Entries: 565, HistLen: 57},
+		2:  cell(Perceptron, 2, registry.Params{"perceptrons": 113, "hist": 17}),
+		4:  cell(Perceptron, 4, registry.Params{"perceptrons": 163, "hist": 24}),
+		8:  cell(Perceptron, 8, registry.Params{"perceptrons": 282, "hist": 28}),
+		16: cell(Perceptron, 16, registry.Params{"perceptrons": 348, "hist": 47}),
+		32: cell(Perceptron, 32, registry.Params{"perceptrons": 565, "hist": 57}),
 	},
 	Gskew: {
-		2:  {Kind: Gskew, KB: 2, Entries: 2 << 10, HistLen: 11, IndexLog: 11},
-		4:  {Kind: Gskew, KB: 4, Entries: 4 << 10, HistLen: 12, IndexLog: 12},
-		8:  {Kind: Gskew, KB: 8, Entries: 8 << 10, HistLen: 13, IndexLog: 13},
-		16: {Kind: Gskew, KB: 16, Entries: 16 << 10, HistLen: 14, IndexLog: 14},
-		32: {Kind: Gskew, KB: 32, Entries: 32 << 10, HistLen: 15, IndexLog: 15},
+		2:  cell(Gskew, 2, registry.Params{"entries": 2 << 10, "hist": 11}),
+		4:  cell(Gskew, 4, registry.Params{"entries": 4 << 10, "hist": 12}),
+		8:  cell(Gskew, 8, registry.Params{"entries": 8 << 10, "hist": 13}),
+		16: cell(Gskew, 16, registry.Params{"entries": 16 << 10, "hist": 14}),
+		32: cell(Gskew, 32, registry.Params{"entries": 32 << 10, "hist": 15}),
 	},
 	TaggedGshare: {
-		2:  {Kind: TaggedGshare, KB: 2, Entries: 256 * 6, Ways: 6, BORSize: 18, TagBits: 8, IndexLog: 8},
-		4:  {Kind: TaggedGshare, KB: 4, Entries: 512 * 6, Ways: 6, BORSize: 18, TagBits: 8, IndexLog: 9},
-		8:  {Kind: TaggedGshare, KB: 8, Entries: 1024 * 6, Ways: 6, BORSize: 18, TagBits: 8, IndexLog: 10},
-		16: {Kind: TaggedGshare, KB: 16, Entries: 2048 * 6, Ways: 6, BORSize: 18, TagBits: 8, IndexLog: 11},
-		32: {Kind: TaggedGshare, KB: 32, Entries: 4096 * 6, Ways: 6, BORSize: 18, TagBits: 8, IndexLog: 12},
+		2:  cell(TaggedGshare, 2, registry.Params{"sets": 256, "ways": 6, "tag": 8, "bor": 18}),
+		4:  cell(TaggedGshare, 4, registry.Params{"sets": 512, "ways": 6, "tag": 8, "bor": 18}),
+		8:  cell(TaggedGshare, 8, registry.Params{"sets": 1024, "ways": 6, "tag": 8, "bor": 18}),
+		16: cell(TaggedGshare, 16, registry.Params{"sets": 2048, "ways": 6, "tag": 8, "bor": 18}),
+		32: cell(TaggedGshare, 32, registry.Params{"sets": 4096, "ways": 6, "tag": 8, "bor": 18}),
 	},
 	FilteredPerceptron: {
-		2:  {Kind: FilteredPerceptron, KB: 2, Entries: 73, HistLen: 13, BORSize: 18, FilterN: 128 * 3, FilterW: 3, TagBits: 9, IndexLog: 7},
-		4:  {Kind: FilteredPerceptron, KB: 4, Entries: 113, HistLen: 17, BORSize: 18, FilterN: 256 * 3, FilterW: 3, TagBits: 9, IndexLog: 8},
-		8:  {Kind: FilteredPerceptron, KB: 8, Entries: 163, HistLen: 24, BORSize: 24, FilterN: 512 * 3, FilterW: 3, TagBits: 9, IndexLog: 9},
-		16: {Kind: FilteredPerceptron, KB: 16, Entries: 282, HistLen: 28, BORSize: 28, FilterN: 1024 * 3, FilterW: 3, TagBits: 9, IndexLog: 10},
-		32: {Kind: FilteredPerceptron, KB: 32, Entries: 348, HistLen: 47, BORSize: 47, FilterN: 2048 * 3, FilterW: 3, TagBits: 9, IndexLog: 11},
+		2:  cell(FilteredPerceptron, 2, registry.Params{"perceptrons": 73, "hist": 13, "fsets": 128, "fways": 3, "tag": 9, "fhist": 18}),
+		4:  cell(FilteredPerceptron, 4, registry.Params{"perceptrons": 113, "hist": 17, "fsets": 256, "fways": 3, "tag": 9, "fhist": 18}),
+		8:  cell(FilteredPerceptron, 8, registry.Params{"perceptrons": 163, "hist": 24, "fsets": 512, "fways": 3, "tag": 9, "fhist": 18}),
+		16: cell(FilteredPerceptron, 16, registry.Params{"perceptrons": 282, "hist": 28, "fsets": 1024, "fways": 3, "tag": 9, "fhist": 18}),
+		32: cell(FilteredPerceptron, 32, registry.Params{"perceptrons": 348, "hist": 47, "fsets": 2048, "fways": 3, "tag": 9, "fhist": 18}),
 	},
 }
 
-// Lookup returns the Table 3 configuration for (kind, kb). It returns an
-// error for kinds or budgets outside the published table.
-func Lookup(kind Kind, kb int) (Config, error) {
-	m, ok := table3[kind]
+// cell builds one pinned Table 3 configuration, validating it against
+// the family's schema at package init — a malformed published cell is a
+// programming error caught by any test of this package.
+func cell(kind Kind, kb int, p registry.Params) Config {
+	d := registry.MustLookup(string(kind))
+	p = d.Complete(p)
+	if err := d.Validate(p); err != nil {
+		panic(fmt.Sprintf("budget: bad Table 3 cell %s:%d: %v", kind, kb, err))
+	}
+	return Config{Kind: kind, KB: kb, Params: p}
+}
+
+// CanonicalKind resolves a kind name or alias, case-insensitively, to
+// its canonical registry name.
+func CanonicalKind(name string) (Kind, error) {
+	d, ok := registry.Lookup(name)
 	if !ok {
-		return Config{}, fmt.Errorf("budget: unknown predictor kind %q", kind)
+		return "", fmt.Errorf("budget: unknown predictor kind %q (registered: %s)",
+			name, strings.Join(registry.Names(), ", "))
+	}
+	return Kind(d.Name), nil
+}
+
+// Lookup returns the pinned Table 3 configuration for (kind, kb). It
+// returns an error for unknown kinds and for budgets outside the
+// published table; Resolve additionally covers off-table budgets.
+func Lookup(kind Kind, kb int) (Config, error) {
+	k, err := CanonicalKind(string(kind))
+	if err != nil {
+		return Config{}, err
+	}
+	m, ok := table3[k]
+	if !ok {
+		return Config{}, fmt.Errorf("budget: %s has no Table 3 cells (solver budgets and explicit geometry only)", k)
 	}
 	c, ok := m[kb]
 	if !ok {
-		return Config{}, fmt.Errorf("budget: no %s configuration for %dKB (Table 3 covers %v)", kind, kb, Budgets)
+		return Config{}, fmt.Errorf("budget: no %s configuration for %dKB (Table 3 covers %v)", k, kb, Budgets)
 	}
-	return c, nil
+	return c.clone(), nil
 }
 
-// ParseSpec parses a "kind:KB" predictor spec (e.g. "2Bc-gskew:8",
-// "tagged gshare:16") against Table 3, returning a clean error — not a
-// downstream panic — for malformed specs, unknown kinds, and budgets
-// outside the published table. It is the single spec parser behind the
-// CLI flags and the service's job specs.
-func ParseSpec(s string) (Config, error) {
-	i := strings.LastIndex(s, ":")
-	if i < 0 {
-		return Config{}, fmt.Errorf("budget: malformed predictor spec %q: want kind:KB (e.g. %q)", s, "2Bc-gskew:8")
+// clone detaches the parameter map so callers get the value semantics
+// the pre-registry struct Config had: mutating a returned Config can
+// never corrupt the pinned Table 3 cells shared by the whole process.
+func (c Config) clone() Config {
+	c.Params = c.Params.Clone()
+	return c
+}
+
+// Resolve maps (kind, kb) to a configuration: the pinned Table 3 cell
+// when the budget is published, else the largest geometry the family's
+// solver fits into kb kilobytes.
+func Resolve(kind Kind, kb int) (Config, error) {
+	k, err := CanonicalKind(string(kind))
+	if err != nil {
+		return Config{}, err
 	}
-	kind, kbStr := strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:])
+	if c, ok := table3[k][kb]; ok {
+		return c.clone(), nil
+	}
+	if kb < 1 || kb > MaxKB {
+		return Config{}, fmt.Errorf("budget: %s budget %dKB out of range [1, %d]", k, kb, MaxKB)
+	}
+	d := registry.MustLookup(string(k))
+	p, err := d.SolveBudget(kb * bitsPerKB)
+	if err != nil {
+		return Config{}, fmt.Errorf("budget: solving %s at %dKB: %w", k, kb, err)
+	}
+	p = d.Complete(p)
+	if err := d.Validate(p); err != nil {
+		return Config{}, fmt.Errorf("budget: solving %s at %dKB: %w", k, kb, err)
+	}
+	return Config{Kind: k, KB: kb, Params: p}, nil
+}
+
+// ParseSpec parses a predictor spec — "kind:KB" or "kind(name=v,...)" —
+// returning a clean error, never a downstream panic, for malformed
+// specs, unknown kinds or parameters, and out-of-range values. It is
+// the single spec parser behind the CLI flags and the service's job
+// specs, and every Config it returns is fully validated: Build cannot
+// panic on it.
+func ParseSpec(s string) (Config, error) {
+	t := strings.TrimSpace(s)
+	if i := strings.IndexByte(t, '('); i >= 0 {
+		return parseExplicit(t, i)
+	}
+	i := strings.LastIndex(t, ":")
+	if i < 0 {
+		return Config{}, fmt.Errorf("budget: malformed predictor spec %q: want kind:KB (e.g. %q) or kind(name=value,...)", s, "2Bc-gskew:8")
+	}
+	kind, kbStr := strings.TrimSpace(t[:i]), strings.TrimSpace(t[i+1:])
 	if kind == "" {
 		return Config{}, fmt.Errorf("budget: malformed predictor spec %q: empty kind", s)
 	}
@@ -139,11 +235,52 @@ func ParseSpec(s string) (Config, error) {
 	if err != nil {
 		return Config{}, fmt.Errorf("budget: malformed predictor spec %q: bad size %q", s, kbStr)
 	}
-	return Lookup(Kind(kind), kb)
+	return Resolve(Kind(kind), kb)
 }
 
-// MustLookup is Lookup that panics on error; experiment tables are static
-// so a failure is a programming error.
+// parseExplicit handles the "kind(name=v,...)" form; i is the index of
+// the opening parenthesis.
+func parseExplicit(t string, i int) (Config, error) {
+	if !strings.HasSuffix(t, ")") {
+		return Config{}, fmt.Errorf("budget: malformed predictor spec %q: missing closing parenthesis", t)
+	}
+	name := strings.TrimSpace(t[:i])
+	if name == "" {
+		return Config{}, fmt.Errorf("budget: malformed predictor spec %q: empty kind", t)
+	}
+	k, err := CanonicalKind(name)
+	if err != nil {
+		return Config{}, err
+	}
+	d := registry.MustLookup(string(k))
+	p := registry.Params{}
+	if body := strings.TrimSpace(t[i+1 : len(t)-1]); body != "" {
+		for _, kv := range strings.Split(body, ",") {
+			eq := strings.IndexByte(kv, '=')
+			if eq < 0 {
+				return Config{}, fmt.Errorf("budget: malformed parameter %q in spec %q: want name=value", strings.TrimSpace(kv), t)
+			}
+			pname := strings.TrimSpace(kv[:eq])
+			v, err := strconv.Atoi(strings.TrimSpace(kv[eq+1:]))
+			if err != nil {
+				return Config{}, fmt.Errorf("budget: parameter %q in spec %q: bad value %q", pname, t, strings.TrimSpace(kv[eq+1:]))
+			}
+			if _, dup := p[pname]; dup {
+				return Config{}, fmt.Errorf("budget: duplicate parameter %q in spec %q", pname, t)
+			}
+			p[pname] = v
+		}
+	}
+	p = d.Complete(p)
+	if err := d.Validate(p); err != nil {
+		return Config{}, err
+	}
+	return Config{Kind: k, Params: p}, nil
+}
+
+// MustLookup is Lookup that panics on error; experiment tables are
+// static so a failure is a programming error. User input must go
+// through ParseSpec or Resolve instead.
 func MustLookup(kind Kind, kb int) Config {
 	c, err := Lookup(kind, kb)
 	if err != nil {
@@ -152,46 +289,119 @@ func MustLookup(kind Kind, kb int) Config {
 	return c
 }
 
-// Build instantiates the predictor described by the configuration.
-func (c Config) Build() predictor.Predictor {
-	switch c.Kind {
-	case Gshare:
-		return gshare.New(c.IndexLog, c.HistLen)
-	case Perceptron:
-		return perceptron.New(c.Entries, c.HistLen)
-	case Gskew:
-		return gskew.New(c.IndexLog, c.HistLen)
-	case TaggedGshare:
-		return tagged.New(c.IndexLog, c.Ways, c.TagBits, c.BORSize)
-	case FilteredPerceptron:
-		return filtered.New(c.Entries, c.HistLen, c.IndexLog, c.FilterW, c.TagBits, 18)
-	default:
-		panic(fmt.Sprintf("budget: cannot build kind %q", c.Kind))
+// MustResolve is Resolve that panics on error, for (kind, budget) pairs
+// already validated by the caller.
+func MustResolve(kind Kind, kb int) Config {
+	c, err := Resolve(kind, kb)
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
-// IsCritic reports whether the kind is one of the paper's critic designs.
+// String renders the spec that reproduces the configuration: "kind:KB"
+// for budget-resolved configs, "kind(name=v,...)" with every parameter
+// explicit (schema order) for explicit geometry. ParseSpec(c.String())
+// returns a Config equal to c.
+func (c Config) String() string {
+	if c.KB > 0 {
+		return fmt.Sprintf("%s:%d", c.Kind, c.KB)
+	}
+	d, ok := registry.Lookup(string(c.Kind))
+	if !ok {
+		return string(c.Kind) + "(?)"
+	}
+	parts := make([]string, 0, len(d.Params))
+	for _, s := range d.Params {
+		parts = append(parts, fmt.Sprintf("%s=%d", s.Name, c.Params[s.Name]))
+	}
+	return fmt.Sprintf("%s(%s)", c.Kind, strings.Join(parts, ","))
+}
+
+// Equal reports whether two configurations describe the same build.
+func (c Config) Equal(o Config) bool {
+	return c.Kind == o.Kind && c.KB == o.KB && c.Params.Equal(o.Params)
+}
+
+// Build instantiates the predictor described by the configuration. It
+// panics on malformed configurations — a programming error, since every
+// Config produced by ParseSpec, Lookup, or Resolve is pre-validated.
+func (c Config) Build() predictor.Predictor {
+	d, ok := registry.Lookup(string(c.Kind))
+	if !ok {
+		panic(fmt.Sprintf("budget: cannot build unregistered kind %q", c.Kind))
+	}
+	p, err := d.Build(c.Params)
+	if err != nil {
+		panic(fmt.Sprintf("budget: building %s: %v", c, err))
+	}
+	return p
+}
+
+// IsCritic reports whether the kind is Tagged-capable — one of the
+// paper's filtered critic designs. Any kind can still serve as an
+// unfiltered critic.
 func (c Config) IsCritic() bool {
-	return c.Kind == TaggedGshare || c.Kind == FilteredPerceptron
+	d, ok := registry.Lookup(string(c.Kind))
+	return ok && d.Critic
 }
 
-// Kinds returns all kinds in Table 3 row order.
+// HistLen returns the configuration's history length parameter (0 for
+// families without one, e.g. bimodal).
+func (c Config) HistLen() uint { return uint(c.Params["hist"]) }
+
+// BORSize returns the branch-outcome-register length the configuration
+// consumes as a critic: the family's BORLen hook when registered, else
+// its global-history parameter. This is exactly the history reach the
+// built predictor reports, so validating future bits against it is
+// equivalent to validating against the constructed critic — a family
+// returning 0 (bimodal, local) reads no global history and can take no
+// future bits.
+func (c Config) BORSize() uint {
+	d, ok := registry.Lookup(string(c.Kind))
+	if !ok {
+		return 0
+	}
+	if d.BORLen != nil {
+		return uint(d.BORLen(c.Params))
+	}
+	return uint(c.Params["hist"])
+}
+
+// FilterHist returns the filtered perceptron's filter history length —
+// the promoted Table 3 "filter history" row (0 for other families).
+func (c Config) FilterHist() uint { return uint(c.Params["fhist"]) }
+
+// Kinds returns the Table 3 kinds in published row order. Registry
+// listings (sweep -list-kinds, GET /v1/predictors) cover every
+// registered family, including the ones without pinned cells.
 func Kinds() []Kind {
 	return []Kind{Gshare, Perceptron, Gskew, TaggedGshare, FilteredPerceptron}
 }
 
-// All returns every (kind, budget) configuration, ordered by kind then
+// TableBudgets returns the pinned Table 3 budgets for a kind, in
+// ascending order (empty for families outside the table).
+func TableBudgets(kind Kind) []int {
+	k, err := CanonicalKind(string(kind))
+	if err != nil {
+		return nil
+	}
+	m := table3[k]
+	kbs := make([]int, 0, len(m))
+	for kb := range m {
+		kbs = append(kbs, kb)
+	}
+	sort.Ints(kbs)
+	return kbs
+}
+
+// All returns every pinned Table 3 configuration, ordered by kind then
 // budget, for table generation.
 func All() []Config {
 	var out []Config
 	for _, k := range Kinds() {
-		kbs := make([]int, 0, len(table3[k]))
-		for kb := range table3[k] {
-			kbs = append(kbs, kb)
-		}
-		sort.Ints(kbs)
-		for _, kb := range kbs {
-			out = append(out, table3[k][kb])
+		for _, kb := range TableBudgets(k) {
+			out = append(out, table3[k][kb].clone())
 		}
 	}
 	return out

@@ -1,6 +1,11 @@
 package budget
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"prophetcritic/internal/registry"
+)
 
 func TestAllConfigsBuildAndFitBudget(t *testing.T) {
 	for _, c := range All() {
@@ -20,24 +25,27 @@ func TestAllConfigsBuildAndFitBudget(t *testing.T) {
 func TestTable3PublishedValues(t *testing.T) {
 	// Spot-check the cells quoted in the paper's Table 3.
 	c := MustLookup(Gshare, 8)
-	if c.Entries != 32<<10 || c.HistLen != 15 {
-		t.Errorf("8KB gshare: got %d entries h%d, want 32K h15", c.Entries, c.HistLen)
+	if c.Params["entries"] != 32<<10 || c.HistLen() != 15 {
+		t.Errorf("8KB gshare: got %d entries h%d, want 32K h15", c.Params["entries"], c.HistLen())
 	}
 	c = MustLookup(Perceptron, 32)
-	if c.Entries != 565 || c.HistLen != 57 {
-		t.Errorf("32KB perceptron: got %d h%d, want 565 h57", c.Entries, c.HistLen)
+	if c.Params["perceptrons"] != 565 || c.HistLen() != 57 {
+		t.Errorf("32KB perceptron: got %d h%d, want 565 h57", c.Params["perceptrons"], c.HistLen())
 	}
 	c = MustLookup(Gskew, 16)
-	if c.Entries != 16<<10 || c.HistLen != 14 {
-		t.Errorf("16KB 2Bc-gskew: got %d entries/table h%d, want 16K h14", c.Entries, c.HistLen)
+	if c.Params["entries"] != 16<<10 || c.HistLen() != 14 {
+		t.Errorf("16KB 2Bc-gskew: got %d entries/table h%d, want 16K h14", c.Params["entries"], c.HistLen())
 	}
 	c = MustLookup(TaggedGshare, 8)
-	if c.Entries != 1024*6 || c.Ways != 6 || c.BORSize != 18 {
-		t.Errorf("8KB tagged gshare: got %d entries %d-way BOR%d, want 1024*6 6-way BOR18", c.Entries, c.Ways, c.BORSize)
+	if c.Params["sets"] != 1024 || c.Params["ways"] != 6 || c.BORSize() != 18 {
+		t.Errorf("8KB tagged gshare: got %dx%d-way BOR%d, want 1024 6-way BOR18", c.Params["sets"], c.Params["ways"], c.BORSize())
 	}
 	c = MustLookup(FilteredPerceptron, 8)
-	if c.Entries != 163 || c.HistLen != 24 || c.FilterN != 512*3 || c.BORSize != 24 {
-		t.Errorf("8KB filtered perceptron: got %d h%d filter %d BOR%d", c.Entries, c.HistLen, c.FilterN, c.BORSize)
+	if c.Params["perceptrons"] != 163 || c.HistLen() != 24 || c.Params["fsets"] != 512 || c.BORSize() != 24 {
+		t.Errorf("8KB filtered perceptron: got %d h%d filter %d BOR%d", c.Params["perceptrons"], c.HistLen(), c.Params["fsets"], c.BORSize())
+	}
+	if c.FilterHist() != 18 {
+		t.Errorf("8KB filtered perceptron: filter history %d, want the published 18", c.FilterHist())
 	}
 }
 
@@ -47,6 +55,9 @@ func TestLookupErrors(t *testing.T) {
 	}
 	if _, err := Lookup(Gshare, 3); err == nil {
 		t.Error("unlisted budget must error")
+	}
+	if _, err := Lookup(YAGS, 8); err == nil {
+		t.Error("Lookup is Table 3 only; yags has no pinned cells")
 	}
 }
 
@@ -79,6 +90,11 @@ func TestIsCritic(t *testing.T) {
 	if MustLookup(Gshare, 8).IsCritic() || MustLookup(Gskew, 8).IsCritic() || MustLookup(Perceptron, 8).IsCritic() {
 		t.Error("prophet kinds are not critics")
 	}
+	for _, k := range []Kind{Bimodal, Local, Tournament, YAGS} {
+		if MustResolve(k, 8).IsCritic() {
+			t.Errorf("%s is not Tagged-capable", k)
+		}
+	}
 }
 
 func TestBuildNamesDistinct(t *testing.T) {
@@ -102,6 +118,18 @@ func TestParseSpec(t *testing.T) {
 		"tagged gshare:8":        {TaggedGshare, 8},
 		" filtered perceptron:4": {FilteredPerceptron, 4},
 		"perceptron: 32":         {Perceptron, 32},
+		// Aliases and case-insensitive names.
+		"gskew:8":          {Gskew, 8},
+		"tagged-gshare:16": {TaggedGshare, 16},
+		"GSHARE:16":        {Gshare, 16},
+		// Newly reachable families at solver budgets.
+		"bimodal:8":    {Bimodal, 8},
+		"local:8":      {Local, 8},
+		"tournament:8": {Tournament, 8},
+		"yags:8":       {YAGS, 8},
+		// Off-table budgets solve instead of erroring.
+		"gshare:12": {Gshare, 12},
+		"gskew:3":   {Gskew, 3},
 	}
 	for spec, want := range good {
 		c, err := ParseSpec(spec)
@@ -113,9 +141,205 @@ func TestParseSpec(t *testing.T) {
 			t.Errorf("ParseSpec(%q) = (%s, %d), want (%s, %d)", spec, c.Kind, c.KB, want.kind, want.kb)
 		}
 	}
-	for _, spec := range []string{"", "gshare", ":8", "gshare:x", "gshare:3", "nosuch:8"} {
+	for _, spec := range []string{
+		"", "gshare", ":8", "gshare:x", "nosuch:8",
+		"gshare:0", "gshare:-4", "gshare:99999999",
+		"gshare(", "gshare)", "(entries=8192)", "gshare(entries)",
+		"gshare(entries=x)", "gshare(nosuch=1)", "gshare(entries=8192,entries=8192)",
+		"gshare(entries=100)",  // not a power of two
+		"gshare(hist=999)",     // out of range
+		"local(hist=40)",       // beyond the PAg's 24-bit bound
+		"kind:with:colons:8",   // colons in the kind name
+		"tagged gshare(bor=0)", // below Min
+	} {
 		if _, err := ParseSpec(spec); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseSpecExplicitGeometry(t *testing.T) {
+	c, err := ParseSpec("gshare(entries=8192,hist=13)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.KB != 0 || c.Params["entries"] != 8192 || c.HistLen() != 13 {
+		t.Fatalf("explicit gshare: got %+v", c)
+	}
+	// The pinned 2KB cell and the equivalent explicit geometry build the
+	// same predictor.
+	if got, want := c.Build().Name(), MustLookup(Gshare, 2).Build().Name(); got != want {
+		t.Fatalf("explicit build %q != pinned build %q", got, want)
+	}
+
+	// Empty parameter lists take every default.
+	c, err = ParseSpec("yags()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := registry.MustLookup("yags")
+	for _, p := range d.Params {
+		if c.Params[p.Name] != p.Default {
+			t.Errorf("yags() param %s = %d, want default %d", p.Name, c.Params[p.Name], p.Default)
+		}
+	}
+
+	// Whitespace around names and values is tolerated.
+	if _, err := ParseSpec("local( lht = 2048 , hist = 11 )"); err != nil {
+		t.Errorf("spaced params rejected: %v", err)
+	}
+
+	// The promoted filter-history parameter is settable (satellite of
+	// the registry refactor: no more magic 18 inside Build).
+	c, err = ParseSpec("filtered perceptron(fhist=21)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FilterHist() != 21 {
+		t.Fatalf("fhist param not honoured: %+v", c)
+	}
+	if c.BORSize() != 24 { // max(default hist 24, fhist 21)
+		t.Fatalf("BORSize %d, want 24", c.BORSize())
+	}
+}
+
+// TestStringRoundTrip: Config.String() re-parses to an equal Config for
+// pinned cells, solver budgets, and explicit geometry.
+func TestStringRoundTrip(t *testing.T) {
+	var specs []string
+	for _, c := range All() {
+		specs = append(specs, c.String())
+	}
+	specs = append(specs,
+		"gshare:12", "perceptron:64", "2Bc-gskew:1", "yags:8", "bimodal:3",
+		"local:8", "tournament:16", "tagged gshare:64", "filtered perceptron:5",
+		"gshare(entries=8192,hist=13)", "yags()", "tournament(lhist=10)",
+		"filtered perceptron(fhist=20,hist=30)",
+	)
+	for _, spec := range specs {
+		c, err := ParseSpec(spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", spec, err)
+			continue
+		}
+		again, err := ParseSpec(c.String())
+		if err != nil {
+			t.Errorf("ParseSpec(%q).String() = %q does not re-parse: %v", spec, c.String(), err)
+			continue
+		}
+		if !c.Equal(again) {
+			t.Errorf("round trip of %q: %+v != %+v", spec, c, again)
+		}
+	}
+}
+
+// TestResolvePinnedCellsByteIdentical: budget-form specs at published
+// budgets must resolve to the pinned cells, not solver output.
+func TestResolvePinnedCellsByteIdentical(t *testing.T) {
+	for _, c := range All() {
+		got, err := Resolve(c.Kind, c.KB)
+		if err != nil {
+			t.Fatalf("Resolve(%s, %d): %v", c.Kind, c.KB, err)
+		}
+		if !got.Equal(c) {
+			t.Errorf("Resolve(%s, %d) = %+v, want pinned %+v", c.Kind, c.KB, got, c)
+		}
+	}
+}
+
+// TestSolverFitsArbitraryBudgets: every registered family's solver must
+// produce a buildable configuration that fits the requested budget (with
+// the Table 3 accounting slack) and does not waste more than two thirds
+// of it, across a wide budget range.
+func TestSolverFitsArbitraryBudgets(t *testing.T) {
+	for _, d := range registry.All() {
+		for _, kb := range []int{1, 2, 3, 4, 5, 8, 11, 16, 32, 64, 100, 256} {
+			c, err := Resolve(Kind(d.Name), kb)
+			if err != nil {
+				t.Errorf("Resolve(%s, %dKB): %v", d.Name, kb, err)
+				continue
+			}
+			bits := c.Build().SizeBits()
+			budgetBits := kb * 8192
+			if bits > budgetBits*102/100 {
+				t.Errorf("%s @%dKB: solver config uses %d bits, budget %d", d.Name, kb, bits, budgetBits)
+			}
+			if bits < budgetBits/3 {
+				t.Errorf("%s @%dKB: solver config uses only %d of %d bits", d.Name, kb, bits, budgetBits)
+			}
+		}
+	}
+}
+
+// TestSolverReproducesFormulaicCells: for the families whose Table 3
+// geometry follows a closed formula, the solver at published budgets
+// must reproduce the published cells exactly.
+func TestSolverReproducesFormulaicCells(t *testing.T) {
+	for _, k := range []Kind{Gshare, Gskew, TaggedGshare} {
+		d := registry.MustLookup(string(k))
+		for _, kb := range TableBudgets(k) {
+			p, err := d.SolveBudget(kb * 8192)
+			if err != nil {
+				t.Fatalf("SolveBudget(%s, %dKB): %v", k, kb, err)
+			}
+			if want := table3[k][kb].Params; !d.Complete(p).Equal(want) {
+				t.Errorf("%s @%dKB: solver %v != published %v", k, kb, p, want)
+			}
+		}
+	}
+}
+
+// TestReturnedConfigsDetachedFromTable: mutating a returned Config's
+// parameters must never corrupt the pinned Table 3 cells shared by the
+// whole process.
+func TestReturnedConfigsDetachedFromTable(t *testing.T) {
+	c := MustLookup(Gshare, 8)
+	c.Params["hist"] = 1
+	if got := MustLookup(Gshare, 8); got.HistLen() != 15 {
+		t.Fatalf("mutating a returned config corrupted the pinned cell: hist %d", got.HistLen())
+	}
+	r := MustResolve(Gshare, 8)
+	r.Params["entries"] = 2
+	if got := MustResolve(Gshare, 8); got.Params["entries"] != 32<<10 {
+		t.Fatalf("mutating a resolved config corrupted the pinned cell: entries %d", got.Params["entries"])
+	}
+	all := All()
+	all[0].Params["hist"] = 1
+	if got := All()[0]; got.HistLen() != 13 {
+		t.Fatalf("mutating All()[0] corrupted the pinned cell: hist %d", got.HistLen())
+	}
+}
+
+func TestCanonicalKind(t *testing.T) {
+	for in, want := range map[string]Kind{
+		"gskew": Gskew, "2bc-GSKEW": Gskew, "tagged-gshare": TaggedGshare,
+		"  yags ": YAGS, "pag": Local,
+	} {
+		got, err := CanonicalKind(in)
+		if err != nil {
+			t.Errorf("CanonicalKind(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("CanonicalKind(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if _, err := CanonicalKind("nosuch"); err == nil || !strings.Contains(err.Error(), "registered") {
+		t.Errorf("unknown kind error should list registered kinds, got %v", err)
+	}
+}
+
+// TestNewFamiliesBuildAsProphets: the acceptance criterion that the
+// previously unreachable families construct through specs.
+func TestNewFamiliesBuildAsProphets(t *testing.T) {
+	for _, spec := range []string{"bimodal:8", "local:8", "tournament:8", "yags:8"} {
+		c, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		p := c.Build()
+		if p.SizeBits() <= 0 {
+			t.Errorf("%s built a zero-size predictor", spec)
 		}
 	}
 }

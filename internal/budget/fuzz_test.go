@@ -1,0 +1,60 @@
+package budget
+
+import "testing"
+
+// FuzzParseSpec drives the full spec grammar: ParseSpec must never
+// panic, every accepted spec must produce a validated Config whose
+// String() re-parses to an equal Config, and accepted budget-form specs
+// must stay within the supported budget range. Build is exercised only
+// for small accepted configs (building a 64MB table per fuzz input
+// would drown the fuzzer in allocation).
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		// Pinned Table 3 cells and aliases.
+		"gshare:8", "2Bc-gskew:8", "gskew:32", "tagged gshare:16",
+		"tagged-gshare:2", "filtered perceptron:4", "perceptron:32",
+		// Solver budgets, including the newly reachable families.
+		"gshare:12", "bimodal:3", "local:7", "tournament:9", "yags:64",
+		"perceptron:1", "gshare:65536",
+		// Explicit geometry, empty params, spaced params.
+		"gshare(entries=8192,hist=13)", "yags()", "local( lht = 2048 )",
+		"filtered perceptron(fhist=21,hist=30)", "tournament(lhist=10)",
+		// Malformed: colons in kind names, bad values, huge budgets,
+		// out-of-range and unknown parameters.
+		"kind:with:colons:8", "gshare:", ":8", "gshare:99999999999",
+		"gshare:-1", "gshare(entries=100)", "gshare(nosuch=1)",
+		"gshare(entries=8192", "gshare)", "gshare(entries=8192,entries=1)",
+		"gshare(hist=1000000)", "tagged gshare(ways=-3)", "(x=1)",
+		"gshare(=1)", "gshare(entries=)", "\x00:8", "gshare:\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if c.Kind == "" || c.Params == nil {
+			t.Fatalf("ParseSpec(%q) accepted an incomplete config: %+v", spec, c)
+		}
+		if c.KB < 0 || c.KB > MaxKB {
+			t.Fatalf("ParseSpec(%q) accepted budget %dKB outside [0, %d]", spec, c.KB, MaxKB)
+		}
+		// Round trip: String must re-parse to an equal config.
+		again, err := ParseSpec(c.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q).String() = %q does not re-parse: %v", spec, c.String(), err)
+		}
+		if !c.Equal(again) {
+			t.Fatalf("round trip of %q via %q: %+v != %+v", spec, c.String(), c, again)
+		}
+		// Small configs must construct without panicking; the schema
+		// contract says Validate-accepted means buildable.
+		if c.KB > 0 && c.KB <= 64 {
+			if bits := c.Build().SizeBits(); bits <= 0 {
+				t.Fatalf("ParseSpec(%q) built a %d-bit predictor", spec, bits)
+			}
+		}
+	})
+}

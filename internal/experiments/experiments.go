@@ -40,6 +40,32 @@ type Options struct {
 	// ignore both fields.
 	Shards     int
 	WarmupFrac float64
+
+	// Kinds, when non-empty, replaces the prophet families of the
+	// kind-sweeping experiments (fig7a/b, fig9) with the named registry
+	// kinds — the hook `cmd/experiments -kinds` uses to sweep families
+	// outside Table 3 (bimodal, local, tournament, yags, ...), whose
+	// configurations come from the registry's budget solvers. Empty
+	// keeps the paper's kind sets and byte-identical output.
+	Kinds []string
+}
+
+// ProphetKinds resolves the -kinds override against the predictor
+// registry (canonicalising names and aliases), or returns the
+// experiment's default kind set when no override is given.
+func (o Options) ProphetKinds(def []budget.Kind) ([]budget.Kind, error) {
+	if len(o.Kinds) == 0 {
+		return def, nil
+	}
+	kinds := make([]budget.Kind, 0, len(o.Kinds))
+	for _, n := range o.Kinds {
+		k, err := budget.CanonicalKind(n)
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
 }
 
 // shardOptions translates the experiment options into the functional
@@ -122,14 +148,31 @@ func ByID(id string) (Experiment, error) {
 // hybridBuilder builds prophet(kind,kb) + critic(kind,kb) hybrids
 // through the shared construction path (service.NewHybrid). critic
 // kb = 0 means prophet alone. Filtered follows the critic kind unless
-// forceUnfiltered.
+// forceUnfiltered. Configurations resolve through the registry —
+// pinned Table 3 cells at published budgets, solver geometry elsewhere —
+// so experiments driven by a -kinds override must pre-validate their
+// (kind, budget) pairs with budget.Resolve before building a matrix.
 func hybridBuilder(prophetKind budget.Kind, prophetKB int, criticKind budget.Kind, criticKB int, fb uint, forceUnfiltered bool) sim.Builder {
 	return func() *core.Hybrid {
-		pc := budget.MustLookup(prophetKind, prophetKB)
+		pc := budget.MustResolve(prophetKind, prophetKB)
 		if criticKB == 0 {
 			return service.NewHybrid(pc, nil, 0, false)
 		}
-		cc := budget.MustLookup(criticKind, criticKB)
+		cc := budget.MustResolve(criticKind, criticKB)
 		return service.NewHybrid(pc, &cc, fb, forceUnfiltered)
 	}
+}
+
+// validateKindBudgets resolves every (kind, budget) pair up front so a
+// bad -kinds override fails with a clean error instead of a panic deep
+// inside a worker.
+func validateKindBudgets(kinds []budget.Kind, kbs ...int) error {
+	for _, k := range kinds {
+		for _, kb := range kbs {
+			if _, err := budget.Resolve(k, kb); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

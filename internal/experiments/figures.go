@@ -120,10 +120,18 @@ func Fig6c(w io.Writer, opt Options) error {
 
 // fig7 compares conventional predictors at kb KB against half-size
 // prophets paired with half-size critics, at the paper's 8 future bits
-// and at this reproduction's optimum of 1 future bit.
+// and at this reproduction's optimum of 1 future bit. The prophet kind
+// set is overridable with Options.Kinds, opening the comparison to any
+// registered family (solver-sized at these budgets when off-table).
 func fig7(w io.Writer, opt Options, kb int) error {
 	half := kb / 2
-	prophetKinds := []budget.Kind{budget.Gshare, budget.Gskew, budget.Perceptron}
+	prophetKinds, err := opt.ProphetKinds([]budget.Kind{budget.Gshare, budget.Gskew, budget.Perceptron})
+	if err != nil {
+		return err
+	}
+	if err := validateKindBudgets(prophetKinds, kb, half); err != nil {
+		return err
+	}
 	criticKinds := []budget.Kind{budget.FilteredPerceptron, budget.TaggedGshare}
 
 	var builds []sim.Builder

@@ -28,7 +28,13 @@ var fig9FutureBits = []uint{1, 4, 8, 12}
 // peak earlier — see EXPERIMENTS.md). All 15 timing configurations × all
 // benchmarks run as one concurrent matrix.
 func Fig9(w io.Writer, opt Options) error {
-	prophetKinds := []budget.Kind{budget.Gshare, budget.Gskew, budget.Perceptron}
+	prophetKinds, err := opt.ProphetKinds([]budget.Kind{budget.Gshare, budget.Gskew, budget.Perceptron})
+	if err != nil {
+		return err
+	}
+	if err := validateKindBudgets(prophetKinds, 16, 8); err != nil {
+		return err
+	}
 	var specs []timingSpec
 	for _, pk := range prophetKinds {
 		specs = append(specs, timingSpec{pk, 16, "", 0, 0})

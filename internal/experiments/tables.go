@@ -73,15 +73,15 @@ func Table3(w io.Writer, opt Options) error {
 		desc := ""
 		switch c.Kind {
 		case budget.Gshare:
-			desc = fmt.Sprintf("%dK entries, h=%d", c.Entries/1024, c.HistLen)
+			desc = fmt.Sprintf("%dK entries, h=%d", c.Params["entries"]/1024, c.HistLen())
 		case budget.Perceptron:
-			desc = fmt.Sprintf("%d perceptrons, h=%d", c.Entries, c.HistLen)
+			desc = fmt.Sprintf("%d perceptrons, h=%d", c.Params["perceptrons"], c.HistLen())
 		case budget.Gskew:
-			desc = fmt.Sprintf("%dK entries/table, h=%d", c.Entries/1024, c.HistLen)
+			desc = fmt.Sprintf("%dK entries/table, h=%d", c.Params["entries"]/1024, c.HistLen())
 		case budget.TaggedGshare:
-			desc = fmt.Sprintf("%dx%d-way, BOR=%d", c.Entries/c.Ways, c.Ways, c.BORSize)
+			desc = fmt.Sprintf("%dx%d-way, BOR=%d", c.Params["sets"], c.Params["ways"], c.BORSize())
 		case budget.FilteredPerceptron:
-			desc = fmt.Sprintf("%d perc. h=%d, flt %dx%d, BOR=%d", c.Entries, c.HistLen, c.FilterN/c.FilterW, c.FilterW, c.BORSize)
+			desc = fmt.Sprintf("%d perc. h=%d, flt %dx%d, BOR=%d", c.Params["perceptrons"], c.HistLen(), c.Params["fsets"], c.Params["fways"], c.BORSize())
 		}
 		fit := "ok"
 		if p.SizeBits() > c.KB*8192*102/100 {

@@ -1,0 +1,138 @@
+package registry_test
+
+// The registry tests live in an external test package so they can pull
+// in every predictor family (via internal/budget's blank imports) the
+// same way real consumers do.
+
+import (
+	"testing"
+
+	"prophetcritic/internal/checkpoint"
+	"prophetcritic/internal/registry"
+
+	_ "prophetcritic/internal/budget"
+)
+
+// TestTable3FamiliesLeadInRowOrder pins the listing order the paper's
+// Table 3 establishes; extra families follow alphabetically.
+func TestTable3FamiliesLeadInRowOrder(t *testing.T) {
+	names := registry.Names()
+	want := []string{"gshare", "perceptron", "2Bc-gskew", "tagged gshare", "filtered perceptron"}
+	if len(names) < len(want) {
+		t.Fatalf("only %d families registered: %v", len(names), names)
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("listing order %v, want Table 3 row order prefix %v", names, want)
+		}
+	}
+	for i := len(want) + 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("extra families not sorted by name: %v", names[len(want):])
+		}
+	}
+}
+
+func TestAllFamiliesRegistered(t *testing.T) {
+	for _, name := range []string{
+		"gshare", "perceptron", "2Bc-gskew", "tagged gshare",
+		"filtered perceptron", "bimodal", "local", "tournament", "yags",
+	} {
+		if _, ok := registry.Lookup(name); !ok {
+			t.Errorf("family %q not registered", name)
+		}
+	}
+}
+
+func TestAliasAndCaseInsensitiveLookup(t *testing.T) {
+	for alias, canonical := range map[string]string{
+		"gskew": "2Bc-gskew", "2BC-GSKEW": "2Bc-gskew",
+		"tagged-gshare": "tagged gshare", "Filtered Perceptron": "filtered perceptron",
+		"pag": "local",
+	} {
+		d, ok := registry.Lookup(alias)
+		if !ok {
+			t.Errorf("alias %q not found", alias)
+			continue
+		}
+		if d.Name != canonical {
+			t.Errorf("alias %q resolved to %q, want %q", alias, d.Name, canonical)
+		}
+	}
+}
+
+// TestDefaultsBuildAndSnapshotSectionMatches verifies, for every family,
+// the schema contract (defaults validate and construct) and the
+// checkpoint contract: the built predictor's Snapshot opens with the
+// descriptor's declared section tag, which is what restore paths use to
+// confirm they rebuilt the structure a checkpoint describes.
+func TestDefaultsBuildAndSnapshotSectionMatches(t *testing.T) {
+	for _, d := range registry.All() {
+		p, err := d.Build(nil)
+		if err != nil {
+			t.Errorf("%s: building defaults: %v", d.Name, err)
+			continue
+		}
+		if p.SizeBits() <= 0 {
+			t.Errorf("%s: default config has %d bits", d.Name, p.SizeBits())
+		}
+		s, ok := p.(checkpoint.Snapshotter)
+		if !ok {
+			t.Errorf("%s: predictor does not implement checkpoint.Snapshotter", d.Name)
+			continue
+		}
+		enc := checkpoint.NewEncoder()
+		s.Snapshot(enc)
+		dec := checkpoint.NewDecoder(enc.Bytes())
+		dec.Section(d.Section)
+		if err := dec.Err(); err != nil {
+			t.Errorf("%s: snapshot does not open with section %q: %v", d.Name, d.Section, err)
+		}
+	}
+}
+
+func TestValidateRejectsOutOfSchema(t *testing.T) {
+	d, _ := registry.Lookup("gshare")
+	cases := []registry.Params{
+		{"entries": 100, "hist": 13},     // not a power of two
+		{"entries": 8192, "hist": 0},     // below Min
+		{"entries": 8192, "hist": 99},    // above Max
+		{"entries": 8192, "nosuch": 1},   // unknown name (and missing hist)
+		{"entries": 1 << 30, "hist": 13}, // above Max
+	}
+	for _, p := range cases {
+		if err := d.Validate(d.Complete(p)); err == nil {
+			t.Errorf("gshare accepted %v", p)
+		}
+	}
+}
+
+// TestSolversAreDeterministic pins that SolveBudget is a pure function
+// of the bit budget — resume paths and round-tripping depend on it.
+func TestSolversAreDeterministic(t *testing.T) {
+	for _, d := range registry.All() {
+		for _, bits := range []int{8192, 3 * 8192, 100 * 8192} {
+			a, err := d.SolveBudget(bits)
+			if err != nil {
+				t.Errorf("%s at %d bits: %v", d.Name, bits, err)
+				continue
+			}
+			b, _ := d.SolveBudget(bits)
+			if !a.Equal(b) {
+				t.Errorf("%s at %d bits: solver not deterministic: %v vs %v", d.Name, bits, a, b)
+			}
+			if err := d.Validate(d.Complete(a)); err != nil {
+				t.Errorf("%s at %d bits: solver output fails validation: %v", d.Name, bits, err)
+			}
+		}
+	}
+}
+
+func TestCriticFlagMarksTaggedFamilies(t *testing.T) {
+	for _, d := range registry.All() {
+		want := d.Name == "tagged gshare" || d.Name == "filtered perceptron"
+		if d.Critic != want {
+			t.Errorf("%s: Critic = %v, want %v", d.Name, d.Critic, want)
+		}
+	}
+}

@@ -16,6 +16,8 @@ import (
 //	GET  /v1/jobs/{id}        one job's record
 //	GET  /v1/jobs/{id}/events NDJSON event stream (replays history, then
 //	                          follows until the job is terminal)
+//	GET  /v1/predictors       predictor registry: every constructible
+//	                          family with its parameter schema
 //	GET  /healthz             liveness + drain state
 //	GET  /metricsz            Prometheus-style counters
 //
@@ -34,6 +36,7 @@ func NewServer(s *Scheduler) *Server {
 	srv.mux.HandleFunc("GET /v1/jobs", srv.handleList)
 	srv.mux.HandleFunc("GET /v1/jobs/{id}", srv.handleJob)
 	srv.mux.HandleFunc("GET /v1/jobs/{id}/events", srv.handleEvents)
+	srv.mux.HandleFunc("GET /v1/predictors", srv.handlePredictors)
 	srv.mux.HandleFunc("GET /healthz", srv.handleHealth)
 	srv.mux.HandleFunc("GET /metricsz", srv.handleMetrics)
 	return srv
@@ -128,6 +131,13 @@ func (srv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handlePredictors serves the predictor registry for discovery: which
+// families a job spec can name, their aliases and roles, the pinned
+// Table 3 budgets, and the parameter schema of explicit-geometry specs.
+func (srv *Server) handlePredictors(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Predictors())
 }
 
 func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

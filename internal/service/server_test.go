@@ -62,6 +62,22 @@ func TestSubmitBadRequests(t *testing.T) {
 		{"no workloads", `{"prophet":"2Bc-gskew:8"}`},
 		{"trace escape", `{"prophet":"2Bc-gskew:8","traces":["../x.trc"]}`},
 		{"fb over BOR", `{"prophet":"2Bc-gskew:8","critic":"tagged gshare:8","future_bits":19,"benches":["gcc"]}`},
+		// Registry-grammar rejections: none of these may reach Build (a
+		// worker panic would surface as a 500 or a dropped connection,
+		// not the 400 asserted here).
+		{"unknown prophet kind", `{"prophet":"neural:8","benches":["gcc"]}`},
+		{"budget out of range", `{"prophet":"gshare:0","benches":["gcc"]}`},
+		{"huge budget", `{"prophet":"gshare:99999999","benches":["gcc"]}`},
+		{"geometry not a power of two", `{"prophet":"gshare(entries=100)","benches":["gcc"]}`},
+		{"unknown parameter", `{"prophet":"gshare(warp=1)","benches":["gcc"]}`},
+		{"parameter out of range", `{"prophet":"local(hist=40)","benches":["gcc"]}`},
+		{"bad critic geometry", `{"prophet":"2Bc-gskew:8","critic":"tagged gshare(ways=99)","benches":["gcc"]}`},
+		{"fb into history-less critic", `{"prophet":"2Bc-gskew:8","critic":"bimodal:8","future_bits":1,"benches":["gcc"]}`},
+		// local's hist parameter is per-branch history, not BOR reach:
+		// the built predictor reads zero global-history bits, so future
+		// bits must be rejected here, not panic in a worker.
+		{"fb into local critic", `{"prophet":"2Bc-gskew:8","critic":"local:8","future_bits":1,"benches":["gcc"]}`},
+		{"fb over tournament ghist", `{"prophet":"2Bc-gskew:8","critic":"tournament:8","future_bits":15,"benches":["gcc"]}`},
 	}
 	for _, tc := range cases {
 		resp, body := submitHTTP(t, ts, tc.body)
@@ -74,6 +90,78 @@ func TestSubmitBadRequests(t *testing.T) {
 	}
 	if m := s.Metrics(); m.Submitted != 0 {
 		t.Errorf("bad requests counted as submissions: %d", m.Submitted)
+	}
+}
+
+// GET /v1/predictors serves the registry for discovery: every family,
+// with aliases, roles, pinned Table 3 budgets, and the parameter schema
+// explicit-geometry specs accept.
+func TestPredictorsEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir(), nil)
+	defer s.Kill()
+
+	resp, err := http.Get(ts.URL + "/v1/predictors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var kinds []PredictorInfo
+	if err := json.NewDecoder(resp.Body).Decode(&kinds); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PredictorInfo{}
+	for _, k := range kinds {
+		byName[k.Name] = k
+	}
+	for _, want := range []string{
+		"gshare", "perceptron", "2Bc-gskew", "tagged gshare",
+		"filtered perceptron", "bimodal", "local", "tournament", "yags",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("predictors listing lacks %q (have %d kinds)", want, len(kinds))
+		}
+	}
+	tg := byName["tagged gshare"]
+	if !tg.Critic || len(tg.TableKB) != 5 || len(tg.Params) == 0 {
+		t.Errorf("tagged gshare record incomplete: %+v", tg)
+	}
+	if to := byName["tournament"]; to.Critic || len(to.TableKB) != 0 || len(to.Params) == 0 {
+		t.Errorf("tournament record incomplete: %+v", to)
+	}
+	// The schema is actionable: every listed default is accepted back.
+	for _, k := range kinds {
+		for _, p := range k.Params {
+			if p.Min > p.Default || p.Default > p.Max {
+				t.Errorf("%s.%s default %d outside [%d, %d]", k.Name, p.Name, p.Default, p.Min, p.Max)
+			}
+		}
+	}
+}
+
+// Families outside Table 3 run as prophets end to end through the job
+// API — the registry acceptance criterion for the service layer.
+func TestNewFamilyProphetJobs(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir(), nil)
+	defer s.Kill()
+
+	specs := []JobSpec{
+		{Benches: []string{"gcc"}, Prophet: "tournament:8", Critic: "none", Warmup: 2_000, Measure: 8_000},
+		{Benches: []string{"gcc"}, Prophet: "yags:8", Critic: "tagged gshare:8", FutureBits: 1, Warmup: 2_000, Measure: 8_000},
+		{Benches: []string{"gcc"}, Prophet: "gshare(entries=8192,hist=13)", Critic: "none", Warmup: 2_000, Measure: 8_000},
+	}
+	for i, spec := range specs {
+		resp, body := submitHTTP(t, ts, specJSON(t, spec))
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit %s: status %d: %v", spec.Prophet, resp.StatusCode, body["error"])
+		}
+		id := fmt.Sprint(body["id"])
+		j := waitState(t, s, id, StateDone)
+		if len(j.Rows) != 1 || j.Rows[0].Branches == 0 {
+			t.Errorf("job %d (%s): rows %+v", i, spec.Prophet, j.Rows)
+		}
 	}
 }
 

@@ -21,8 +21,42 @@ import (
 	"prophetcritic/internal/budget"
 	"prophetcritic/internal/core"
 	"prophetcritic/internal/program"
+	"prophetcritic/internal/registry"
 	"prophetcritic/internal/sim"
 )
+
+// PredictorInfo is the discovery record served at GET /v1/predictors:
+// one registered predictor family with the parameter schema its
+// explicit-geometry specs accept and the Table 3 budgets that resolve
+// to pinned (published) configurations.
+type PredictorInfo struct {
+	Name    string           `json:"name"`
+	Aliases []string         `json:"aliases,omitempty"`
+	Desc    string           `json:"desc"`
+	Critic  bool             `json:"critic"`
+	TableKB []int            `json:"table_budgets_kb,omitempty"`
+	Params  []registry.Param `json:"params"`
+}
+
+// Predictors lists every registered predictor family in registry order
+// (Table 3 families first). Any listed name or alias is valid as a job
+// spec's prophet, and as its critic ("critic": true families run the
+// filtered protocol; the rest critique unfiltered).
+func Predictors() []PredictorInfo {
+	all := registry.All()
+	out := make([]PredictorInfo, 0, len(all))
+	for _, d := range all {
+		out = append(out, PredictorInfo{
+			Name:    d.Name,
+			Aliases: d.Aliases,
+			Desc:    d.Desc,
+			Critic:  d.Critic,
+			TableKB: budget.TableBudgets(budget.Kind(d.Name)),
+			Params:  d.Params,
+		})
+	}
+	return out
+}
 
 // JobSpec is the wire form of one simulation job: a predictor
 // configuration × a workload set × simulation options. Zero-valued
@@ -42,8 +76,13 @@ type JobSpec struct {
 	Benches []string `json:"benches,omitempty"`
 	Traces  []string `json:"traces,omitempty"`
 
-	Prophet    string `json:"prophet"`          // kind:KB (Table 3)
-	Critic     string `json:"critic,omitempty"` // kind:KB, "none", or empty for prophet alone
+	// Prophet and Critic are predictor specs in the budget grammar:
+	// "kind:KB" (pinned Table 3 cells at published budgets, solver
+	// geometry elsewhere) or "kind(name=value,...)" for explicit
+	// geometry; any family listed by GET /v1/predictors works. Critic
+	// "none" or empty runs the prophet alone.
+	Prophet    string `json:"prophet"`
+	Critic     string `json:"critic,omitempty"`
 	FutureBits uint   `json:"future_bits,omitempty"`
 	Unfiltered bool   `json:"unfiltered,omitempty"`
 
@@ -168,10 +207,12 @@ func (js JobSpec) validate() error {
 	return nil
 }
 
-// NewHybrid assembles a prophet/critic hybrid from Table 3
+// NewHybrid assembles a prophet/critic hybrid from resolved budget
 // configurations — the single construction path shared by the CLIs, the
-// experiment harness, and the job scheduler. critic nil is the prophet
-// alone; a tagged critic kind runs filtered unless forceUnfiltered.
+// experiment harness, and the job scheduler. Any registered kind can be
+// the prophet and any kind the critic: Tagged-capable critic kinds run
+// the filtered protocol unless forceUnfiltered, the rest critique every
+// branch. critic nil is the prophet alone.
 func NewHybrid(prophet budget.Config, critic *budget.Config, fb uint, forceUnfiltered bool) *core.Hybrid {
 	p := prophet.Build()
 	if critic == nil {
@@ -180,15 +221,16 @@ func NewHybrid(prophet budget.Config, critic *budget.Config, fb uint, forceUnfil
 	return core.New(p, critic.Build(), core.Config{
 		FutureBits: fb,
 		Filtered:   critic.IsCritic() && !forceUnfiltered,
-		BORLen:     critic.BORSize, // 0 defaults to the critic's history length in core.New
+		BORLen:     critic.BORSize(), // 0 defaults to the critic's history length in core.New
 	})
 }
 
-// HybridBuilder parses and validates "kind:KB" prophet/critic specs once
-// and returns a builder producing fresh hybrids — errors (malformed
-// specs, future bits exceeding the BOR) surface here instead of as
-// panics inside a running job. criticSpec "none" or "" is the prophet
-// alone.
+// HybridBuilder parses and validates prophet/critic specs (the full
+// budget grammar: Table 3 cells, solver budgets, explicit geometry)
+// once and returns a builder producing fresh hybrids — errors
+// (malformed specs, unknown kinds or parameters, out-of-range geometry,
+// future bits exceeding the BOR) surface here instead of as panics
+// inside a running job. criticSpec "none" or "" is the prophet alone.
 func HybridBuilder(prophetSpec, criticSpec string, fb uint, unfiltered bool) (sim.Builder, error) {
 	pc, err := budget.ParseSpec(prophetSpec)
 	if err != nil {
@@ -206,15 +248,11 @@ func HybridBuilder(prophetSpec, criticSpec string, fb uint, unfiltered bool) (si
 		return nil, fmt.Errorf("service: %d future bits exceeds the maximum of %d", fb, core.MaxFutureBits)
 	}
 	if cc != nil {
-		// BORSize 0 (non-critic kinds) defaults to the critic's own
-		// history length, which for those kinds is the Table 3 HistLen —
-		// read it statically rather than building the predictor just to
-		// ask it (validation runs on every submission).
-		borLen := cc.BORSize
-		if borLen == 0 {
-			borLen = cc.HistLen
-		}
-		if fb > borLen {
+		// BORSize is the BOR reach the built critic will actually have
+		// (each family declares it statically, so validation never has
+		// to build a predictor; it runs on every submission). Families
+		// that read no global history report 0 and take no future bits.
+		if borLen := cc.BORSize(); fb > borLen {
 			return nil, fmt.Errorf("service: %d future bits exceeds the %s critic's %d-bit BOR", fb, cc.Kind, borLen)
 		}
 	}

@@ -27,7 +27,9 @@ func TestJobSpecValidate(t *testing.T) {
 	}{
 		{"malformed prophet", func(s *JobSpec) { s.Prophet = "gskew" }},
 		{"unknown prophet kind", func(s *JobSpec) { s.Prophet = "bogus:8" }},
-		{"budget off table", func(s *JobSpec) { s.Prophet = "gshare:7" }},
+		{"budget out of range", func(s *JobSpec) { s.Prophet = "gshare:0" }},
+		{"bad explicit geometry", func(s *JobSpec) { s.Prophet = "gshare(entries=100)" }},
+		{"unknown parameter", func(s *JobSpec) { s.Prophet = "gshare(bogus=1)" }},
 		{"malformed critic", func(s *JobSpec) { s.Critic = "tagged gshare" }},
 		{"fb over maximum", func(s *JobSpec) { s.FutureBits = 99 }},
 		{"fb over critic BOR", func(s *JobSpec) { s.FutureBits = 19 }}, // tagged gshare BOR is 18
@@ -132,5 +134,35 @@ func TestHybridBuilderConstruction(t *testing.T) {
 	}
 	if _, err := HybridBuilder("gshare:8", "gshare:2", 14, false); err == nil {
 		t.Fatal("fb beyond an unfiltered critic's history accepted")
+	}
+}
+
+// Critic-BOR validation must match what the built predictor actually
+// reads, family by family: accepted (spec, fb) pairs construct without
+// panicking, rejected pairs never reach core.New.
+func TestHybridBuilderCriticBORByFamily(t *testing.T) {
+	cases := []struct {
+		critic string
+		fb     uint
+		ok     bool
+	}{
+		{"bimodal:8", 0, true},
+		{"bimodal:8", 1, false}, // reads no global history
+		{"local:8", 0, true},
+		{"local:8", 1, false},     // hist param is per-branch, not BOR reach
+		{"tournament:8", 1, true}, // gshare component reads 14 BOR bits at 8KB
+		{"tournament:8", 15, false},
+		{"yags:8", 1, true},
+		{"perceptron:8", 12, true},
+	}
+	for _, tc := range cases {
+		build, err := HybridBuilder("2Bc-gskew:8", tc.critic, tc.fb, false)
+		if tc.ok != (err == nil) {
+			t.Errorf("critic %s fb %d: err = %v, want ok=%v", tc.critic, tc.fb, err, tc.ok)
+			continue
+		}
+		if err == nil {
+			build() // must not panic: validation promised a buildable hybrid
+		}
 	}
 }

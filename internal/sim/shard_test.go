@@ -30,7 +30,7 @@ func shardConfigs() map[string]sim.Builder {
 				return core.New(p, nil, core.Config{})
 			}
 			cc := budget.MustLookup(ck, 2)
-			return core.New(p, cc.Build(), core.Config{FutureBits: fb, Filtered: true, BORLen: cc.BORSize})
+			return core.New(p, cc.Build(), core.Config{FutureBits: fb, Filtered: true, BORLen: cc.BORSize()})
 		}
 	}
 	return map[string]sim.Builder{

@@ -10,21 +10,41 @@
 # Timing lines ("---- <id> done in ... ----") are stripped: they are the
 # only nondeterministic bytes in the output. The golden is gzipped with
 # -n so regeneration is byte-stable too.
+# The Table 3 block is additionally pinned against its own golden copy
+# (testdata/golden/table3.txt): the registry-driven construction layer
+# must keep resolving the published "kind:KB" specs to byte-identical
+# configurations even if the rest of the suite is legitimately
+# re-blessed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode=${1:-check}
 golden=testdata/golden/experiments-fast.txt.gz
+table3=testdata/golden/table3.txt
 out=$(mktemp)
-trap 'rm -f "$out"' EXIT
+t3=$(mktemp)
+trap 'rm -f "$out" "$t3"' EXIT
 
 go run ./cmd/experiments -exp all -fast | sed '/^---- /d' > "$out"
+awk '/^==== table3:/{f=1} f && /^==== / && !/^==== table3:/{f=0} f' "$out" > "$t3"
 
 case "$mode" in
 gen)
     mkdir -p "$(dirname "$golden")"
     gzip -9 -n -c "$out" > "$golden"
     echo "blessed $(wc -l < "$out") lines into $golden"
+    # Deliberately NOT re-blessing $table3: the Table 3 wall must survive
+    # routine re-blesses of the full suite. An intended change to the
+    # published cells needs the separate, explicit gen-table3.
+    if ! diff -u "$table3" "$t3" > /dev/null; then
+        echo "WARNING: Table 3 block differs from $table3; 'check' will fail." >&2
+        echo "If the published cells really changed, run: scripts/golden.sh gen-table3" >&2
+    fi
+    ;;
+gen-table3)
+    mkdir -p "$(dirname "$table3")"
+    cp "$t3" "$table3"
+    echo "blessed $(wc -l < "$t3") Table 3 lines into $table3"
     ;;
 check)
     if ! gzip -dc "$golden" | diff -u - "$out"; then
@@ -33,10 +53,17 @@ check)
         echo "If the change is intended, re-bless with: scripts/golden.sh gen" >&2
         exit 1
     fi
-    echo "golden output matches ($(wc -l < "$out") lines)"
+    if ! diff -u "$table3" "$t3"; then
+        echo >&2
+        echo "Table 3 spec outputs drifted: the pinned kind:KB cells no longer" >&2
+        echo "resolve byte-identically through the registry. This wall guards the" >&2
+        echo "published configurations; re-bless only for an intended Table 3 change." >&2
+        exit 1
+    fi
+    echo "golden output matches ($(wc -l < "$out") lines, Table 3 pinned)"
     ;;
 *)
-    echo "usage: scripts/golden.sh [check|gen]" >&2
+    echo "usage: scripts/golden.sh [check|gen|gen-table3]" >&2
     exit 2
     ;;
 esac
