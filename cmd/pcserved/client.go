@@ -3,24 +3,40 @@ package main
 // The pcserved client modes: submit, watch, result, list. They speak the
 // server's JSON API (see EXPERIMENTS.md), so everything they do is also
 // reachable with curl; the client exists for ergonomics and for the
-// scripted smoke tests.
+// scripted smoke tests. All HTTP goes through service.APIClient — a
+// request timeout plus retry-with-backoff on connection errors and
+// 429/503 (honoring Retry-After) — and the event watcher reconnects a
+// dropped stream with ?from=<last seq>, so every event is observed
+// exactly once across reconnects.
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"prophetcritic/internal/service"
 )
 
+// apiFlags registers the connection flags shared by every client mode
+// and returns a constructor for the configured client.
+func apiFlags(fs *flag.FlagSet) func() *service.APIClient {
+	addr := fs.String("addr", "http://localhost:8917", "server base URL")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	retries := fs.Int("retries", 4, "HTTP retries on connection errors and 429/503 (honoring Retry-After)")
+	return func() *service.APIClient {
+		return service.NewAPIClient(*addr, *timeout, *retries)
+	}
+}
+
 func submit(args []string) {
 	fs := flag.NewFlagSet("pcserved submit", flag.ExitOnError)
-	addr := fs.String("addr", "http://localhost:8917", "server base URL")
+	api := apiFlags(fs)
 	bench := fs.String("bench", "", "comma-separated benchmarks, suites, or 'all'")
 	traceFlag := fs.String("trace", "", "comma-separated trace files (relative to the server's trace dir)")
 	prophetFlag := fs.String("prophet", "2Bc-gskew:8", "prophet spec: kind:KB or kind(name=value,...); see sweep -list-kinds")
@@ -57,72 +73,101 @@ func submit(args []string) {
 		spec.Traces = strings.Split(*traceFlag, ",")
 	}
 
-	body, err := json.Marshal(spec)
-	if err != nil {
-		fatal(err)
-	}
-	resp, err := http.Post(*addr+"/v1/jobs", "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		fatal(fmt.Errorf("submit rejected: %s: %s", resp.Status, readError(resp.Body)))
-	}
+	c := api()
 	var job service.Job
-	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
-		fatal(err)
+	status, err := c.PostJSON(context.Background(), "/v1/jobs", spec, &job)
+	if err != nil {
+		fatal(fmt.Errorf("submit rejected (status %d): %w", status, err))
 	}
 	fmt.Printf("submitted %s (%d workloads, state %s)\n", job.ID, len(job.Workloads), job.State)
 	if *watchFlag {
-		streamEvents(*addr, job.ID, false)
+		streamEvents(c, job.ID, false)
 	}
 }
 
 func watch(args []string) {
 	fs := flag.NewFlagSet("pcserved watch", flag.ExitOnError)
-	addr := fs.String("addr", "http://localhost:8917", "server base URL")
+	api := apiFlags(fs)
 	raw := fs.Bool("json", false, "print raw NDJSON lines instead of formatted progress")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fatal(fmt.Errorf("watch needs exactly one job id"))
 	}
-	streamEvents(*addr, fs.Arg(0), *raw)
+	streamEvents(api(), fs.Arg(0), *raw)
 }
 
-// streamEvents follows a job's NDJSON stream to its end. With raw, lines
-// pass through verbatim (the scripted consumers' mode); otherwise each
-// event renders as a one-line summary.
-func streamEvents(addr, id string, raw bool) {
-	resp, err := http.Get(addr + "/v1/jobs/" + id + "/events")
-	if err != nil {
-		fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		fatal(fmt.Errorf("events rejected: %s: %s", resp.Status, readError(resp.Body)))
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+// streamEvents follows a job's NDJSON stream to its end, reconnecting a
+// mid-stream drop with ?from=<last seq> so no event is missed or
+// repeated. With raw, lines pass through verbatim (the scripted
+// consumers' mode); otherwise each event renders as a one-line summary.
+func streamEvents(c *service.APIClient, id string, raw bool) {
+	ctx := context.Background()
+	lastSeq := 0
 	failed := false
-	for sc.Scan() {
-		var e service.Event
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			fatal(fmt.Errorf("bad event line %q: %w", sc.Text(), err))
+	reconnects := 0
+	for {
+		path := "/v1/jobs/" + id + "/events"
+		if lastSeq > 0 {
+			path += fmt.Sprintf("?from=%d", lastSeq)
 		}
-		failed = failed || e.Type == "failed"
-		if raw {
-			fmt.Println(sc.Text())
-			continue
+		resp, err := c.Stream(ctx, path)
+		if err != nil {
+			fatal(err)
 		}
-		printEvent(e)
-	}
-	if err := sc.Err(); err != nil {
-		fatal(err)
+		if resp.StatusCode != http.StatusOK {
+			defer resp.Body.Close()
+			fatal(fmt.Errorf("events rejected: %s", resp.Status))
+		}
+		terminal, err := consumeEvents(resp.Body, &lastSeq, &failed, raw)
+		resp.Body.Close()
+		if terminal {
+			break
+		}
+		// The stream ended without a terminal event: server drain or a
+		// dropped connection. Reconnect from the last seen sequence
+		// number; give up after the retry budget.
+		reconnects++
+		if err == nil && reconnects > c.Retries {
+			// A cleanly ended stream (server drained the log) is not an
+			// error loop — stop after the budget either way.
+			break
+		}
+		if reconnects > c.Retries {
+			fatal(fmt.Errorf("event stream kept dropping (last seq %d): %v", lastSeq, err))
+		}
+		time.Sleep(250 * time.Millisecond)
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// consumeEvents reads one stream connection, updating the cursor and
+// printing events with Seq > *lastSeq exactly once. terminal reports
+// whether a done/failed event ended the stream.
+func consumeEvents(body interface{ Read([]byte) (int, error) }, lastSeq *int, failed *bool, raw bool) (terminal bool, err error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var e service.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return false, fmt.Errorf("bad event line %q: %w", sc.Text(), err)
+		}
+		if e.Seq <= *lastSeq {
+			continue // duplicate across a reconnect boundary
+		}
+		*lastSeq = e.Seq
+		*failed = *failed || e.Type == "failed"
+		if raw {
+			fmt.Println(sc.Text())
+		} else {
+			printEvent(e)
+		}
+		if e.Type == "done" || e.Type == "failed" {
+			return true, nil
+		}
+	}
+	return false, sc.Err()
 }
 
 func printEvent(e service.Event) {
@@ -150,15 +195,16 @@ func printEvent(e service.Event) {
 }
 
 // result prints a finished job's rows as NDJSON, one row per line — the
-// stable, byte-comparable form the restart-resume smoke test diffs.
+// stable, byte-comparable form the restart-resume and chaos smoke tests
+// diff.
 func result(args []string) {
 	fs := flag.NewFlagSet("pcserved result", flag.ExitOnError)
-	addr := fs.String("addr", "http://localhost:8917", "server base URL")
+	api := apiFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fatal(fmt.Errorf("result needs exactly one job id"))
 	}
-	job := getJob(*addr, fs.Arg(0))
+	job := getJob(api(), fs.Arg(0))
 	switch job.State {
 	case service.StateDone:
 	case service.StateFailed:
@@ -176,19 +222,11 @@ func result(args []string) {
 
 func list(args []string) {
 	fs := flag.NewFlagSet("pcserved list", flag.ExitOnError)
-	addr := fs.String("addr", "http://localhost:8917", "server base URL")
+	api := apiFlags(fs)
 	fs.Parse(args)
-	resp, err := http.Get(*addr + "/v1/jobs")
-	if err != nil {
-		fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		fatal(fmt.Errorf("list rejected: %s: %s", resp.Status, readError(resp.Body)))
-	}
 	var jobs []service.Job
-	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
-		fatal(err)
+	if err := api().GetJSON(context.Background(), "/v1/jobs", &jobs); err != nil {
+		fatal(fmt.Errorf("list rejected: %w", err))
 	}
 	fmt.Printf("%-10s %-9s %-4s %-9s %s\n", "ID", "STATE", "PRIO", "WORKLOADS", "PREDICTOR")
 	for _, j := range jobs {
@@ -201,28 +239,10 @@ func list(args []string) {
 	}
 }
 
-func getJob(addr, id string) service.Job {
-	resp, err := http.Get(addr + "/v1/jobs/" + id)
-	if err != nil {
-		fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		fatal(fmt.Errorf("job %s: %s: %s", id, resp.Status, readError(resp.Body)))
-	}
+func getJob(c *service.APIClient, id string) service.Job {
 	var j service.Job
-	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
-		fatal(err)
+	if err := c.GetJSON(context.Background(), "/v1/jobs/"+id, &j); err != nil {
+		fatal(fmt.Errorf("job %s: %w", id, err))
 	}
 	return j
-}
-
-func readError(r io.Reader) string {
-	var body struct {
-		Error string `json:"error"`
-	}
-	if json.NewDecoder(r).Decode(&body) == nil && body.Error != "" {
-		return body.Error
-	}
-	return "(no error body)"
 }

@@ -24,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,6 +41,8 @@ func main() {
 	switch os.Args[1] {
 	case "serve":
 		serve(os.Args[2:])
+	case "worker":
+		worker(os.Args[2:])
 	case "submit":
 		submit(os.Args[2:])
 	case "watch":
@@ -58,13 +61,22 @@ func usage() {
   pcserved serve  -data <dir> [-addr :8917] [-queue N] [-per-client N]
                   [-workers N] [-ckpt-every N] [-trace-dir <dir>]
                   [-drain-timeout 30s] [-crash-after-checkpoints N]
+                  [-cluster] [-lease-ttl 5s] [-heartbeat-every 1s]
+                  [-heartbeat-misses 3] [-unit-attempts 4]
+                  [-retry-backoff 200ms] [-retry-backoff-max 5s]
+                  [-local-fallback-after 3s]
+  pcserved worker -addr <coordinator-url> [-name NAME] [-trace-dir <dir>]
+                  [-timeout 30s] [-retries 4] [-chaos SPEC]
   pcserved submit -addr <url> (-bench a,b|-trace f.trc) [-prophet kind:KB]
                   [-critic kind:KB|none] [-fb N] [-unfiltered] [-warmup N]
                   [-measure N] [-shards K] [-warmup-frac F] [-priority P]
-                  [-client NAME] [-watch]
-  pcserved watch  -addr <url> [-json] <job-id>
-  pcserved result -addr <url> <job-id>
-  pcserved list   -addr <url>`)
+                  [-client NAME] [-watch] [-timeout D] [-retries N]
+  pcserved watch  -addr <url> [-json] [-timeout D] [-retries N] <job-id>
+  pcserved result -addr <url> [-timeout D] [-retries N] <job-id>
+  pcserved list   -addr <url> [-timeout D] [-retries N]
+
+chaos SPEC (worker fault injection, comma-separated):
+  kill-on-lease=N, drop-heartbeats, delay-results=D, duplicate-deliver`)
 	os.Exit(2)
 }
 
@@ -80,6 +92,14 @@ func serve(args []string) {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGINT/SIGTERM")
 	crashAfter := fs.Int("crash-after-checkpoints", 0,
 		"fault injection: exit(3) after N checkpoint writes (used by the CI restart-resume smoke test)")
+	cluster := fs.Bool("cluster", false, "run jobs as leasable units pulled by registered workers")
+	leaseTTL := fs.Duration("lease-ttl", 5*time.Second, "work-unit lease duration (expired leases are re-issued)")
+	hbEvery := fs.Duration("heartbeat-every", time.Second, "worker heartbeat interval assigned at registration")
+	hbMisses := fs.Int("heartbeat-misses", 3, "missed heartbeats before a worker is declared dead")
+	unitAttempts := fs.Int("unit-attempts", 4, "lease budget per unit before local-pool fallback")
+	retryBackoff := fs.Duration("retry-backoff", 200*time.Millisecond, "base backoff before re-issuing an expired unit")
+	retryBackoffMax := fs.Duration("retry-backoff-max", 5*time.Second, "backoff cap for unit re-issues")
+	localAfter := fs.Duration("local-fallback-after", 3*time.Second, "run pending units locally after this long with no live workers")
 	fs.Parse(args)
 	if *data == "" {
 		fatal(fmt.Errorf("serve needs -data"))
@@ -97,6 +117,14 @@ func serve(args []string) {
 			fmt.Fprintln(os.Stderr, "pcserved: crash injection fired, exiting")
 			os.Exit(3)
 		},
+		Cluster:            *cluster,
+		LeaseTTL:           *leaseTTL,
+		HeartbeatEvery:     *hbEvery,
+		HeartbeatMisses:    *hbMisses,
+		UnitAttempts:       *unitAttempts,
+		RetryBackoff:       *retryBackoff,
+		RetryBackoffMax:    *retryBackoffMax,
+		LocalFallbackAfter: *localAfter,
 	})
 	if err != nil {
 		fatal(err)
@@ -128,6 +156,61 @@ func serve(args []string) {
 		}
 		srv.Close() // cut event streams; their jobs are checkpointed
 		fmt.Fprintln(os.Stderr, "pcserved: drained; unfinished jobs resume on next start")
+	}
+}
+
+// worker runs a cluster worker node: register with the coordinator,
+// heartbeat, pull work units under leases, execute, report. Exit code 7
+// marks a chaos-injected death (so harness scripts can tell it from a
+// real failure); SIGINT/SIGTERM stop the node cleanly — its in-flight
+// lease simply expires and the unit is re-issued elsewhere.
+func worker(args []string) {
+	fs := flag.NewFlagSet("pcserved worker", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8917", "coordinator base URL")
+	name := fs.String("name", "", "worker name in coordinator logs (default: host PID tag)")
+	traceDir := fs.String("trace-dir", "", "directory trace workloads resolve against on this node")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	retries := fs.Int("retries", 4, "HTTP retries on connection errors and 429/503")
+	chaosSpec := fs.String("chaos", "", "fault injection: kill-on-lease=N,drop-heartbeats,delay-results=D,duplicate-deliver")
+	fs.Parse(args)
+
+	chaos, err := service.ParseChaos(*chaosSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if *name == "" {
+		*name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	w, err := service.NewWorker(service.WorkerConfig{
+		Coordinator: *addr,
+		Name:        *name,
+		TraceDir:    *traceDir,
+		Client:      service.NewAPIClient(*addr, *timeout, *retries),
+		Chaos:       chaos,
+		Log:         log.New(os.Stderr, "", log.LstdFlags),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "pcserved worker: %v, stopping\n", sig)
+		cancel()
+	}()
+
+	err = w.Run(ctx)
+	switch {
+	case err == service.ErrChaosKilled:
+		fmt.Fprintln(os.Stderr, "pcserved worker: chaos kill fired, exiting")
+		os.Exit(7)
+	case err == context.Canceled || ctx.Err() != nil:
+		// clean stop
+	case err != nil:
+		fatal(err)
 	}
 }
 

@@ -1,0 +1,545 @@
+package service
+
+// Coordinator side of the fault-tolerant multi-node mode: workers
+// register (POST /v1/workers), maintain heartbeats against a deadline,
+// and pull work units — one sim.ShardWindows window of one job workload —
+// under time-bounded leases (POST /v1/units/lease). Results come back
+// with the unit's lease token, so a stale worker (expired lease, missed
+// heartbeats, partition) is fenced out and can never corrupt the merge.
+// An expired lease is re-issued with capped exponential backoff + jitter
+// and a per-unit attempt budget; a unit that exhausts the budget (or sits
+// pending with no live workers) degrades to local execution on the
+// coordinator's own pool, so a job always completes. Units are merged in
+// window order, which keeps cluster results byte-identical to the
+// sequential run — the chaos wall the cluster tests pin.
+//
+// The design follows the hub-and-node isolation rule of the FOXSI
+// SpaceWire acquisition network: every fault is contained at the link
+// (lease/token) layer, so one dead node degrades throughput, never
+// correctness.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prophetcritic/internal/core"
+	"prophetcritic/internal/sim"
+)
+
+// Unit states.
+const (
+	uPending      = iota // waiting for a lease (or for its backoff gate)
+	uLeased              // leased to a worker, deadline pending
+	uLocal               // attempt budget exhausted: queued for the local pool
+	uRunningLocal        // executing on the coordinator's own pool
+	uDone                // result recorded
+)
+
+// unit is one leasable work unit: a single ShardWindows window of one
+// job workload. Guarded by coordinator.mu.
+type unit struct {
+	id    string // "<job>.<workload>.<window>", path-safe
+	jobID string
+	wi    int // workload index within the job
+	idx   int // window index within the workload
+
+	ref    WorkloadRef
+	spec   JobSpec
+	window sim.Window
+
+	state        int
+	attempts     int       // leases issued so far
+	notBefore    time.Time // backoff gate for the next lease
+	pendingSince time.Time // for the no-live-worker local fallback
+
+	token    string // current lease token; fences stale completions
+	worker   string
+	deadline time.Time
+
+	ck     []byte // last uploaded "PCCK" unit snapshot, if any
+	result sim.Result
+}
+
+func unitID(jobID string, wi, idx int) string {
+	return fmt.Sprintf("%s.%d.%d", jobID, wi, idx)
+}
+
+// workerRec is one registered worker.
+type workerRec struct {
+	id       string
+	name     string
+	lastBeat time.Time
+}
+
+// ClusterMetrics is the coordinator's counter snapshot, rendered by
+// /metricsz.
+type ClusterMetrics struct {
+	WorkersRegistered uint64
+	WorkersLive       int
+	Heartbeats        uint64
+	UnitsLeased       uint64
+	LeasesExpired     uint64
+	UnitsRetried      uint64
+	UnitsCompleted    uint64
+	UnitsLocal        uint64
+	ResultsFenced     uint64
+	ResultsDuplicate  uint64
+	CheckpointsStored uint64
+	UnitsPending      int
+}
+
+// coordinator owns the worker registry and the unit/lease table. It is
+// created unconditionally (the worker endpoints always exist); the
+// scheduler only routes jobs through it when Config.Cluster is set.
+type coordinator struct {
+	cfg Config
+	now func() time.Time
+
+	mu         sync.Mutex
+	workers    map[string]*workerRec
+	units      map[string]*unit
+	nextWorker int
+	nextToken  int
+	rng        *rand.Rand
+
+	wake chan struct{} // non-blocking token: something completed/expired
+
+	registered atomic.Uint64
+	heartbeats atomic.Uint64
+	leased     atomic.Uint64
+	expired    atomic.Uint64
+	retried    atomic.Uint64
+	completed  atomic.Uint64
+	local      atomic.Uint64
+	fenced     atomic.Uint64
+	duplicate  atomic.Uint64
+	ckStored   atomic.Uint64
+}
+
+func newCoordinator(cfg Config) *coordinator {
+	return &coordinator{
+		cfg:     cfg,
+		now:     time.Now,
+		workers: make(map[string]*workerRec),
+		units:   make(map[string]*unit),
+		rng:     rand.New(rand.NewSource(1)), // jitter only; never affects results
+		wake:    make(chan struct{}, 1),
+	}
+}
+
+func (c *coordinator) signal() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Metrics returns the coordinator counter snapshot.
+func (c *coordinator) Metrics() ClusterMetrics {
+	c.mu.Lock()
+	live := len(c.workers)
+	pending := 0
+	for _, u := range c.units {
+		if u.state == uPending {
+			pending++
+		}
+	}
+	c.mu.Unlock()
+	return ClusterMetrics{
+		WorkersRegistered: c.registered.Load(),
+		WorkersLive:       live,
+		Heartbeats:        c.heartbeats.Load(),
+		UnitsLeased:       c.leased.Load(),
+		LeasesExpired:     c.expired.Load(),
+		UnitsRetried:      c.retried.Load(),
+		UnitsCompleted:    c.completed.Load(),
+		UnitsLocal:        c.local.Load(),
+		ResultsFenced:     c.fenced.Load(),
+		ResultsDuplicate:  c.duplicate.Load(),
+		CheckpointsStored: c.ckStored.Load(),
+		UnitsPending:      pending,
+	}
+}
+
+// register admits a worker and returns its id plus the protocol timings.
+func (c *coordinator) register(name string) WorkerInfo {
+	c.mu.Lock()
+	id := fmt.Sprintf("w%04d", c.nextWorker)
+	c.nextWorker++
+	c.workers[id] = &workerRec{id: id, name: name, lastBeat: c.now()}
+	c.mu.Unlock()
+	c.registered.Add(1)
+	return WorkerInfo{
+		ID:          id,
+		LeaseTTLMs:  c.cfg.LeaseTTL.Milliseconds(),
+		HeartbeatMs: c.cfg.HeartbeatEvery.Milliseconds(),
+		PollMs:      pollInterval(c.cfg.LeaseTTL).Milliseconds(),
+	}
+}
+
+// heartbeat refreshes a worker's deadline; ok is false for unknown (or
+// already-expired) workers, which must re-register.
+func (c *coordinator) heartbeat(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[id]
+	if !ok {
+		return false
+	}
+	w.lastBeat = c.now()
+	c.heartbeats.Add(1)
+	return true
+}
+
+// backoff returns the capped exponential backoff (plus jitter) before
+// lease attempt n+1 may be issued.
+func (c *coordinator) backoff(attempts int) time.Duration {
+	d := c.cfg.RetryBackoff
+	for i := 1; i < attempts && d < c.cfg.RetryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.RetryBackoffMax {
+		d = c.cfg.RetryBackoffMax
+	}
+	// Full jitter in [d/2, d): desynchronizes re-issues without ever
+	// shortening the base delay below half.
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+// reap expires what has timed out: workers whose heartbeats stopped and
+// leases whose deadline (or worker) is gone. Expired units return to
+// pending behind their backoff gate, or degrade to the local pool once
+// the attempt budget is spent. Called from every cluster handler and
+// from the job wait loop — there is no timer goroutine to leak.
+func (c *coordinator) reap() {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	dead := make(map[string]bool)
+	deadline := time.Duration(c.cfg.HeartbeatMisses) * c.cfg.HeartbeatEvery
+	for id, w := range c.workers {
+		if now.Sub(w.lastBeat) > deadline {
+			dead[id] = true
+			delete(c.workers, id)
+		}
+	}
+	live := len(c.workers)
+
+	for _, u := range c.units {
+		switch u.state {
+		case uLeased:
+			if now.After(u.deadline) || dead[u.worker] {
+				c.expired.Add(1)
+				u.state = uPending
+				u.pendingSince = now
+				u.notBefore = now.Add(c.backoff(u.attempts))
+				u.token = "" // fence: the old holder's token is dead
+				u.worker = ""
+				if u.attempts >= c.cfg.UnitAttempts {
+					u.state = uLocal
+					c.local.Add(1)
+					c.signalLocked()
+				}
+			}
+		case uPending:
+			// Graceful degradation when the fleet is gone: a unit pending
+			// with no live workers falls back to the coordinator's pool.
+			if live == 0 && now.Sub(u.pendingSince) > c.cfg.LocalFallbackAfter {
+				u.state = uLocal
+				c.local.Add(1)
+				c.signalLocked()
+			}
+		}
+	}
+}
+
+func (c *coordinator) signalLocked() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// lease hands the requesting worker one eligible pending unit, or none.
+// Eligible units are taken in id order — deterministic, and irrelevant to
+// results (the merge is ordered by window index, not completion).
+func (c *coordinator) lease(workerID string) (*UnitLease, error) {
+	c.reap()
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.workers[workerID]; !ok {
+		return nil, fmt.Errorf("service: unknown worker %q (re-register)", workerID)
+	}
+	var pick *unit
+	for _, u := range c.units {
+		if u.state != uPending || now.Before(u.notBefore) {
+			continue
+		}
+		if pick == nil || u.id < pick.id {
+			pick = u
+		}
+	}
+	if pick == nil {
+		return nil, nil
+	}
+	c.nextToken++
+	pick.state = uLeased
+	pick.attempts++
+	pick.token = fmt.Sprintf("t%06d", c.nextToken)
+	pick.worker = workerID
+	pick.deadline = now.Add(c.cfg.LeaseTTL)
+	c.leased.Add(1)
+	if pick.attempts > 1 {
+		c.retried.Add(1)
+	}
+	l := &UnitLease{
+		Unit:       pick.id,
+		Token:      pick.token,
+		TTLMs:      c.cfg.LeaseTTL.Milliseconds(),
+		Workload:   pick.ref,
+		Prophet:    pick.spec.Prophet,
+		Critic:     pick.spec.Critic,
+		FutureBits: pick.spec.FutureBits,
+		Unfiltered: pick.spec.Unfiltered,
+		Skip:       pick.window.Skip,
+		Train:      pick.window.Train,
+		Measure:    pick.window.Measure,
+		CkptEvery:  c.cfg.CheckpointEvery,
+		Checkpoint: pick.ck,
+	}
+	return l, nil
+}
+
+// storeCheckpoint records a mid-unit snapshot uploaded by the current
+// leaseholder (and extends its lease: an uploading worker is alive). A
+// stale token is fenced with an error.
+func (c *coordinator) storeCheckpoint(unitID, token string, data []byte) error {
+	c.reap()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u, ok := c.units[unitID]
+	if !ok {
+		return fmt.Errorf("service: no unit %q", unitID)
+	}
+	if u.state != uLeased || u.token != token {
+		c.fenced.Add(1)
+		return errStaleLease
+	}
+	u.ck = data
+	u.deadline = c.now().Add(c.cfg.LeaseTTL)
+	c.ckStored.Add(1)
+	return nil
+}
+
+// errStaleLease marks completions and uploads whose lease token is no
+// longer current; the HTTP layer maps it to 409.
+var errStaleLease = fmt.Errorf("service: stale lease token (unit was re-issued)")
+
+// complete records a unit result delivered under token. Duplicate
+// deliveries of an already-completed unit are acknowledged idempotently;
+// stale tokens are fenced.
+func (c *coordinator) complete(unitID, token string, r sim.Result) error {
+	c.reap()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u, ok := c.units[unitID]
+	if !ok {
+		return fmt.Errorf("service: no unit %q", unitID)
+	}
+	if u.state == uDone {
+		c.duplicate.Add(1)
+		return nil // idempotent ack: the merge already has this window
+	}
+	if u.state != uLeased || u.token != token {
+		c.fenced.Add(1)
+		return errStaleLease
+	}
+	u.state = uDone
+	u.result = r
+	u.ck = nil
+	c.completed.Add(1)
+	c.signalLocked()
+	return nil
+}
+
+// addUnits registers the not-yet-done windows of one job workload as
+// leasable units.
+func (c *coordinator) addUnits(j *Job, wi int, ref WorkloadRef, ws []sim.Window, done []bool) {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, w := range ws {
+		if done[i] {
+			continue
+		}
+		id := unitID(j.ID, wi, i)
+		c.units[id] = &unit{
+			id: id, jobID: j.ID, wi: wi, idx: i,
+			ref: ref, spec: j.Spec, window: w,
+			state: uPending, pendingSince: now, notBefore: now,
+		}
+	}
+}
+
+// dropUnits removes every unit of one job workload (job finished,
+// failed, or the scheduler is stopping). Leased copies still held by
+// workers fence out naturally: their unit ids no longer exist.
+func (c *coordinator) dropUnits(jobID string, wi int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, u := range c.units {
+		if u.jobID == jobID && u.wi == wi {
+			delete(c.units, id)
+		}
+	}
+}
+
+// takeLocal claims this workload's budget-exhausted units for the
+// coordinator's own pool.
+func (c *coordinator) takeLocal(jobID string, wi int) []*unit {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*unit
+	for _, u := range c.units {
+		if u.jobID == jobID && u.wi == wi && u.state == uLocal {
+			u.state = uRunningLocal
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].idx < out[k].idx })
+	return out
+}
+
+// completeLocal records a locally executed unit's result.
+func (c *coordinator) completeLocal(u *unit, r sim.Result) {
+	c.mu.Lock()
+	u.state = uDone
+	u.result = r
+	u.ck = nil
+	c.mu.Unlock()
+	c.completed.Add(1)
+	c.signal()
+}
+
+// localCheckpoint returns the uploaded snapshot a local re-execution
+// should resume from, if any.
+func (c *coordinator) localCheckpoint(u *unit) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return u.ck
+}
+
+// progress snapshots one workload's completed units: done flags and
+// results indexed by window.
+func (c *coordinator) progress(jobID string, wi int, done []bool, results []sim.Result) (newlyDone int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, u := range c.units {
+		if u.jobID != jobID || u.wi != wi || u.state != uDone {
+			continue
+		}
+		if !done[u.idx] {
+			done[u.idx] = true
+			results[u.idx] = u.result
+			newlyDone++
+		}
+	}
+	return newlyDone
+}
+
+// pollInterval is the idle worker's wait between empty lease calls.
+func pollInterval(leaseTTL time.Duration) time.Duration {
+	p := leaseTTL / 8
+	if p < 10*time.Millisecond {
+		p = 10 * time.Millisecond
+	}
+	if p > time.Second {
+		p = time.Second
+	}
+	return p
+}
+
+// Wire types of the worker protocol.
+
+// WorkerRegistration is the body of POST /v1/workers.
+type WorkerRegistration struct {
+	Name string `json:"name,omitempty"`
+}
+
+// WorkerInfo is the coordinator's reply to a registration: the worker's
+// id and the protocol timings it must obey.
+type WorkerInfo struct {
+	ID          string `json:"id"`
+	LeaseTTLMs  int64  `json:"lease_ttl_ms"`
+	HeartbeatMs int64  `json:"heartbeat_ms"`
+	PollMs      int64  `json:"poll_ms"`
+}
+
+// LeaseRequest is the body of POST /v1/units/lease.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// UnitLease describes one leased work unit: everything a worker needs to
+// execute the window and report back under the fencing token. Checkpoint,
+// when present, is a "PCCK" snapshot a previous attempt uploaded; the
+// worker resumes from it instead of re-running the window from scratch.
+type UnitLease struct {
+	Unit  string `json:"unit"`
+	Token string `json:"token"`
+	TTLMs int64  `json:"ttl_ms"`
+
+	Workload   WorkloadRef `json:"workload"`
+	Prophet    string      `json:"prophet"`
+	Critic     string      `json:"critic,omitempty"`
+	FutureBits uint        `json:"future_bits,omitempty"`
+	Unfiltered bool        `json:"unfiltered,omitempty"`
+
+	Skip    int `json:"skip"`
+	Train   int `json:"train"`
+	Measure int `json:"measure"`
+
+	CkptEvery  int    `json:"ckpt_every"`
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+}
+
+// UnitResult is the body of POST /v1/units/{id}/result: the exact
+// counters of the unit's measured window, fenced by the lease token.
+type UnitResult struct {
+	Worker string `json:"worker"`
+	Token  string `json:"token"`
+
+	Branches    uint64                    `json:"branches"`
+	Uops        uint64                    `json:"uops"`
+	ProphetMisp uint64                    `json:"prophet_misp"`
+	FinalMisp   uint64                    `json:"final_misp"`
+	Critiques   [core.NumCritiques]uint64 `json:"critiques"`
+}
+
+func (ur UnitResult) toResult() sim.Result {
+	return sim.Result{
+		Branches:    ur.Branches,
+		Uops:        ur.Uops,
+		ProphetMisp: ur.ProphetMisp,
+		FinalMisp:   ur.FinalMisp,
+		Critiques:   ur.Critiques,
+	}
+}
+
+func unitResultFrom(worker, token string, r sim.Result) UnitResult {
+	return UnitResult{
+		Worker:      worker,
+		Token:       token,
+		Branches:    r.Branches,
+		Uops:        r.Uops,
+		ProphetMisp: r.ProphetMisp,
+		FinalMisp:   r.FinalMisp,
+		Critiques:   r.Critiques,
+	}
+}

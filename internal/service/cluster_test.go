@@ -1,0 +1,434 @@
+package service
+
+// The chaos wall: cluster mode must produce byte-identical rows to the
+// sequential simulator no matter which workers die, stall, partition, or
+// double-deliver mid-job. These tests run the coordinator and workers
+// in-process against an httptest server, with the protocol timings shrunk
+// so leases expire and heartbeats miss within milliseconds.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clusterConfig shrinks every cluster timing so fault handling is
+// exercised in milliseconds instead of seconds.
+func clusterConfig(cfg *Config) {
+	cfg.Cluster = true
+	cfg.CheckpointEvery = 2_000
+	cfg.LeaseTTL = 300 * time.Millisecond
+	cfg.HeartbeatEvery = 30 * time.Millisecond
+	cfg.HeartbeatMisses = 3
+	cfg.UnitAttempts = 5
+	cfg.RetryBackoff = 20 * time.Millisecond
+	cfg.RetryBackoffMax = 100 * time.Millisecond
+	cfg.LocalFallbackAfter = 2 * time.Second
+}
+
+// startWorker runs one in-process worker node against ts until the test
+// ends. stop cancels the worker and yields its exit error; exited fires
+// when the worker dies on its own (a chaos kill) — wait on it instead of
+// calling stop, so the cancellation can't race the death it expects.
+func startWorker(t *testing.T, ts *httptest.Server, name string, chaos Chaos) (w *Worker, stop func() error, exited <-chan error) {
+	t.Helper()
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: ts.URL,
+		Name:        name,
+		Client:      NewAPIClient(ts.URL, 10*time.Second, 2),
+		Chaos:       chaos,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	return w, func() error {
+		cancel()
+		return <-done
+	}, done
+}
+
+// waitExit waits for a worker's own exit without canceling it.
+func waitExit(t *testing.T, exited <-chan error) error {
+	t.Helper()
+	select {
+	case err := <-exited:
+		return err
+	case <-time.After(20 * time.Second):
+		t.Fatal("worker never exited on its own")
+		return nil
+	}
+}
+
+// waitRegistered blocks until the worker has registered (so a submit
+// can't race ahead of the fleet and fall back to local execution).
+func waitRegistered(t *testing.T, w *Worker) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Registered.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// scrapeMetrics fetches /metricsz and returns the counters by name.
+func scrapeMetrics(t *testing.T, ts *httptest.Server) map[string]int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]int{}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if n, err := strconv.Atoi(fields[1]); err == nil {
+			out[fields[0]] = n
+		}
+	}
+	return out
+}
+
+// A healthy one-worker cluster must produce exactly the rows of the
+// direct sharded run — which the sharding tests already pin to the
+// sequential simulator.
+func TestClusterMatchesDirectRun(t *testing.T) {
+	spec := fastSpec()
+	spec.Shards = 4
+	want := directRows(t, spec)
+	sequential := fastSpec() // same windows, no sharding: the ground truth
+	wantSeq := directRows(t, sequential)
+	if !reflect.DeepEqual(want, wantSeq) {
+		t.Fatalf("precondition broken: sharded reference differs from sequential")
+	}
+
+	s, ts := newTestServer(t, t.TempDir(), clusterConfig)
+	defer s.Kill()
+	w, stop, _ := startWorker(t, ts, "w-healthy", Chaos{})
+	waitRegistered(t, w)
+
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, s, j.ID, StateDone)
+	if !reflect.DeepEqual(got.Rows, want) {
+		t.Fatalf("cluster rows differ from direct run:\n got %+v\nwant %+v", got.Rows, want)
+	}
+	if w.UnitsDone.Load() == 0 {
+		t.Fatal("worker completed no units — the job ran on the local fallback path")
+	}
+	stop()
+
+	m := scrapeMetrics(t, ts)
+	if m["pcserved_units_leased_total"] == 0 {
+		t.Fatalf("units_leased_total = 0; metrics: %v", m)
+	}
+	if m["pcserved_units_completed_total"] != 4 {
+		t.Fatalf("units_completed_total = %d, want 4", m["pcserved_units_completed_total"])
+	}
+}
+
+// The chaos wall: one worker dies mid-unit right after uploading a
+// snapshot, one keeps computing after its heartbeats stop (a partition —
+// its results must be fenced), one delivers every result twice after a
+// delay. The job must still complete with rows byte-identical to the
+// sequential run, and the recovery machinery (lease expiry, retries)
+// must be visible in /metricsz.
+func TestClusterChaosWall(t *testing.T) {
+	spec := fastSpec()
+	spec.Shards = 4
+	want := directRows(t, spec)
+
+	s, ts := newTestServer(t, t.TempDir(), clusterConfig)
+	defer s.Kill()
+
+	killer, _, killerExited := startWorker(t, ts, "w-killer", Chaos{KillOnLease: 1})
+	waitRegistered(t, killer)
+	dropper, _, _ := startWorker(t, ts, "w-partitioned", Chaos{DropHeartbeats: true})
+	waitRegistered(t, dropper)
+	healthy, _, _ := startWorker(t, ts, "w-healthy", Chaos{DelayResults: 5 * time.Millisecond, DuplicateDeliver: true})
+	waitRegistered(t, healthy)
+
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, s, j.ID, StateDone)
+	if !reflect.DeepEqual(got.Rows, want) {
+		t.Fatalf("chaos cluster rows differ from direct run:\n got %+v\nwant %+v", got.Rows, want)
+	}
+
+	if err := waitExit(t, killerExited); err != ErrChaosKilled {
+		t.Fatalf("kill-on-lease worker exited %v, want ErrChaosKilled", err)
+	}
+
+	m := scrapeMetrics(t, ts)
+	for _, counter := range []string{
+		"pcserved_units_leased_total",
+		"pcserved_leases_expired_total",
+		"pcserved_units_retried_total",
+	} {
+		if m[counter] == 0 {
+			t.Errorf("%s = 0 after chaos run; metrics: %v", counter, m)
+		}
+	}
+	if m["pcserved_units_completed_total"] < 4 {
+		t.Errorf("units_completed_total = %d, want >= 4", m["pcserved_units_completed_total"])
+	}
+}
+
+// A duplicate delivery of a completed unit must be acknowledged without
+// corrupting the merge (exactly-once effect despite at-least-once
+// delivery) — covered end-to-end above, pinned on the counter here.
+func TestClusterDuplicateDelivery(t *testing.T) {
+	spec := fastSpec()
+	spec.Shards = 2
+	want := directRows(t, spec)
+
+	s, ts := newTestServer(t, t.TempDir(), clusterConfig)
+	defer s.Kill()
+	w, _, _ := startWorker(t, ts, "w-dup", Chaos{DuplicateDeliver: true})
+	waitRegistered(t, w)
+
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, s, j.ID, StateDone)
+	if !reflect.DeepEqual(got.Rows, want) {
+		t.Fatalf("rows differ under duplicate delivery:\n got %+v\nwant %+v", got.Rows, want)
+	}
+	m := scrapeMetrics(t, ts)
+	if m["pcserved_results_duplicate_total"] == 0 {
+		t.Errorf("results_duplicate_total = 0, want > 0; metrics: %v", m)
+	}
+}
+
+// With no workers at all, a cluster job must degrade to local execution
+// after LocalFallbackAfter and still match the direct run: liveness
+// never depends on the fleet.
+func TestClusterLocalFallback(t *testing.T) {
+	spec := fastSpec()
+	spec.Shards = 3
+	want := directRows(t, spec)
+
+	s, ts := newTestServer(t, t.TempDir(), func(cfg *Config) {
+		clusterConfig(cfg)
+		cfg.LocalFallbackAfter = 50 * time.Millisecond
+	})
+	defer s.Kill()
+
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, s, j.ID, StateDone)
+	if !reflect.DeepEqual(got.Rows, want) {
+		t.Fatalf("local-fallback rows differ from direct run:\n got %+v\nwant %+v", got.Rows, want)
+	}
+	m := scrapeMetrics(t, ts)
+	if m["pcserved_units_local_total"] == 0 {
+		t.Errorf("units_local_total = 0, want > 0; metrics: %v", m)
+	}
+	if m["pcserved_units_leased_total"] != 0 {
+		t.Errorf("units_leased_total = %d with no workers", m["pcserved_units_leased_total"])
+	}
+}
+
+// A worker whose lease expired mid-unit leaves its uploaded snapshot
+// behind; the next holder resumes from it instead of restarting, and the
+// result is still exact. This drives the coordinator API directly to
+// control exactly when the lease dies.
+func TestClusterResumeFromUploadedCheckpoint(t *testing.T) {
+	spec := fastSpec()
+	spec.Shards = 2
+	want := directRows(t, spec)
+
+	s, ts := newTestServer(t, t.TempDir(), func(cfg *Config) {
+		clusterConfig(cfg)
+		cfg.LeaseTTL = 150 * time.Millisecond
+	})
+	defer s.Kill()
+
+	// First holder: dies after its first snapshot upload (kill-on-lease),
+	// so at least one unit is re-issued with a checkpoint attached.
+	w1, _, w1exited := startWorker(t, ts, "w-dies", Chaos{KillOnLease: 1})
+	waitRegistered(t, w1)
+
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the chaos kill, then bring up the successor.
+	if err := func() error {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if s.ClusterMetricsSnapshot().CheckpointsStored > 0 {
+				return nil
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return fmt.Errorf("no checkpoint was ever uploaded")
+	}(); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitExit(t, w1exited); err != ErrChaosKilled {
+		t.Fatalf("first worker exited %v, want ErrChaosKilled", err)
+	}
+	w2, _, _ := startWorker(t, ts, "w-successor", Chaos{})
+	waitRegistered(t, w2)
+
+	got := waitState(t, s, j.ID, StateDone)
+	if !reflect.DeepEqual(got.Rows, want) {
+		t.Fatalf("resumed-unit rows differ from direct run:\n got %+v\nwant %+v", got.Rows, want)
+	}
+	if n := s.ClusterMetricsSnapshot().LeasesExpired; n == 0 {
+		t.Error("no lease ever expired — the kill was not exercised")
+	}
+}
+
+// Stale lease tokens must be fenced with 409 at the HTTP layer, for both
+// results and checkpoint uploads.
+func TestClusterStaleTokenFenced(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir(), func(cfg *Config) {
+		clusterConfig(cfg)
+		cfg.LeaseTTL = 50 * time.Millisecond
+		cfg.RetryBackoff = time.Millisecond
+		cfg.RetryBackoffMax = 2 * time.Millisecond
+	})
+	defer s.Kill()
+
+	api := NewAPIClient(ts.URL, 5*time.Second, 0)
+	ctx := context.Background()
+	var info WorkerInfo
+	if _, err := api.PostJSON(ctx, "/v1/workers", WorkerRegistration{Name: "manual"}, &info); err != nil {
+		t.Fatal(err)
+	}
+	// Keep the manual worker alive with a background heartbeat.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for hbCtx.Err() == nil {
+			api.PostJSON(hbCtx, "/v1/workers/"+info.ID+"/heartbeat", nil, nil)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	defer wg.Wait()
+
+	spec := fastSpec()
+	spec.Shards = 2
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Lease a unit, let the lease expire, then try to deliver under the
+	// dead token: both result and checkpoint must bounce with 409.
+	var lease UnitLease
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, err := api.PostJSON(ctx, "/v1/units/lease", LeaseRequest{Worker: info.ID}, &lease)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never got a lease")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // > LeaseTTL: the lease is dead
+
+	status, _ := api.PostJSON(ctx, "/v1/units/"+lease.Unit+"/result",
+		UnitResult{Worker: info.ID, Token: lease.Token, Branches: 1}, nil)
+	if status != http.StatusConflict {
+		t.Fatalf("stale result delivery: status %d, want 409", status)
+	}
+	status, _ = api.PostJSON(ctx, "/v1/units/"+lease.Unit+"/checkpoint",
+		checkpointUpload{Token: lease.Token, Data: []byte("PCCKjunk")}, nil)
+	if status != http.StatusConflict {
+		t.Fatalf("stale checkpoint upload: status %d, want 409", status)
+	}
+	if n := s.ClusterMetricsSnapshot().ResultsFenced; n < 2 {
+		t.Errorf("results_fenced = %d, want >= 2", n)
+	}
+
+	// The job must still finish (on the fleetless local fallback or a
+	// re-issued lease to our manual worker — either way, exactly).
+	stopHB()
+	want := directRows(t, spec)
+	got := waitState(t, s, j.ID, StateDone)
+	if !reflect.DeepEqual(got.Rows, want) {
+		t.Fatalf("rows differ after fencing:\n got %+v\nwant %+v", got.Rows, want)
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	good := []struct {
+		spec string
+		want Chaos
+	}{
+		{"", Chaos{}},
+		{"kill-on-lease=2", Chaos{KillOnLease: 2}},
+		{"drop-heartbeats", Chaos{DropHeartbeats: true}},
+		{"delay-results=50ms", Chaos{DelayResults: 50 * time.Millisecond}},
+		{"duplicate-deliver", Chaos{DuplicateDeliver: true}},
+		{
+			"kill-on-lease=3,drop-heartbeats,delay-results=1s,duplicate-deliver",
+			Chaos{KillOnLease: 3, DropHeartbeats: true, DelayResults: time.Second, DuplicateDeliver: true},
+		},
+	}
+	for _, tc := range good {
+		got, err := ParseChaos(tc.spec)
+		if err != nil {
+			t.Errorf("ParseChaos(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseChaos(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+		if rt, err := ParseChaos(got.String()); err != nil || rt != got {
+			t.Errorf("ParseChaos(%q).String() = %q does not round-trip", tc.spec, got.String())
+		}
+	}
+	bad := []string{
+		"kill-on-lease",       // missing value
+		"kill-on-lease=zero",  // not a number
+		"kill-on-lease=0",     // must be positive
+		"delay-results=-5ms",  // negative
+		"delay-results=later", // not a duration
+		"warp-drive",          // unknown directive
+	}
+	for _, spec := range bad {
+		if _, err := ParseChaos(spec); err == nil {
+			t.Errorf("ParseChaos(%q) succeeded, want error", spec)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package service
+
+// APIClient is the retrying HTTP client of the pcserved API, shared by
+// the CLI client modes (submit/watch/result/list) and the worker loop.
+// Unary calls carry a request timeout and retry with capped exponential
+// backoff + jitter on connection errors, 429, and 503 — honoring a
+// Retry-After header when the server sends one. Streaming calls (the
+// NDJSON event feed) bound only the dial and response header, never the
+// body, so a long-running watch is not killed by the unary timeout.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// APIClient speaks the pcserved JSON API against one base URL.
+type APIClient struct {
+	Base string
+
+	// Timeout bounds one unary request end to end (default 30s).
+	Timeout time.Duration
+	// Retries is the number of additional attempts after a retryable
+	// failure (default 4; 0 disables retrying).
+	Retries int
+	// Backoff is the base delay before the first retry, doubling per
+	// attempt up to BackoffMax (defaults 250ms / 4s).
+	Backoff    time.Duration
+	BackoffMax time.Duration
+
+	once   sync.Once
+	unary  *http.Client
+	stream *http.Client
+	rng    *rand.Rand
+	rngMu  sync.Mutex
+}
+
+// NewAPIClient returns a client for base with the given unary timeout
+// and retry budget.
+func NewAPIClient(base string, timeout time.Duration, retries int) *APIClient {
+	return &APIClient{Base: strings.TrimRight(base, "/"), Timeout: timeout, Retries: retries}
+}
+
+func (c *APIClient) init() {
+	c.once.Do(func() {
+		if c.Timeout <= 0 {
+			c.Timeout = 30 * time.Second
+		}
+		if c.Backoff <= 0 {
+			c.Backoff = 250 * time.Millisecond
+		}
+		if c.BackoffMax <= 0 {
+			c.BackoffMax = 4 * time.Second
+		}
+		dialer := &net.Dialer{Timeout: 10 * time.Second}
+		c.unary = &http.Client{
+			Timeout:   c.Timeout,
+			Transport: &http.Transport{DialContext: dialer.DialContext},
+		}
+		// The stream client must not bound the body: watches run for the
+		// life of a job. Dial and header get the unary timeout instead.
+		c.stream = &http.Client{
+			Transport: &http.Transport{
+				DialContext:           dialer.DialContext,
+				ResponseHeaderTimeout: c.Timeout,
+			},
+		}
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	})
+}
+
+// retryDelay picks the wait before attempt n (0-based), honoring a
+// server-provided Retry-After when larger.
+func (c *APIClient) retryDelay(attempt int, retryAfter string) time.Duration {
+	d := c.Backoff
+	for i := 0; i < attempt && d < c.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.BackoffMax {
+		d = c.BackoffMax
+	}
+	c.rngMu.Lock()
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1)) // full jitter in [d/2, d]
+	c.rngMu.Unlock()
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		if ra := time.Duration(secs) * time.Second; ra > d {
+			d = ra
+		}
+	}
+	return d
+}
+
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// do issues one unary request, retrying connection errors and 429/503.
+// The returned response body is fully read and returned as bytes so a
+// retried request never leaks a connection.
+func (c *APIClient) do(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	c.init()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.unary.Do(req)
+		retryAfter := ""
+		if err != nil {
+			lastErr = err
+		} else {
+			data, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				lastErr = rerr
+			} else if !retryableStatus(resp.StatusCode) {
+				return resp.StatusCode, data, nil
+			} else {
+				retryAfter = resp.Header.Get("Retry-After")
+				lastErr = fmt.Errorf("service: %s %s: %s: %s", method, path, resp.Status, apiError(data))
+				if attempt >= c.Retries {
+					return resp.StatusCode, data, nil // caller sees the final 429/503
+				}
+			}
+		}
+		if attempt >= c.Retries || ctx.Err() != nil {
+			return 0, nil, lastErr
+		}
+		select {
+		case <-time.After(c.retryDelay(attempt, retryAfter)):
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		}
+	}
+}
+
+// PostJSON marshals in, POSTs it, and decodes a 2xx response into out
+// (which may be nil). Non-2xx statuses return an error carrying the
+// server's JSON error body.
+func (c *APIClient) PostJSON(ctx context.Context, path string, in, out any) (int, error) {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return 0, err
+		}
+	}
+	status, data, err := c.do(ctx, http.MethodPost, path, body)
+	if err != nil {
+		return status, err
+	}
+	if status/100 != 2 {
+		return status, fmt.Errorf("service: POST %s: status %d: %s", path, status, apiError(data))
+	}
+	if out != nil && status != http.StatusNoContent && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return status, fmt.Errorf("service: POST %s: decoding response: %w", path, err)
+		}
+	}
+	return status, nil
+}
+
+// GetJSON GETs path and decodes a 200 response into out.
+func (c *APIClient) GetJSON(ctx context.Context, path string, out any) error {
+	status, data, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("service: GET %s: status %d: %s", path, status, apiError(data))
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Stream GETs path with no body deadline (NDJSON event feeds). The
+// caller owns the response body. Connection errors are retried with the
+// same backoff as unary calls; HTTP error statuses are returned to the
+// caller unretried (the events endpoint has no transient statuses).
+func (c *APIClient) Stream(ctx context.Context, path string) (*http.Response, error) {
+	c.init()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.stream.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if attempt >= c.Retries || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		select {
+		case <-time.After(c.retryDelay(attempt, "")):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// apiError extracts the server's {"error": ...} body, or echoes the raw
+// payload.
+func apiError(data []byte) string {
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		return body.Error
+	}
+	if len(data) == 0 {
+		return "(no error body)"
+	}
+	return strings.TrimSpace(string(data))
+}

@@ -5,17 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"prophetcritic/internal/checkpoint"
 	"prophetcritic/internal/core"
 	"prophetcritic/internal/pool"
 	"prophetcritic/internal/program"
 	"prophetcritic/internal/sim"
-	"prophetcritic/internal/trace"
 )
 
 // Config configures a Scheduler.
@@ -44,6 +43,35 @@ type Config struct {
 	// checkpoint; cmd/pcserved wires it to os.Exit.
 	CrashAfterCheckpoints int
 	Crash                 func()
+
+	// Cluster routes jobs through the coordinator/worker protocol: each
+	// workload's shard windows become leasable units that registered
+	// workers pull and execute. The worker endpoints exist either way;
+	// without Cluster they simply never see units.
+	Cluster bool
+	// LeaseTTL bounds one unit lease; an unrenewed lease past its
+	// deadline is re-issued (default 5s). Mid-unit checkpoint uploads
+	// renew the lease.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the worker heartbeat interval the coordinator
+	// assigns (default 1s); a worker missing HeartbeatMisses consecutive
+	// intervals (default 3) is declared dead and its leases expire
+	// immediately.
+	HeartbeatEvery  time.Duration
+	HeartbeatMisses int
+	// UnitAttempts is the per-unit lease budget (default 4): a unit
+	// re-issued that many times without completing degrades to local
+	// execution on the coordinator's own pool.
+	UnitAttempts int
+	// RetryBackoff/RetryBackoffMax shape the capped exponential backoff
+	// (with jitter) between re-issues of an expired unit (defaults
+	// 200ms / 5s).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// LocalFallbackAfter pulls a pending unit onto the local pool when
+	// no live workers exist for that long (default 3s), so a cluster job
+	// with no fleet still completes.
+	LocalFallbackAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +92,27 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Crash == nil {
 		c.Crash = func() { panic("service: checkpoint crash injection fired with no Crash hook") }
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = 5 * time.Second
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.HeartbeatMisses == 0 {
+		c.HeartbeatMisses = 3
+	}
+	if c.UnitAttempts == 0 {
+		c.UnitAttempts = 4
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 200 * time.Millisecond
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = 5 * time.Second
+	}
+	if c.LocalFallbackAfter == 0 {
+		c.LocalFallbackAfter = 3 * time.Second
 	}
 	return c
 }
@@ -92,6 +141,7 @@ type Scheduler struct {
 	cfg Config
 	st  *store
 	q   *jobQueue
+	co  *coordinator
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -128,6 +178,7 @@ func New(cfg Config) (*Scheduler, error) {
 		cfg:  cfg,
 		st:   st,
 		q:    newJobQueue(cfg.QueueCap, cfg.PerClient),
+		co:   newCoordinator(cfg),
 		jobs: make(map[string]*Job),
 		logs: make(map[string]*EventLog),
 		ctx:  ctx,
@@ -377,14 +428,30 @@ func (s *Scheduler) failJob(j *Job, err error) {
 
 // loadWorkload resolves one workload reference to a runnable program.
 func (s *Scheduler) loadWorkload(ref WorkloadRef) (*program.Program, error) {
-	switch ref.Kind {
-	case "bench":
-		return program.Load(ref.Name)
-	case "trace":
-		return trace.Load(filepath.Join(s.cfg.TraceDir, ref.Name))
-	default:
-		return nil, fmt.Errorf("service: unknown workload kind %q", ref.Kind)
+	return loadWorkloadIn(ref, s.cfg.TraceDir)
+}
+
+// RetryAfterSeconds estimates how long a rejected submitter should wait
+// before retrying, from the live queue state: roughly one drain cycle of
+// the backlog per configured worker, clamped to [1, 60] seconds. While
+// draining the server will not admit again until a restart, so the hint
+// is a flat 5 seconds — long enough to outlive a rolling restart.
+func (s *Scheduler) RetryAfterSeconds() int {
+	if s.draining.Load() {
+		return 5
 	}
+	workers := s.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sec := s.q.Depth() / workers
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
 }
 
 // checkpointWritten counts a write and fires crash injection.
@@ -426,9 +493,12 @@ func (s *Scheduler) runJob(j *Job) {
 			return
 		}
 		var r sim.Result
-		if j.Spec.Shards <= 1 {
+		switch {
+		case s.cfg.Cluster:
+			r, err = s.runClustered(j, wi, ref, p, build)
+		case j.Spec.Shards <= 1:
 			r, err = s.runStepped(j, wi, p, build)
-		} else {
+		default:
 			r, err = s.runSharded(j, wi, p, build)
 		}
 		if errors.Is(err, errStopped) {
@@ -646,4 +716,130 @@ func (s *Scheduler) runSharded(j *Job, wi int, p *program.Program, build sim.Bui
 		merged.Merge(r)
 	}
 	return merged, nil
+}
+
+// runClustered runs one workload's shard windows as leasable cluster
+// units: registered workers pull them under time-bounded leases, expired
+// leases are re-issued (from the unit's last uploaded checkpoint) with
+// backoff, and units that exhaust their attempt budget — or sit pending
+// with no live workers — degrade to the coordinator's own pool. Results
+// merge in window order and completed units persist through the same
+// sharded checkpoint state runSharded uses, so a coordinator restart
+// reruns only the missing units and the merged result stays
+// bit-identical to the sequential run.
+func (s *Scheduler) runClustered(j *Job, wi int, ref WorkloadRef, p *program.Program, build sim.Builder) (sim.Result, error) {
+	opt := j.Spec.simOptions()
+	ws, err := sim.ShardWindows(opt, j.Spec.shardOptions())
+	if err != nil {
+		return sim.Result{}, err
+	}
+	done := make([]bool, len(ws))
+	results := make([]sim.Result, len(ws))
+
+	if j.Resumed {
+		meta, dec, ok, err := s.st.readCheckpoint(j.ID)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		if ok && meta.Workload == p.Name {
+			c := &ckState{mode: ckModeSharded, done: done, shards: results}
+			if err := c.Restore(dec); err != nil {
+				return sim.Result{}, fmt.Errorf("service: restoring checkpoint for job %s: %w", j.ID, err)
+			}
+			if c.workload != wi {
+				done = make([]bool, len(ws))
+				results = make([]sim.Result, len(ws))
+			}
+		}
+	}
+
+	s.co.addUnits(j, wi, ref, ws, done)
+	defer s.co.dropUnits(j.ID, wi)
+
+	meta := checkpoint.Meta{
+		Workload:   p.Name,
+		Prophet:    j.Spec.Prophet,
+		Critic:     j.Spec.Critic,
+		FutureBits: j.Spec.FutureBits,
+		Unfiltered: j.Spec.Unfiltered,
+	}
+	doneBranches := 0
+	for i, d := range done {
+		if d {
+			doneBranches += ws[i].Measure
+		}
+	}
+	allDone := func() bool {
+		for _, d := range done {
+			if !d {
+				return false
+			}
+		}
+		return true
+	}
+
+	tick := pollInterval(s.cfg.LeaseTTL)
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for !allDone() {
+		s.co.reap()
+
+		// Budget-exhausted (or fleet-less) units run on our own pool —
+		// graceful degradation instead of a failed job.
+		if locals := s.co.takeLocal(j.ID, wi); len(locals) > 0 {
+			lerr := pool.RunCtx(s.ctx, len(locals), func(i int) error {
+				u := locals[i]
+				r, err := runUnit(p, build, u.window, u.idx, meta, s.co.localCheckpoint(u), 0, nil,
+					func() error { return s.ctx.Err() })
+				if err != nil {
+					return err
+				}
+				s.co.completeLocal(u, r)
+				return nil
+			})
+			if lerr != nil {
+				if s.ctx.Err() != nil {
+					return sim.Result{}, errStopped
+				}
+				return sim.Result{}, lerr
+			}
+		}
+
+		// Persist and report any newly completed units.
+		if n := s.co.progress(j.ID, wi, done, results); n > 0 {
+			doneBranches = 0
+			for i, d := range done {
+				if d {
+					doneBranches += ws[i].Measure
+				}
+			}
+			meta.Position = uint64(opt.WarmupBranches + doneBranches)
+			state := &ckState{mode: ckModeSharded, workload: wi, done: done, shards: results}
+			if err := s.st.writeCheckpoint(j.ID, meta, state); err != nil {
+				return sim.Result{}, err
+			}
+			s.checkpointWritten()
+			s.emit(j.ID, Event{Type: "progress", Job: j.ID, Workload: p.Name,
+				Done: doneBranches, Total: opt.MeasureBranches})
+			continue // check completion before sleeping
+		}
+
+		select {
+		case <-s.ctx.Done():
+			return sim.Result{}, errStopped
+		case <-s.co.wake:
+		case <-ticker.C:
+		}
+	}
+
+	merged := sim.Result{Benchmark: p.Name, Suite: p.Suite, Config: build().Name()}
+	for _, r := range results {
+		merged.Merge(r)
+	}
+	return merged, nil
+}
+
+// ClusterMetricsSnapshot exposes the coordinator counters for /metricsz.
+func (s *Scheduler) ClusterMetricsSnapshot() ClusterMetrics {
+	return s.co.Metrics()
 }

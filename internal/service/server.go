@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 
 	"prophetcritic/internal/pool"
 )
@@ -21,9 +23,20 @@ import (
 //	GET  /healthz             liveness + drain state
 //	GET  /metricsz            Prometheus-style counters
 //
+// plus the cluster protocol (see EXPERIMENTS.md "Distributed
+// simulation"):
+//
+//	POST /v1/workers                  register a worker node
+//	POST /v1/workers/{id}/heartbeat   renew the worker's liveness deadline
+//	POST /v1/units/lease              pull one work unit under a lease
+//	POST /v1/units/{id}/checkpoint    upload a mid-unit "PCCK" snapshot
+//	POST /v1/units/{id}/result        deliver the unit's counters
+//
 // Error responses are JSON {"error": "..."}: 400 for malformed or
-// invalid job specs, 429 when the queue or the client's quota is full
-// (with Retry-After), 503 while draining, 404 for unknown jobs.
+// invalid job specs, 429 when the queue or the client's quota is full,
+// 503 while draining (both with a Retry-After computed from queue
+// depth), 404 for unknown jobs/workers/units, and 409 for cluster
+// completions fenced out by a stale lease token.
 type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
@@ -39,6 +52,11 @@ func NewServer(s *Scheduler) *Server {
 	srv.mux.HandleFunc("GET /v1/predictors", srv.handlePredictors)
 	srv.mux.HandleFunc("GET /healthz", srv.handleHealth)
 	srv.mux.HandleFunc("GET /metricsz", srv.handleMetrics)
+	srv.mux.HandleFunc("POST /v1/workers", srv.handleWorkerRegister)
+	srv.mux.HandleFunc("POST /v1/workers/{id}/heartbeat", srv.handleHeartbeat)
+	srv.mux.HandleFunc("POST /v1/units/lease", srv.handleLease)
+	srv.mux.HandleFunc("POST /v1/units/{id}/checkpoint", srv.handleUnitCheckpoint)
+	srv.mux.HandleFunc("POST /v1/units/{id}/result", srv.handleUnitResult)
 	return srv
 }
 
@@ -71,9 +89,12 @@ func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
 		writeJSON(w, http.StatusCreated, j)
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClientQuota):
-		w.Header().Set("Retry-After", "1")
+		// Retry-After tracks the backlog (≈ one queue drain per worker),
+		// so backpressure tells clients something true instead of "1".
+		w.Header().Set("Retry-After", strconv.Itoa(srv.sched.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(srv.sched.RetryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrInternal):
 		writeError(w, http.StatusInternalServerError, err)
@@ -95,9 +116,12 @@ func (srv *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j)
 }
 
-// handleEvents streams a job's events as NDJSON: the full history first,
-// then live events until the job reaches a terminal state, the server
-// drains, or the client disconnects.
+// handleEvents streams a job's events as NDJSON: the history first, then
+// live events until the job reaches a terminal state, the server drains,
+// or the client disconnects. `?from=N` resumes after sequence number N
+// (the last event the client saw), so a watcher that reconnects after a
+// dropped stream observes every event exactly once — sequence numbers
+// are per-job, strictly increasing, and stable across reconnects.
 func (srv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	log, ok := srv.sched.Events(id)
@@ -105,13 +129,21 @@ func (srv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", id))
 		return
 	}
+	from := 0
+	if fq := r.URL.Query().Get("from"); fq != "" {
+		n, err := strconv.Atoi(fq)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: from=%q: want a non-negative last-seen sequence number", fq))
+			return
+		}
+		from = n // Seq k lives at history index k-1, so resuming after k starts at index k
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 
 	enc := json.NewEncoder(w)
-	from := 0
 	for {
 		events, ended := log.Snapshot(from)
 		for _, e := range events {
@@ -172,4 +204,99 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "pcserved_draining %d\n", draining)
 	fmt.Fprintf(w, "pool_jobs_run_total %d\n", ps.JobsRun)
 	fmt.Fprintf(w, "pool_max_in_flight %d\n", ps.MaxInFlight)
+	cm := srv.sched.ClusterMetricsSnapshot()
+	fmt.Fprintf(w, "pcserved_workers_registered_total %d\n", cm.WorkersRegistered)
+	fmt.Fprintf(w, "pcserved_workers_live %d\n", cm.WorkersLive)
+	fmt.Fprintf(w, "pcserved_heartbeats_total %d\n", cm.Heartbeats)
+	fmt.Fprintf(w, "pcserved_units_leased_total %d\n", cm.UnitsLeased)
+	fmt.Fprintf(w, "pcserved_leases_expired_total %d\n", cm.LeasesExpired)
+	fmt.Fprintf(w, "pcserved_units_retried_total %d\n", cm.UnitsRetried)
+	fmt.Fprintf(w, "pcserved_units_completed_total %d\n", cm.UnitsCompleted)
+	fmt.Fprintf(w, "pcserved_units_local_total %d\n", cm.UnitsLocal)
+	fmt.Fprintf(w, "pcserved_units_pending %d\n", cm.UnitsPending)
+	fmt.Fprintf(w, "pcserved_results_fenced_total %d\n", cm.ResultsFenced)
+	fmt.Fprintf(w, "pcserved_results_duplicate_total %d\n", cm.ResultsDuplicate)
+	fmt.Fprintf(w, "pcserved_unit_checkpoints_stored_total %d\n", cm.CheckpointsStored)
+}
+
+// Cluster protocol handlers. The coordinator always answers — a server
+// started without -cluster simply never has units to lease — so workers
+// can be pointed at any pcserved and wait for work.
+
+func (srv *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var reg WorkerRegistration
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&reg); err != nil && err != io.EOF {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: malformed registration: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusCreated, srv.sched.co.register(reg.Name))
+}
+
+func (srv *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !srv.sched.co.heartbeat(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown worker %q (re-register)", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (srv *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: malformed lease request: %w", err))
+		return
+	}
+	lease, err := srv.sched.co.lease(req.Worker)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if lease == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, lease)
+}
+
+func (srv *Server) handleUnitCheckpoint(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var up checkpointUpload
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&up); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: malformed checkpoint upload: %w", err))
+		return
+	}
+	if len(up.Data) < 5 || string(up.Data[:4]) != "PCCK" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: checkpoint upload for unit %q is not a PCCK snapshot", id))
+		return
+	}
+	if err := srv.sched.co.storeCheckpoint(id, up.Token, up.Data); err != nil {
+		writeError(w, unitErrStatus(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (srv *Server) handleUnitResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var ur UnitResult
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&ur); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: malformed unit result: %w", err))
+		return
+	}
+	if err := srv.sched.co.complete(id, ur.Token, ur.toResult()); err != nil {
+		writeError(w, unitErrStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
+}
+
+// unitErrStatus maps coordinator unit errors: stale tokens are fenced
+// with 409 (the worker must drop the unit), everything else is an
+// unknown unit.
+func unitErrStatus(err error) int {
+	if errors.Is(err, errStaleLease) {
+		return http.StatusConflict
+	}
+	return http.StatusNotFound
 }

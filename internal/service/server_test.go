@@ -408,3 +408,82 @@ func TestHTTPShutdownMidJobAndResume(t *testing.T) {
 		t.Errorf("resumed rows = %+v\nwant %+v", last.Rows, want)
 	}
 }
+
+// readEvents consumes n events (or all, n < 0) from one stream
+// connection, then closes it — a controlled mid-stream disconnect.
+func readEvents(t *testing.T, url string, n int) []Event {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	for (n < 0 || len(events) < n) && sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// A watcher that loses its stream mid-job and reconnects with
+// ?from=<last seq> must observe every event exactly once: no gap at the
+// disconnect point, no replay of what it already saw.
+func TestEventStreamReconnectExactlyOnce(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir(), nil)
+	defer s.Kill()
+	resp, body := submitHTTP(t, ts, specJSON(t, fastSpec()))
+	resp.Body.Close()
+	id := body["id"].(string)
+	waitState(t, s, id, StateDone)
+
+	url := ts.URL + "/v1/jobs/" + id + "/events"
+	full := readEvents(t, url, -1)
+	if len(full) < 4 {
+		t.Fatalf("want several events for a checkpointed job, got %d", len(full))
+	}
+	for i, e := range full {
+		if e.Seq != i+1 {
+			t.Fatalf("event %d has seq %d; want dense 1..N", i, e.Seq)
+		}
+	}
+
+	// Disconnect after two events, reconnect from the last seen seq.
+	head := readEvents(t, url, 2)
+	tail := readEvents(t, url+fmt.Sprintf("?from=%d", head[len(head)-1].Seq), -1)
+	got := append(head, tail...)
+	if !reflect.DeepEqual(got, full) {
+		t.Fatalf("reconnected stream differs:\n got %+v\nwant %+v", got, full)
+	}
+	seen := map[int]int{}
+	for _, e := range got {
+		seen[e.Seq]++
+	}
+	for seq, count := range seen {
+		if count != 1 {
+			t.Errorf("seq %d delivered %d times", seq, count)
+		}
+	}
+	if len(seen) != len(full) {
+		t.Errorf("saw %d distinct seqs, want %d", len(seen), len(full))
+	}
+
+	// A malformed resume cursor is a 400, not a silent full replay.
+	for _, bad := range []string{"x", "-1"} {
+		resp, err := http.Get(url + "?from=" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("from=%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

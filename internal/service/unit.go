@@ -1,0 +1,139 @@
+package service
+
+// Unit execution: one sim.ShardWindows window driven through a
+// sim.Stepper in checkpoint-sized chunks. Remote workers and the
+// coordinator's local fallback share this one path, so a unit produces
+// the same counters wherever (and however often) it runs — resuming from
+// an uploaded snapshot is bit-identical to an uninterrupted window, the
+// same invariant the service's stepped jobs already pin.
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+
+	"prophetcritic/internal/checkpoint"
+	"prophetcritic/internal/program"
+	"prophetcritic/internal/sim"
+	"prophetcritic/internal/trace"
+)
+
+// unitSnapshot encodes a mid-unit "PCCK" snapshot: the hybrid plus the
+// partial counters measured so far, tagged with the unit's window index.
+func unitSnapshot(meta checkpoint.Meta, state *ckState) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := checkpoint.WriteFile(&buf, meta, state); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// restoreUnitSnapshot decodes snap into a fresh hybrid. A snapshot that
+// fails to decode or belongs to a different window is ignored (the unit
+// restarts from scratch) — an uploaded snapshot is an optimization, never
+// a correctness dependency.
+func restoreUnitSnapshot(snap []byte, idx int, wlName string, build sim.Builder) (*ckState, bool) {
+	if len(snap) == 0 {
+		return nil, false
+	}
+	meta, dec, err := checkpoint.ReadFile(bytes.NewReader(snap))
+	if err != nil || meta.Workload != wlName {
+		return nil, false
+	}
+	c := &ckState{mode: ckModeStepped, hybrid: build()}
+	if err := c.Restore(dec); err != nil || c.workload != idx {
+		return nil, false
+	}
+	return c, true
+}
+
+// runUnit executes window w of p, resuming from snap when one is usable.
+// every > 0 checkpoints the unit at that measured-branch interval through
+// onSnapshot (skipped for the final chunk); stop is polled at the same
+// boundaries to abandon the unit early. The returned Result carries the
+// window's exact counters regardless of resume points.
+func runUnit(p *program.Program, build sim.Builder, w sim.Window, idx int,
+	meta checkpoint.Meta, snap []byte, every int,
+	onSnapshot func([]byte) error, stop func() error) (sim.Result, error) {
+
+	var partial sim.Result
+	measuredDone := 0
+	state := &ckState{mode: ckModeStepped, workload: idx}
+
+	if c, ok := restoreUnitSnapshot(snap, idx, p.Name, build); ok {
+		state.hybrid = c.hybrid
+		partial = c.partial
+		measuredDone = c.measuredDone
+	} else {
+		state.hybrid = build()
+	}
+	st := sim.NewStepper(p, state.hybrid)
+	defer st.Close()
+	if measuredDone > 0 {
+		// Resume: the snapshot's hybrid already saw the full train prefix
+		// plus measuredDone measured branches.
+		st.Skip(w.Skip + w.Train + measuredDone)
+	} else {
+		st.Skip(w.Skip)
+		st.Train(w.Train)
+	}
+
+	for {
+		if stop != nil {
+			if err := stop(); err != nil {
+				return sim.Result{}, err
+			}
+		}
+		n := w.Measure - measuredDone
+		if every > 0 && n > every {
+			n = every
+		}
+		st.Measure(n)
+		measuredDone += n
+		cur := st.Result()
+		cur.Merge(partial)
+		if measuredDone >= w.Measure {
+			cur.Benchmark, cur.Suite = p.Name, p.Suite
+			return cur, nil
+		}
+		if onSnapshot != nil {
+			meta.Position = uint64(w.Skip + w.Train + measuredDone)
+			state.measuredDone = measuredDone
+			state.partial = cur
+			data, err := unitSnapshot(meta, state)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			if err := onSnapshot(data); err != nil {
+				return sim.Result{}, err
+			}
+		}
+	}
+}
+
+// unitMeta builds the checkpoint meta record of one unit.
+func unitMeta(ref WorkloadRef, prophet, critic string, fb uint, unfiltered bool) checkpoint.Meta {
+	return checkpoint.Meta{
+		Workload:   ref.Name,
+		Prophet:    prophet,
+		Critic:     critic,
+		FutureBits: fb,
+		Unfiltered: unfiltered,
+	}
+}
+
+// loadWorkloadIn resolves a workload reference against a trace directory
+// — the worker-side twin of the scheduler's loadWorkload.
+func loadWorkloadIn(ref WorkloadRef, traceDir string) (*program.Program, error) {
+	switch ref.Kind {
+	case "bench":
+		return program.Load(ref.Name)
+	case "trace":
+		if traceDir == "" {
+			return nil, fmt.Errorf("service: trace workload %q needs a trace directory", ref.Name)
+		}
+		return trace.Load(filepath.Join(traceDir, ref.Name))
+	default:
+		return nil, fmt.Errorf("service: unknown workload kind %q", ref.Kind)
+	}
+}

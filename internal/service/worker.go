@@ -1,0 +1,299 @@
+package service
+
+// Worker is the node side of the cluster protocol: it registers with the
+// coordinator, heartbeats on the server-assigned interval, pulls work
+// units under time-bounded leases, executes them through the shared unit
+// path (uploading mid-unit "PCCK" snapshots so a successor resumes
+// instead of restarting), and reports results fenced by the lease token.
+// All HTTP traffic goes through the retrying APIClient, so transient
+// coordinator hiccups (connection errors, 429/503 backpressure) are
+// absorbed with backoff instead of killing the node.
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"prophetcritic/internal/sim"
+)
+
+// WorkerConfig configures one worker node.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL. Required.
+	Coordinator string
+	// Name labels the worker in coordinator logs (default "worker").
+	Name string
+	// TraceDir resolves trace workloads on this node; bench workloads are
+	// built in. A worker without one rejects trace units.
+	TraceDir string
+	// Client overrides the API client (tests); default is a
+	// NewAPIClient(Coordinator, 30s, 4).
+	Client *APIClient
+	// Chaos is the fault-injection harness (zero = none).
+	Chaos Chaos
+	// Log receives worker lifecycle lines; nil discards them.
+	Log *log.Logger
+}
+
+// Worker runs the node loop. Create with NewWorker, drive with Run.
+type Worker struct {
+	cfg WorkerConfig
+	api *APIClient
+
+	id        string
+	leaseTTL  time.Duration
+	beatEvery time.Duration
+	poll      time.Duration
+
+	leases     int         // units leased so far (chaos accounting)
+	beating    atomic.Bool // heartbeats flowing (drop-heartbeats clears it)
+	UnitsDone  atomic.Uint64
+	UnitsLost  atomic.Uint64 // fenced or abandoned
+	Registered atomic.Uint64
+}
+
+// NewWorker validates the config and returns an idle worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("service: worker needs a coordinator URL")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	api := cfg.Client
+	if api == nil {
+		api = NewAPIClient(cfg.Coordinator, 30*time.Second, 4)
+	}
+	w := &Worker{cfg: cfg, api: api}
+	w.beating.Store(true)
+	return w, nil
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Log != nil {
+		w.cfg.Log.Printf(format, args...)
+	}
+}
+
+// register (re-)registers with the coordinator and adopts its timings.
+func (w *Worker) register(ctx context.Context) error {
+	var info WorkerInfo
+	if _, err := w.api.PostJSON(ctx, "/v1/workers", WorkerRegistration{Name: w.cfg.Name}, &info); err != nil {
+		return fmt.Errorf("service: worker registration: %w", err)
+	}
+	w.id = info.ID
+	w.leaseTTL = time.Duration(info.LeaseTTLMs) * time.Millisecond
+	w.beatEvery = time.Duration(info.HeartbeatMs) * time.Millisecond
+	w.poll = time.Duration(info.PollMs) * time.Millisecond
+	if w.poll <= 0 {
+		w.poll = 250 * time.Millisecond
+	}
+	w.Registered.Add(1)
+	w.logf("worker %s: registered as %s (lease %v, heartbeat %v)", w.cfg.Name, w.id, w.leaseTTL, w.beatEvery)
+	return nil
+}
+
+// Run executes the worker loop until ctx is done or chaos kills it. A
+// worker never stops on unit-level failures: a fenced result or a failed
+// upload abandons that unit (the coordinator re-issues it) and the loop
+// continues.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go w.heartbeatLoop(hbCtx)
+
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		lease, status, err := w.lease(ctx)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("worker %s: lease: %v", w.id, err)
+			if !sleepCtx(ctx, w.poll) {
+				return ctx.Err()
+			}
+			continue
+		case status == http.StatusNotFound:
+			// Coordinator no longer knows us (restart, or we were declared
+			// dead): re-register and carry on.
+			if err := w.register(ctx); err != nil {
+				return err
+			}
+			continue
+		case lease == nil:
+			if !sleepCtx(ctx, w.poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+
+		w.leases++
+		if w.cfg.Chaos.DropHeartbeats {
+			w.beating.Store(false) // partition: compute on, say nothing
+		}
+		chaosKill := w.cfg.Chaos.KillOnLease > 0 && w.leases >= w.cfg.Chaos.KillOnLease
+		if err := w.execute(ctx, lease, chaosKill); err != nil {
+			if err == ErrChaosKilled || ctx.Err() != nil {
+				return err
+			}
+			w.UnitsLost.Add(1)
+			w.logf("worker %s: unit %s abandoned: %v", w.id, lease.Unit, err)
+		}
+	}
+}
+
+// lease asks for one unit; nil with no error means no work right now.
+func (w *Worker) lease(ctx context.Context) (*UnitLease, int, error) {
+	var ul UnitLease
+	status, err := w.api.PostJSON(ctx, "/v1/units/lease", LeaseRequest{Worker: w.id}, &ul)
+	if status == http.StatusNotFound {
+		return nil, status, nil
+	}
+	if err != nil {
+		return nil, status, err
+	}
+	if status == http.StatusNoContent {
+		return nil, status, nil
+	}
+	return &ul, status, nil
+}
+
+// execute runs one leased unit and reports its result. With chaosKill
+// the worker uploads exactly one snapshot and then dies mid-unit,
+// leaving the coordinator a lease to expire and a checkpoint to resume.
+func (w *Worker) execute(ctx context.Context, l *UnitLease, chaosKill bool) error {
+	build, err := HybridBuilder(l.Prophet, l.Critic, l.FutureBits, l.Unfiltered)
+	if err != nil {
+		return fmt.Errorf("building hybrid: %w", err)
+	}
+	p, err := loadWorkloadIn(l.Workload, w.cfg.TraceDir)
+	if err != nil {
+		return fmt.Errorf("loading workload: %w", err)
+	}
+
+	meta := unitMeta(l.Workload, l.Prophet, l.Critic, l.FutureBits, l.Unfiltered)
+	window := sim.Window{Skip: l.Skip, Train: l.Train, Measure: l.Measure}
+	_, _, idx, err := splitUnitID(l.Unit)
+	if err != nil {
+		return err
+	}
+
+	snapshots := 0
+	onSnapshot := func(data []byte) error {
+		status, err := w.api.PostJSON(ctx, "/v1/units/"+l.Unit+"/checkpoint?token="+l.Token, checkpointUpload{Token: l.Token, Data: data}, nil)
+		if status == http.StatusConflict {
+			return errStaleLease // fenced: stop wasting cycles on this unit
+		}
+		if err != nil {
+			return err
+		}
+		snapshots++
+		if chaosKill && snapshots >= 1 {
+			return ErrChaosKilled
+		}
+		return nil
+	}
+	stop := func() error { return ctx.Err() }
+
+	r, err := runUnit(p, build, window, idx, meta, l.Checkpoint, l.CkptEvery, onSnapshot, stop)
+	if err == ErrChaosKilled {
+		w.logf("worker %s: chaos kill-on-lease fired on unit %s", w.id, l.Unit)
+		return ErrChaosKilled
+	}
+	if err != nil {
+		return err
+	}
+
+	if w.cfg.Chaos.DelayResults > 0 {
+		if !sleepCtx(ctx, w.cfg.Chaos.DelayResults) {
+			return ctx.Err()
+		}
+	}
+	deliveries := 1
+	if w.cfg.Chaos.DuplicateDeliver {
+		deliveries = 2
+	}
+	for i := 0; i < deliveries; i++ {
+		status, err := w.api.PostJSON(ctx, "/v1/units/"+l.Unit+"/result", unitResultFrom(w.id, l.Token, r), nil)
+		if status == http.StatusConflict {
+			if i == 0 {
+				return errStaleLease
+			}
+			return nil // duplicate delivery fenced — fine
+		}
+		if err != nil {
+			return fmt.Errorf("reporting result: %w", err)
+		}
+	}
+	w.UnitsDone.Add(1)
+	w.logf("worker %s: unit %s done (%d branches)", w.id, l.Unit, r.Branches)
+	return nil
+}
+
+// heartbeatLoop beats on the coordinator's interval until ctx ends. A
+// worker partitioned by chaos (drop-heartbeats) silently stops beating
+// but keeps executing, which is exactly the failure the lease fencing
+// exists for.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	t := time.NewTicker(w.beatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if !w.beating.Load() {
+			continue
+		}
+		status, err := w.api.PostJSON(ctx, "/v1/workers/"+w.id+"/heartbeat", nil, nil)
+		if err != nil && status != http.StatusNotFound && ctx.Err() == nil {
+			w.logf("worker %s: heartbeat: %v", w.id, err)
+		}
+	}
+}
+
+// checkpointUpload is the body of POST /v1/units/{id}/checkpoint.
+type checkpointUpload struct {
+	Token string `json:"token"`
+	Data  []byte `json:"data"`
+}
+
+// splitUnitID parses "<job>.<workload>.<window>" (job ids contain no
+// dots).
+func splitUnitID(id string) (job string, wi, idx int, err error) {
+	parts := strings.Split(id, ".")
+	if len(parts) != 3 {
+		return "", 0, 0, fmt.Errorf("service: malformed unit id %q", id)
+	}
+	wi, err1 := strconv.Atoi(parts[1])
+	idx, err2 := strconv.Atoi(parts[2])
+	if parts[0] == "" || err1 != nil || err2 != nil {
+		return "", 0, 0, fmt.Errorf("service: malformed unit id %q", id)
+	}
+	return parts[0], wi, idx, nil
+}
+
+// sleepCtx sleeps d unless ctx ends first; reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
