@@ -1,0 +1,263 @@
+// Command pclint runs the project's custom analyzers — snapsym,
+// regwire, hotpath, valrecv — which mechanize the invariants the test
+// suite can only spot-check: checkpoint Snapshot/Restore symmetry,
+// registry wiring completeness, zero-allocation hot paths, and
+// value-receiver discipline.
+//
+// Two modes:
+//
+//	pclint [packages]           # standalone; defaults to ./...
+//	go vet -vettool=$(which pclint) ./...
+//
+// In standalone mode findings print to stdout and the exit status is 1
+// when anything is found. As a vettool it speaks cmd/go's vet.cfg
+// protocol: -V=full for the build cache, one .cfg file per package,
+// findings on stderr with exit status 2. Cross-package state (section
+// tag uniqueness) is only fully checked in standalone mode, where one
+// process sees every package.
+//
+// Suppress a finding by putting `//pclint:allow <reason>` on its line.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"prophetcritic/internal/analysis"
+	"prophetcritic/internal/analysis/hotpath"
+	"prophetcritic/internal/analysis/load"
+	"prophetcritic/internal/analysis/multichecker"
+	"prophetcritic/internal/analysis/regwire"
+	"prophetcritic/internal/analysis/snapsym"
+	"prophetcritic/internal/analysis/valrecv"
+)
+
+// version is the string behind -V=full; cmd/go hashes it into the build
+// cache key, so bump it when analyzer behavior changes to invalidate
+// cached vet results.
+const version = "pclint-1.0.0"
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		snapsym.Analyzer,
+		regwire.Analyzer,
+		hotpath.Analyzer,
+		valrecv.Analyzer,
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// cmd/go probes the tool's identity and flag surface before use.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "-V":
+			fmt.Printf("pclint version %s\n", version)
+			return
+		case "-flags":
+			printFlags()
+			return
+		}
+	}
+
+	// Vet-tool mode: the single positional argument is a vet.cfg file.
+	// Analyzer toggles (-snapsym=false) are honored; any other flags
+	// cmd/go forwards belong to the standard vet tool and are ignored.
+	var patterns []string
+	cfgFile := ""
+	enabled := selectAnalyzers(args)
+	for _, a := range args {
+		switch {
+		case strings.HasSuffix(a, ".cfg"):
+			cfgFile = a
+		case strings.HasPrefix(a, "-"):
+			// handled by selectAnalyzers or not ours; ignore
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	if cfgFile != "" {
+		os.Exit(vetUnit(cfgFile, enabled))
+	}
+
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := multichecker.Run(os.Stdout, enabled, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pclint:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// printFlags answers cmd/go's `pclint -flags` probe with the analyzer
+// toggles, so `go vet -vettool=pclint -snapsym ./...` parses.
+func printFlags() {
+	type flagDesc struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []flagDesc
+	for _, a := range analyzers() {
+		out = append(out, flagDesc{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	js, _ := json.Marshal(out)
+	fmt.Println(string(js))
+}
+
+// selectAnalyzers applies -name / -name=true|false toggles. As with
+// unitchecker, naming any analyzer positively runs only those named.
+func selectAnalyzers(args []string) []*analysis.Analyzer {
+	all := analyzers()
+	on := map[string]bool{}
+	off := map[string]bool{}
+	for _, arg := range args {
+		name, val, hasVal := strings.Cut(strings.TrimPrefix(arg, "-"), "=")
+		if !strings.HasPrefix(arg, "-") {
+			continue
+		}
+		for _, a := range all {
+			if a.Name == name {
+				if hasVal && (val == "false" || val == "0") {
+					off[name] = true
+				} else {
+					on[name] = true
+				}
+			}
+		}
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if off[a.Name] {
+			continue
+		}
+		if len(on) > 0 && !on[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// vetConfig mirrors cmd/go's per-package vet configuration.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package under the go vet protocol and returns
+// the process exit code.
+func vetUnit(cfgFile string, enabled []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pclint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "pclint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// cmd/go expects the facts file to exist for caching; pclint's
+	// analyzers exchange no facts, so it is an empty placeholder.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "pclint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg, err := load.Unit(cfg.Dir, cfg.ImportPath, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "pclint:", err)
+		return 2
+	}
+
+	findings, err := multichecker.Analyze(pkg, enabled, analysis.NewShared(), moduleDirs(cfg))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pclint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// moduleDirs builds the import-path → source-directory table backing
+// Pass.SourceDir from the module layout: the module root is found by
+// walking up from the package directory to go.mod, and any import path
+// under the module path maps into the tree. This is how hotpath sees
+// //pclint:hotpath annotations on dependencies when each vet unit runs
+// in its own process.
+func moduleDirs(cfg vetConfig) map[string]string {
+	modPath := cfg.ModulePath
+	root := cfg.Dir
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil
+		}
+		root = parent
+	}
+	if modPath == "" {
+		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+		if err != nil {
+			return nil
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+				modPath = strings.TrimSpace(rest)
+				break
+			}
+		}
+	}
+	if modPath == "" {
+		return nil
+	}
+	dirs := map[string]string{modPath: root}
+	addUnder := func(importPath string) {
+		if rest, ok := strings.CutPrefix(importPath, modPath+"/"); ok {
+			dirs[importPath] = filepath.Join(root, filepath.FromSlash(rest))
+		}
+	}
+	addUnder(cfg.ImportPath)
+	for _, canonical := range cfg.ImportMap {
+		addUnder(canonical)
+	}
+	for canonical := range cfg.PackageFile {
+		addUnder(canonical)
+	}
+	return dirs
+}

@@ -1,0 +1,141 @@
+// Package analysis is the kernel of pclint, the repository's static
+// analysis suite: a deliberately small reimplementation of the
+// go/analysis vocabulary (Analyzer, Pass, Diagnostic) on top of the
+// standard library's go/ast and go/types, so the tree's invariants can
+// be mechanized without any dependency outside the Go distribution.
+//
+// The three invariants the suite guards were each violated-then-caught
+// late in earlier PRs and are otherwise enforced only by runtime walls:
+//
+//   - checkpoint symmetry: every Snapshot/Restore pair must read and
+//     write the same codec sequence (snapsym);
+//   - registry completeness: every predictor family must be wired
+//     through internal/registry consistently (regwire);
+//   - zero-alloc hot paths: functions annotated //pclint:hotpath must
+//     not allocate or call into formatting helpers (hotpath), and
+//     value-type predictor state must not be mutated through value
+//     receivers (valrecv).
+//
+// Analyzers run over one type-checked package at a time (a Pass). The
+// drivers — cmd/pclint standalone mode, its go vet -vettool protocol
+// mode, and the analysistest harness — live elsewhere; this package has
+// no subprocess or filesystem dependencies.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// An Analyzer is one named check. Run is invoked once per package and
+// reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then details.
+	Doc string
+	// Run performs the analysis on one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Dir is the package's source directory.
+	Dir string
+
+	// SourceDir maps an import path to the directory holding its
+	// source, or "" when the driver cannot locate it (a standard
+	// library or external package). Analyzers that need facts about
+	// other packages — hotpath annotations on callees — resolve them
+	// through this hook so the same analyzer works under the standalone
+	// driver, the vet protocol, and analysistest.
+	SourceDir func(importPath string) string
+
+	// Shared is scratch state with the lifetime of one driver run,
+	// visible to every pass of that run. Analyzers use it for
+	// cross-package bookkeeping (section-tag uniqueness, parsed
+	// annotation caches). Drivers run passes sequentially.
+	Shared *Shared
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Shared is per-run cross-package state. Values are created on first
+// use and keyed by an analyzer-chosen string.
+type Shared struct {
+	mu   sync.Mutex
+	vals map[string]any
+}
+
+// NewShared returns an empty shared store for one driver run.
+func NewShared() *Shared { return &Shared{vals: map[string]any{}} }
+
+// Get returns the value under key, creating it with mk on first use.
+func (s *Shared) Get(key string, mk func() any) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vals[key]
+	if !ok {
+		v = mk()
+		s.vals[key] = v
+	}
+	return v
+}
+
+// allowDirective is the line-granular suppression marker. A diagnostic
+// whose line carries a comment starting with this prefix is dropped by
+// every driver; the text after the marker should say why (e.g.
+// `//pclint:allow cold panic path`).
+const allowDirective = "pclint:allow"
+
+// Suppressed reports whether d's source line carries a //pclint:allow
+// comment in one of the given files.
+func Suppressed(fset *token.FileSet, files []*ast.File, d Diagnostic) bool {
+	if !d.Pos.IsValid() {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	for _, f := range files {
+		if fset.Position(f.Package).Filename != pos.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				cp := fset.Position(c.Pos())
+				if cp.Line != pos.Line {
+					continue
+				}
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), " ")
+				if strings.HasPrefix(text, allowDirective) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+// Package analysistest runs an analyzer over GOPATH-style golden
+// packages under a testdata/src tree and checks its diagnostics against
+// `// want` expectations, mirroring the x/tools harness of the same
+// name:
+//
+//	x := X{}	// want `composite literal`
+//	y := Y{}	// want `lit1` `lit2`
+//
+// Each backquoted string is a regular expression that must match one
+// diagnostic reported on that line; diagnostics without a matching
+// expectation, and expectations without a matching diagnostic, fail the
+// test. A package with no want comments asserts the analyzer is silent
+// on it.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"prophetcritic/internal/analysis"
+	"prophetcritic/internal/analysis/load"
+)
+
+// TestingT is the subset of *testing.T the harness needs.
+type TestingT interface {
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+	Helper()
+}
+
+var _ TestingT = (*testing.T)(nil)
+
+// Run loads each named package from srcRoot (testdata/src, typically)
+// and checks the analyzer's diagnostics against the want comments. All
+// packages share one driver run, so cross-package analyzer state
+// (section-tag uniqueness) behaves as it does under pclint.
+func Run(t TestingT, srcRoot string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := load.Dirs(srcRoot, paths...)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	sourceDir := func(path string) string {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			return ""
+		}
+		return dir
+	}
+	shared := analysis.NewShared()
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Dir:       pkg.Dir,
+			SourceDir: sourceDir,
+			Shared:    shared,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analysistest: %s on %s: %v", a.Name, pkg.Path, err)
+		}
+		check(t, pkg, diags)
+	}
+}
+
+// expectation is one `// want` pattern with its match state.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// check compares diagnostics against want comments, file:line granular.
+func check(t TestingT, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("analysistest: %s: bad want pattern %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if analysis.Suppressed(pkg.Fset, pkg.Files, d) {
+			continue
+		}
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, pos.Column, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched `%s`", key, w.raw)
+			}
+		}
+	}
+}

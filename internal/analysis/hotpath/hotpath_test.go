@@ -1,0 +1,13 @@
+package hotpath_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"prophetcritic/internal/analysis/analysistest"
+	"prophetcritic/internal/analysis/hotpath"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src"), hotpath.Analyzer, "good", "bad")
+}

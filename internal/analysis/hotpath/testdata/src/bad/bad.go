@@ -1,0 +1,44 @@
+// Package bad commits every allocation sin hotpath knows about inside
+// one annotated function, one diagnostic per line.
+package bad
+
+import (
+	"fmt"
+
+	"dep"
+)
+
+// S is the receiver under test.
+type S struct {
+	rows []int8
+	name string
+}
+
+func (s *S) step(x uint64) uint64 { return x }
+
+//pclint:hotpath
+func sink(v any) {}
+
+//pclint:hotpath
+func (s *S) Hot(addr uint64, b []byte, fn func()) uint64 {
+	_ = []int8{1}                  // want `slice composite literal allocates`
+	_ = map[uint64]bool{}          // want `map composite literal allocates`
+	_ = &S{}                       // want `taking the address of a composite literal escapes`
+	_ = s.name + "!"               // want `string concatenation allocates`
+	go fn()                        // want `go statement in a hotpath function`
+	_ = func() uint64 { return 0 } // want `function literal may allocate a closure`
+	f := s.step                    // want `method value step allocates a closure`
+	_ = f
+	t := make([]int8, 4) // want `make allocates in a hotpath function`
+	_ = t
+	p := new(S) // want `new allocates in a hotpath function`
+	_ = p
+	_ = append(s.rows, 1) // want `append allocates in a hotpath function`
+	_ = any(addr)         // want `conversion to interface type`
+	_ = string(b)         // want `conversion between string and slice allocates`
+	fmt.Println(addr)     // want `call to fmt.Println in a hotpath function`
+	_ = s.step(addr)      // want `call to non-hotpath function S.step from a hotpath function`
+	_ = dep.Cold(addr)    // want `call to non-hotpath function dep.Cold from a hotpath function`
+	sink(addr)            // want `passing concrete uint64 as interface parameter may allocate`
+	return addr
+}

@@ -1,0 +1,11 @@
+// Package dep provides cross-package callees for hotpath's golden
+// tests: one annotated, one not.
+package dep
+
+// Hot is safe to call from a hot path.
+//
+//pclint:hotpath
+func Hot(x uint64) uint64 { return x + 1 }
+
+// Cold is not annotated and must be rejected from hot paths.
+func Cold(x uint64) uint64 { return x * 2 }

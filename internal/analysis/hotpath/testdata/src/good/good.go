@@ -1,0 +1,56 @@
+// Package good holds hotpath-annotated functions the analyzer must
+// accept: annotated callees (local and cross-package), intrinsic
+// packages, dynamic dispatch, and an allow-suppressed cold guard.
+package good
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dep"
+)
+
+// Table is a predictor-like type with a func-valued hook.
+type Table struct {
+	rows []int8
+	fn   func(uint64) uint64
+}
+
+// Build is cold code: unannotated functions may allocate freely.
+func Build(n int) *Table {
+	return &Table{rows: make([]int8, n), fn: func(x uint64) uint64 { return x }}
+}
+
+//pclint:hotpath
+func (t *Table) index(addr uint64) uint64 {
+	return addr & uint64(len(t.rows)-1)
+}
+
+// Predict exercises every allowed call form: local annotated method,
+// cross-package annotated function, math/bits intrinsic, and a dynamic
+// call through a func-typed field.
+//
+//pclint:hotpath
+func (t *Table) Predict(addr uint64) bool {
+	i := t.index(addr)
+	h := dep.Hot(addr)
+	p := bits.OnesCount64(h)
+	v := t.fn(addr)
+	return t.rows[i]+int8(p)+int8(v) >= 0
+}
+
+// Stepper is dispatched dynamically; interface calls do not allocate.
+type Stepper interface{ Step(x uint64) uint64 }
+
+//pclint:hotpath
+func drive(s Stepper, x uint64) uint64 { return s.Step(x) }
+
+// guarded keeps a cold panic guard on an allow-suppressed line.
+//
+//pclint:hotpath
+func guarded(x uint64) uint64 {
+	if x == 0 {
+		panic(fmt.Sprintf("good: zero input")) //pclint:allow cold panic guard
+	}
+	return x - 1
+}

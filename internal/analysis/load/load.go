@@ -1,0 +1,330 @@
+// Package load type-checks Go packages for the pclint analyzers using
+// only the standard library. Two loaders are provided:
+//
+//   - Patterns resolves `go list` patterns (./... and friends): target
+//     packages are parsed and type-checked from source, while their
+//     dependencies — the standard library included — are imported from
+//     the compiled export data `go list -export` leaves in the build
+//     cache. This is the loader behind `pclint ./...`.
+//   - Dirs loads GOPATH-style testdata trees (testdata/src/<path>/*.go),
+//     resolving imports inside the tree first and falling back to the
+//     installed standard library. This is the loader behind
+//     analysistest.
+//
+// Both produce the same Package shape, so analyzers cannot tell which
+// driver is running them.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+}
+
+// Patterns loads the packages matching the given go list patterns in
+// dependency order. The returned dirs map gives the source directory of
+// every listed package (targets and in-module dependencies), for use as
+// a Pass.SourceDir hook.
+func Patterns(patterns ...string) ([]*Package, map[string]string, error) {
+	args := append([]string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,Standard,DepOnly,Export"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	var entries []listEntry
+	dec := json.NewDecoder(&out)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+
+	fset := token.NewFileSet()
+	exports := map[string]string{}
+	dirs := map[string]string{}
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if e.Dir != "" {
+			dirs[e.ImportPath] = e.Dir
+		}
+	}
+
+	imp := &mixedImporter{
+		gc:  gcImporter(fset, exports),
+		src: map[string]*types.Package{},
+	}
+
+	var pkgs []*Package
+	// go list -deps emits dependencies before dependents, so every
+	// source-checked import of a target is already available when the
+	// target is checked.
+	for _, e := range entries {
+		if e.DepOnly || e.Standard || len(e.GoFiles) == 0 {
+			continue
+		}
+		p, err := checkDir(fset, e.Dir, e.GoFiles, e.ImportPath, imp)
+		if err != nil {
+			return nil, nil, err
+		}
+		imp.src[e.ImportPath] = p.Types
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, dirs, nil
+}
+
+// Unit loads a single package the way a `go vet -vettool` driver sees
+// it: explicit absolute GoFiles, with every import resolved through the
+// build system's importMap (source path → canonical path) and
+// packageFile (canonical path → export data) tables from the vet
+// config.
+func Unit(dir, importPath string, goFiles []string, importMap, packageFile map[string]string) (*Package, error) {
+	exports := make(map[string]string, len(importMap)+len(packageFile))
+	for canonical, file := range packageFile {
+		exports[canonical] = file
+	}
+	for src, canonical := range importMap {
+		if file, ok := packageFile[canonical]; ok {
+			exports[src] = file
+		}
+	}
+	fset := token.NewFileSet()
+	imp := &mixedImporter{gc: gcImporter(fset, exports), src: map[string]*types.Package{}}
+	// vet hands us absolute paths; checkDir passes them through.
+	return checkDir(fset, dir, goFiles, importPath, imp)
+}
+
+// Dirs loads GOPATH-style packages from srcRoot: import path "x" lives
+// in srcRoot/x. Imports are resolved inside srcRoot first, then via the
+// installed standard library's export data.
+func Dirs(srcRoot string, paths ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	l := &dirLoader{
+		root: srcRoot,
+		fset: fset,
+		imp:  &mixedImporter{gc: gcImporter(fset, nil), src: map[string]*types.Package{}},
+		pkgs: map[string]*Package{},
+	}
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+type dirLoader struct {
+	root string
+	fset *token.FileSet
+	imp  *mixedImporter
+	pkgs map[string]*Package
+}
+
+func (l *dirLoader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: testdata package %q: %v", path, err)
+	}
+	var files []string
+	for _, de := range des {
+		if n := de.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			files = append(files, n)
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: testdata package %q has no Go files", path)
+	}
+
+	// Resolve in-tree imports first so they are source-checked before
+	// the importer needs them.
+	for _, f := range files {
+		src, err := parser.ParseFile(l.fset, filepath.Join(dir, f), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, is := range src.Imports {
+			ip := strings.Trim(is.Path.Value, `"`)
+			if _, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(ip))); err == nil {
+				dep, err := l.load(ip)
+				if err != nil {
+					return nil, err
+				}
+				l.imp.src[ip] = dep.Types
+			}
+		}
+	}
+
+	p, err := checkDir(l.fset, dir, files, path, l.imp)
+	if err != nil {
+		return nil, err
+	}
+	l.imp.src[path] = p.Types
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// checkDir parses and type-checks one package from explicit files.
+func checkDir(fset *token.FileSet, dir string, goFiles []string, path string, imp types.ImporterFrom) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	cfg := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tp, err := cfg.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, err)
+	}
+	name := ""
+	if len(files) > 0 {
+		name = files[0].Name.Name
+	}
+	return &Package{Path: path, Name: name, Dir: dir, Fset: fset, Files: files, Types: tp, Info: info}, nil
+}
+
+// mixedImporter resolves source-checked packages first and falls back
+// to compiled export data for everything else.
+type mixedImporter struct {
+	gc  types.ImporterFrom
+	src map[string]*types.Package
+}
+
+func (m *mixedImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *mixedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.src[path]; ok {
+		return p, nil
+	}
+	return m.gc.ImportFrom(path, dir, mode)
+}
+
+// stdExports caches export-data file paths for standard library (and
+// other out-of-tree) packages, filled lazily by `go list -export`.
+var stdExports = struct {
+	sync.Mutex
+	m map[string]string
+}{m: map[string]string{}}
+
+// gcImporter returns an export-data importer over the union of the
+// given path→file table and the lazily grown standard library table.
+func gcImporter(fset *token.FileSet, exports map[string]string) types.ImporterFrom {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if f, ok := exports[path]; ok {
+			return os.Open(f)
+		}
+		stdExports.Lock()
+		f, ok := stdExports.m[path]
+		stdExports.Unlock()
+		if !ok {
+			if err := fillStdExports(path); err != nil {
+				return nil, err
+			}
+			stdExports.Lock()
+			f, ok = stdExports.m[path]
+			stdExports.Unlock()
+			if !ok {
+				return nil, fmt.Errorf("load: no export data for %q", path)
+			}
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+}
+
+// fillStdExports populates the export table for path and all its
+// dependencies in one `go list` invocation.
+func fillStdExports(path string) error {
+	cmd := exec.Command("go", "list", "-export", "-deps",
+		"-f", "{{.ImportPath}} {{.Export}}", path)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("load: go list -export %s: %v\n%s", path, err, errb.String())
+	}
+	stdExports.Lock()
+	defer stdExports.Unlock()
+	for _, line := range strings.Split(out.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 {
+			stdExports.m[fields[0]] = fields[1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package multichecker is the standalone driver behind `pclint ./...`:
+// it loads the packages matching the given patterns, runs every
+// analyzer over each, and prints findings in the familiar
+// file:line:col format. Findings on lines carrying a //pclint:allow
+// comment are dropped.
+package multichecker
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"prophetcritic/internal/analysis"
+	"prophetcritic/internal/analysis/load"
+)
+
+// Finding is one printed diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Run loads the packages matching patterns, applies every analyzer, and
+// writes findings to w. It returns the findings (sorted by position)
+// and the first hard error (load or analyzer failure), if any.
+func Run(w io.Writer, analyzers []*analysis.Analyzer, patterns ...string) ([]Finding, error) {
+	pkgs, dirs, err := load.Patterns(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	shared := analysis.NewShared()
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := Analyze(pkg, analyzers, shared, dirs)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: %s: %s\n", relPos(f.Pos), f.Analyzer, f.Message)
+	}
+	return findings, nil
+}
+
+// Analyze runs the analyzers over one loaded package, filtering
+// suppressed findings. dirs is the import-path → source-dir table
+// backing Pass.SourceDir.
+func Analyze(pkg *load.Package, analyzers []*analysis.Analyzer, shared *analysis.Shared, dirs map[string]string) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Dir:       pkg.Dir,
+			SourceDir: func(path string) string { return dirs[path] },
+			Shared:    shared,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			if analysis.Suppressed(pkg.Fset, pkg.Files, d) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzing %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	return findings, nil
+}
+
+// relPos renders a position relative to the working directory when that
+// is shorter, matching go vet's output style.
+func relPos(p token.Position) string {
+	if rel, err := filepath.Rel(".", p.Filename); err == nil && len(rel) < len(p.Filename) {
+		p.Filename = rel
+	}
+	return p.String()
+}

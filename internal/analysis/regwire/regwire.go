@@ -1,0 +1,445 @@
+// Package regwire implements the pclint analyzer that mechanizes the
+// registry wiring invariant: every predictor family is discovered
+// through a registry.Descriptor, and the descriptor must be internally
+// consistent.
+//
+// Checks, per package:
+//
+//   - A package that exports a predictor constructor (an exported New*
+//     function returning a type with Predict(addr, hist uint64) bool,
+//     Update, and a Section-writing Snapshot) must also call
+//     registry.Register — a family without a register.go is invisible
+//     to the budget solver, the service, and the CLI.
+//   - Descriptor.Name and Descriptor.Section must be non-empty constant
+//     strings, and Section must be unique across every package in the
+//     run (section tags key checkpoint state; a collision silently
+//     cross-restores two families).
+//   - Every Param schema entry must satisfy Min <= Default <= Max, and
+//     a Pow2 param's Default (and Min/Max, when constant) must be
+//     powers of two.
+//   - The New constructor closure must read every schema param
+//     (p["name"]) — a declared-but-unread param is dead configuration
+//     surface. Skipped when the params value escapes to a helper.
+//   - registry.Params composite literals inside SolveBudget must only
+//     use keys declared in the schema, so solver output always
+//     round-trips through Descriptor.Normalize/New.
+package regwire
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"prophetcritic/internal/analysis"
+)
+
+// Analyzer is the regwire analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "regwire",
+	Doc:  "check registry descriptors: registration presence, section uniqueness, param bounds, schema/constructor agreement",
+	Run:  run,
+}
+
+// sharedSectionsKey indexes the cross-package section-tag table in
+// Pass.Shared.
+const sharedSectionsKey = "regwire:sections"
+
+func run(pass *analysis.Pass) error {
+	descs := findDescriptors(pass)
+
+	if len(descs) == 0 {
+		if pos, name := exportedFamilyConstructor(pass); pos.IsValid() {
+			pass.Reportf(pos, "package %s exports predictor constructor %s but never calls registry.Register (add a register.go so the family is discoverable by the budget solver, service, and CLI)", pass.Pkg.Name(), name)
+		}
+		return nil
+	}
+
+	for _, d := range descs {
+		checkDescriptor(pass, d)
+	}
+	return nil
+}
+
+// descriptor is one registry.Descriptor composite literal passed to
+// registry.Register.
+type descriptor struct {
+	lit    *ast.CompositeLit
+	fields map[string]ast.Expr
+}
+
+// findDescriptors locates registry.Register(registry.Descriptor{...})
+// calls. The registry package is matched by name so testdata stubs
+// qualify.
+func findDescriptors(pass *analysis.Pass) []*descriptor {
+	var out []*descriptor
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			fn, ok := calleeFunc(pass, call)
+			if !ok || fn.Name() != "Register" || fn.Pkg() == nil || fn.Pkg().Name() != "registry" {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			d := &descriptor{lit: lit, fields: map[string]ast.Expr{}}
+			for _, el := range lit.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						d.fields[key.Name] = kv.Value
+					}
+				}
+			}
+			out = append(out, d)
+			return true
+		})
+	}
+	return out
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn, true
+		}
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn, true
+		}
+	}
+	return nil, false
+}
+
+// exportedFamilyConstructor reports whether the package looks like a
+// predictor family: an exported New* function returning a type whose
+// method set has Predict(uint64, uint64) bool, Update, and a Snapshot
+// that writes a checkpoint section. Returns the constructor position
+// and name if so.
+func exportedFamilyConstructor(pass *analysis.Pass) (token.Pos, string) {
+	sectioned := sectionWritingTypes(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !ast.IsExported(fd.Name.Name) || !strings.HasPrefix(fd.Name.Name, "New") {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			if sig.Results().Len() == 0 {
+				continue
+			}
+			named := namedOf(sig.Results().At(0).Type())
+			if named == nil || !sectioned[named.Obj().Name()] {
+				continue
+			}
+			if isPredictorType(named) {
+				return fd.Name.Pos(), fd.Name.Name
+			}
+		}
+	}
+	return token.NoPos, ""
+}
+
+// sectionWritingTypes collects receiver type names whose Snapshot
+// method calls a Section method — i.e. types that own checkpoint state.
+func sectionWritingTypes(pass *analysis.Pass) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "Snapshot" || fd.Body == nil {
+				continue
+			}
+			writes := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Section" {
+					writes = true
+					return false
+				}
+				return true
+			})
+			if writes {
+				if name := recvTypeName(fd.Recv.List[0].Type); name != "" {
+					out[name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isPredictorType checks the Predict(uint64, uint64) bool / Update
+// method shape on the pointer method set.
+func isPredictorType(named *types.Named) bool {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	var predict, update bool
+	for i := 0; i < ms.Len(); i++ {
+		fn := ms.At(i).Obj().(*types.Func)
+		sig := fn.Type().(*types.Signature)
+		switch fn.Name() {
+		case "Predict":
+			predict = sig.Params().Len() == 2 && sig.Results().Len() == 1 &&
+				isBasic(sig.Results().At(0).Type(), types.Bool)
+		case "Update":
+			update = true
+		}
+	}
+	return predict && update
+}
+
+func isBasic(t types.Type, k types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == k
+}
+
+// checkDescriptor validates one Descriptor literal.
+func checkDescriptor(pass *analysis.Pass, d *descriptor) {
+	name, _ := constStringField(pass, d, "Name")
+	if name == "" {
+		pass.Reportf(d.lit.Pos(), "registry descriptor has no constant non-empty Name")
+	}
+
+	section, sectionExpr := constStringField(pass, d, "Section")
+	if section == "" {
+		pass.Reportf(d.lit.Pos(), "registry descriptor %q has no constant non-empty Section tag (checkpoint state would be unkeyed)", name)
+	} else {
+		sections := pass.Shared.Get(sharedSectionsKey, func() any { return map[string]string{} }).(map[string]string)
+		if prev, dup := sections[section]; dup && prev != pass.Pkg.Path() {
+			pass.Reportf(sectionExpr.Pos(), "checkpoint section tag %q already registered by %s (tags must be unique or restores cross-wire families)", section, prev)
+		} else {
+			sections[section] = pass.Pkg.Path()
+		}
+	}
+
+	params := paramSchema(pass, d)
+	for _, p := range params {
+		checkParam(pass, name, p)
+	}
+	schema := map[string]bool{}
+	for _, p := range params {
+		schema[p.name] = true
+	}
+
+	if newFn, ok := d.fields["New"].(*ast.FuncLit); ok {
+		checkNewReadsParams(pass, name, newFn, params)
+	}
+	if solver, ok := d.fields["SolveBudget"].(*ast.FuncLit); ok {
+		checkSolverKeys(pass, name, solver, schema)
+	}
+}
+
+func constStringField(pass *analysis.Pass, d *descriptor, field string) (string, ast.Expr) {
+	expr, ok := d.fields[field]
+	if !ok {
+		return "", nil
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", expr
+	}
+	return constant.StringVal(tv.Value), expr
+}
+
+// param is one schema entry with whichever numeric fields were constant.
+type param struct {
+	name                   string
+	def, min, max          int64
+	hasDef, hasMin, hasMax bool
+	pow2                   bool
+	pos                    token.Pos
+}
+
+func paramSchema(pass *analysis.Pass, d *descriptor) []*param {
+	expr, ok := d.fields["Params"]
+	if !ok {
+		return nil
+	}
+	lit, ok := ast.Unparen(expr).(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	var out []*param
+	for _, el := range lit.Elts {
+		pl, ok := ast.Unparen(el).(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		p := &param{pos: pl.Pos()}
+		for _, pe := range pl.Elts {
+			kv, ok := pe.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			tv := pass.TypesInfo.Types[kv.Value]
+			switch key.Name {
+			case "Name":
+				if tv.Value != nil && tv.Value.Kind() == constant.String {
+					p.name = constant.StringVal(tv.Value)
+				}
+			case "Default":
+				p.def, p.hasDef = constInt(tv)
+			case "Min":
+				p.min, p.hasMin = constInt(tv)
+			case "Max":
+				p.max, p.hasMax = constInt(tv)
+			case "Pow2":
+				if tv.Value != nil && tv.Value.Kind() == constant.Bool {
+					p.pow2 = constant.BoolVal(tv.Value)
+				}
+			}
+		}
+		if p.name != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func constInt(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return v, ok
+}
+
+func checkParam(pass *analysis.Pass, desc string, p *param) {
+	if p.hasMin && p.hasMax && p.min > p.max {
+		pass.Reportf(p.pos, "descriptor %q param %q has Min %d > Max %d", desc, p.name, p.min, p.max)
+	}
+	if p.hasDef && p.hasMin && p.def < p.min {
+		pass.Reportf(p.pos, "descriptor %q param %q has Default %d below Min %d", desc, p.name, p.def, p.min)
+	}
+	if p.hasDef && p.hasMax && p.def > p.max {
+		pass.Reportf(p.pos, "descriptor %q param %q has Default %d above Max %d", desc, p.name, p.def, p.max)
+	}
+	if p.pow2 {
+		for _, v := range []struct {
+			has bool
+			val int64
+			lbl string
+		}{{p.hasDef, p.def, "Default"}, {p.hasMin, p.min, "Min"}, {p.hasMax, p.max, "Max"}} {
+			if v.has && !isPow2(v.val) {
+				pass.Reportf(p.pos, "descriptor %q param %q is declared Pow2 but %s %d is not a power of two", desc, p.name, v.lbl, v.val)
+			}
+		}
+	}
+}
+
+func isPow2(v int64) bool { return v > 0 && v&(v-1) == 0 }
+
+// checkNewReadsParams verifies the constructor closure reads every
+// schema param through its params argument. When the params value
+// escapes as a bare call argument the check is skipped — a helper may
+// read them.
+func checkNewReadsParams(pass *analysis.Pass, desc string, fn *ast.FuncLit, params []*param) {
+	if len(fn.Type.Params.List) == 0 || len(fn.Type.Params.List[0].Names) == 0 {
+		return
+	}
+	pobj := pass.TypesInfo.Defs[fn.Type.Params.List[0].Names[0]]
+	if pobj == nil {
+		return
+	}
+	read := map[string]bool{}
+	escapes := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == pobj {
+				if tv, ok := pass.TypesInfo.Types[e.Index]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+					read[constant.StringVal(tv.Value)] = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range e.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == pobj {
+					escapes = true
+				}
+			}
+		}
+		return true
+	})
+	if escapes {
+		return
+	}
+	names := make([]string, 0, len(params))
+	byName := map[string]*param{}
+	for _, p := range params {
+		names = append(names, p.name)
+		byName[p.name] = p
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !read[n] {
+			pass.Reportf(byName[n].pos, "descriptor %q declares param %q but its New constructor never reads it (dead configuration surface)", desc, n)
+		}
+	}
+}
+
+// checkSolverKeys verifies Params composite literals built inside
+// SolveBudget only use schema keys.
+func checkSolverKeys(pass *analysis.Pass, desc string, fn *ast.FuncLit, schema map[string]bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		named := namedOf(pass.TypesInfo.TypeOf(lit))
+		if named == nil || named.Obj().Name() != "Params" || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "registry" {
+			return true
+		}
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			tv, ok := pass.TypesInfo.Types[kv.Key]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				continue
+			}
+			key := constant.StringVal(tv.Value)
+			if !schema[key] {
+				pass.Reportf(kv.Key.Pos(), "descriptor %q SolveBudget emits param %q not declared in the schema (Normalize would reject or drop it)", desc, key)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,17 @@
+package regwire_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"prophetcritic/internal/analysis/analysistest"
+	"prophetcritic/internal/analysis/regwire"
+)
+
+func TestAnalyzer(t *testing.T) {
+	// Path order matters for the section-tag table: baddup must load
+	// before baddup2 so the duplicate is reported in the second package,
+	// mirroring registration order under pclint.
+	analysistest.Run(t, filepath.Join("testdata", "src"), regwire.Analyzer,
+		"good", "bad", "baddup", "baddup2", "badnoreg")
+}

@@ -1,0 +1,37 @@
+// Package bad exercises every descriptor-shape diagnostic regwire
+// emits: missing identity fields, inconsistent bounds, pow2 breakage,
+// dead params, and solver keys outside the schema.
+package bad
+
+import "registry"
+
+func init() {
+	// A descriptor with no constant Name or Section carries both
+	// identity diagnostics on the literal itself.
+	registry.Register(registry.Descriptor{ // want `registry descriptor has no constant non-empty Name` `has no constant non-empty Section tag`
+		New:         func(p registry.Params) (any, error) { return nil, nil },
+		SolveBudget: func(bits int) (registry.Params, error) { return nil, nil },
+	})
+
+	registry.Register(registry.Descriptor{
+		Name:    "bad",
+		Section: "badsec",
+		Params: []registry.Param{
+			{Name: "mm", Min: 3, Max: 1},                         // want `param "mm" has Min 3 > Max 1`
+			{Name: "lo", Default: 1, Min: 2, Max: 8},             // want `param "lo" has Default 1 below Min 2`
+			{Name: "hi", Default: 9, Min: 1, Max: 8},             // want `param "hi" has Default 9 above Max 8`
+			{Name: "p2", Default: 3, Min: 1, Max: 8, Pow2: true}, // want `param "p2" is declared Pow2 but Default 3 is not a power of two`
+			{Name: "unused", Default: 1, Min: 1, Max: 4},         // want `declares param "unused" but its New constructor never reads it`
+		},
+		New: func(p registry.Params) (any, error) {
+			_ = p["mm"] + p["lo"] + p["hi"] + p["p2"]
+			return nil, nil
+		},
+		SolveBudget: func(bits int) (registry.Params, error) {
+			return registry.Params{
+				"mm":      bits,
+				"mystery": 1, // want `SolveBudget emits param "mystery" not declared in the schema`
+			}, nil
+		},
+	})
+}

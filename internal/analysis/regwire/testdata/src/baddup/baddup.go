@@ -1,0 +1,14 @@
+// Package baddup registers the "dupsec" section tag first; the
+// cross-package duplicate is reported in baddup2.
+package baddup
+
+import "registry"
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:        "dupfirst",
+		Section:     "dupsec",
+		New:         func(p registry.Params) (any, error) { return nil, nil },
+		SolveBudget: func(bits int) (registry.Params, error) { return nil, nil },
+	})
+}

@@ -1,0 +1,13 @@
+// Package baddup2 collides with baddup's checkpoint section tag.
+package baddup2
+
+import "registry"
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:        "dupsecond",
+		Section:     "dupsec", // want `checkpoint section tag "dupsec" already registered by baddup`
+		New:         func(p registry.Params) (any, error) { return nil, nil },
+		SolveBudget: func(bits int) (registry.Params, error) { return nil, nil },
+	})
+}

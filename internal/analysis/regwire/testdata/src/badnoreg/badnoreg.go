@@ -1,0 +1,19 @@
+// Package badnoreg looks exactly like a predictor family — exported
+// constructor, Predict/Update shape, Section-writing Snapshot — but
+// never registers itself, so it is invisible to discovery.
+package badnoreg
+
+// Enc stands in for the checkpoint encoder.
+type Enc struct{}
+
+func (e *Enc) Section(tag string) {}
+
+// Thing is an unregistered predictor family.
+type Thing struct{ n uint64 }
+
+// NewThing builds the predictor.
+func NewThing(bits int) *Thing { return &Thing{} } // want `exports predictor constructor NewThing but never calls registry.Register`
+
+func (t *Thing) Predict(addr, hist uint64) bool       { return false }
+func (t *Thing) Update(addr, hist uint64, taken bool) {}
+func (t *Thing) Snapshot(e *Enc)                      { e.Section("thing") }

@@ -1,0 +1,41 @@
+// Package good is a well-wired predictor family regwire must accept
+// silently: registered descriptor, consistent bounds, every param read
+// by New, solver keys inside the schema.
+package good
+
+import "registry"
+
+// Enc stands in for the checkpoint encoder; regwire only looks for a
+// Section call inside Snapshot.
+type Enc struct{}
+
+func (e *Enc) Section(tag string) {}
+
+// Fam is the family's predictor.
+type Fam struct{ rows []int8 }
+
+// NewFam builds a predictor with the given table size.
+func NewFam(rows int) *Fam { return &Fam{rows: make([]int8, rows)} }
+
+func (f *Fam) Predict(addr, hist uint64) bool       { return false }
+func (f *Fam) Update(addr, hist uint64, taken bool) {}
+func (f *Fam) Snapshot(e *Enc)                      { e.Section("fam") }
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:    "fam",
+		Section: "fam",
+		Params: []registry.Param{
+			{Name: "rows", Default: 1024, Min: 16, Max: 1 << 20, Pow2: true},
+			{Name: "hist", Default: 12, Min: 0, Max: 64},
+		},
+		New: func(p registry.Params) (any, error) {
+			f := NewFam(p["rows"])
+			_ = p["hist"]
+			return f, nil
+		},
+		SolveBudget: func(bits int) (registry.Params, error) {
+			return registry.Params{"rows": bits / 2, "hist": 12}, nil
+		},
+	})
+}

@@ -1,0 +1,29 @@
+// Package registry is a stub of the real family registry for regwire's
+// golden tests: the analyzer matches by package name and field names,
+// so only the declaration surface matters.
+package registry
+
+// Params is a named parameter assignment.
+type Params map[string]int
+
+// Param is one schema entry.
+type Param struct {
+	Name    string
+	Desc    string
+	Default int
+	Min     int
+	Max     int
+	Pow2    bool
+}
+
+// Descriptor describes one predictor family.
+type Descriptor struct {
+	Name        string
+	Section     string
+	Params      []Param
+	New         func(p Params) (any, error)
+	SolveBudget func(bits int) (Params, error)
+}
+
+// Register records a family descriptor.
+func Register(d Descriptor) {}

@@ -1,0 +1,572 @@
+// Package snapsym implements the pclint analyzer that mechanizes the
+// checkpoint-symmetry invariant: for every type implementing the
+// checkpoint.Snapshotter seam, Snapshot and Restore must move the same
+// codec sequence — same methods, same section tags, same receiver
+// fields, same order — and Restore must consult the decoder's sticky
+// error before committing decoded values into the receiver.
+//
+// The analyzer recognizes Snapshotter implementations structurally: a
+// type with methods
+//
+//	Snapshot(enc *checkpoint.Encoder)
+//	Restore(dec *checkpoint.Decoder) error
+//
+// (the parameter types matched by name and defining package name, so
+// test fixtures can supply a stub checkpoint package).
+//
+// Symmetry is checked on the flattened sequence of codec calls. A call
+// inside a loop matches one or more consecutive calls of the same kind
+// on the other side, so a Snapshot that writes four sub-components
+// explicitly pairs with a Restore that loops over them. Calls that
+// forward the encoder or decoder to a helper the analyzer cannot see
+// through make the pair unverifiable and mute the symmetry check for
+// that type (the sticky-error checks still run).
+//
+// Sticky-error discipline: decoding directly into receiver state, or
+// copying a decoded local into receiver state without a dec.Err() (or
+// sub-Restore) consultation in between, is reported — a failed Restore
+// must leave the component untouched.
+package snapsym
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"prophetcritic/internal/analysis"
+)
+
+// Analyzer is the snapsym analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapsym",
+	Doc:  "check Snapshot/Restore codec symmetry and sticky decoder-error discipline",
+	Run:  run,
+}
+
+// codecKinds are the Encoder/Decoder value-moving methods. Encoder and
+// Decoder deliberately share these names, which is what makes symmetry
+// checkable by name.
+var codecKinds = map[string]bool{
+	"Section": true, "Uvarint": true, "Svarint": true, "Bool": true,
+	"Float64": true, "String": true, "Uint8s": true, "Int8s": true,
+	"Uint64s": true,
+}
+
+// targetKinds decode into a caller-supplied destination slice.
+var targetKinds = map[string]bool{"Uint8s": true, "Int8s": true, "Uint64s": true}
+
+// ignoredMethods are codec-object methods that move no state.
+var ignoredMethods = map[string]bool{
+	"Err": true, "Failf": true, "Remaining": true, "Bytes": true, "Len": true,
+}
+
+// pair is one type's Snapshot/Restore implementation.
+type pair struct {
+	snapshot *ast.FuncDecl
+	restore  *ast.FuncDecl
+}
+
+func run(pass *analysis.Pass) error {
+	pairs := map[string]*pair{} // receiver type name
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Type.Params.List) != 1 {
+				continue
+			}
+			recvName := recvTypeName(fd.Recv.List[0].Type)
+			if recvName == "" {
+				continue
+			}
+			switch fd.Name.Name {
+			case "Snapshot":
+				if paramIsCodec(pass, fd, "Encoder") {
+					p := pairs[recvName]
+					if p == nil {
+						p = &pair{}
+						pairs[recvName] = p
+					}
+					p.snapshot = fd
+				}
+			case "Restore":
+				if paramIsCodec(pass, fd, "Decoder") {
+					p := pairs[recvName]
+					if p == nil {
+						p = &pair{}
+						pairs[recvName] = p
+					}
+					p.restore = fd
+				}
+			}
+		}
+	}
+
+	names := make([]string, 0, len(pairs))
+	for n := range pairs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := pairs[n]
+		if p.snapshot == nil || p.restore == nil {
+			continue // half a seam is predictor.Tagged-style reuse, not a finding
+		}
+		checkPair(pass, n, p)
+		checkSticky(pass, p.restore)
+	}
+	return nil
+}
+
+// paramIsCodec reports whether the method's single parameter is
+// *checkpoint.Encoder / *checkpoint.Decoder (matched by names so test
+// stubs qualify).
+func paramIsCodec(pass *analysis.Pass, fd *ast.FuncDecl, want string) bool {
+	names := fd.Type.Params.List[0].Names
+	if len(names) != 1 {
+		return false
+	}
+	obj := pass.TypesInfo.Defs[names[0]]
+	if obj == nil {
+		return false
+	}
+	ptr, ok := obj.Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != want {
+		return false
+	}
+	return named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "checkpoint"
+}
+
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// event is one codec-moving call, in source order.
+type event struct {
+	kind   string // codec method name, or "sub" (nested Snapshot/Restore), or "opaque"
+	tag    string // constant Section tag, if resolvable
+	hasTag bool
+	field  string // receiver field moved, if identifiable
+	inLoop bool
+	pos    token.Pos
+}
+
+// extract walks a Snapshot or Restore body and returns its events. sub
+// is the nested-call method name pairing with this side ("Snapshot" or
+// "Restore").
+func extract(pass *analysis.Pass, fd *ast.FuncDecl, sub string) []event {
+	codec := pass.TypesInfo.Defs[fd.Type.Params.List[0].Names[0]]
+	recv := recvObj(pass, fd)
+
+	var loops []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, l := range loops {
+			if l.Pos() <= pos && pos < l.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	var events []event
+	byCall := map[*ast.CallExpr]int{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ev, ok := classify(pass, call, codec, recv, sub)
+		if !ok {
+			return true
+		}
+		ev.inLoop = inLoop(call.Pos())
+		byCall[call] = len(events)
+		events = append(events, ev)
+		return true
+	})
+
+	// Second pass: attach fields to value-returning decoder reads that
+	// assign straight into the receiver (s.f = dec.Uvarint()).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		field := receiverField(pass, as.Lhs[0], recv)
+		if field == "" {
+			return true
+		}
+		if call, ok := unwrapToCall(as.Rhs[0]); ok {
+			if i, tracked := byCall[call]; tracked && events[i].field == "" {
+				events[i].field = field
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// classify decides whether one call moves codec state.
+func classify(pass *analysis.Pass, call *ast.CallExpr, codec, recv types.Object, sub string) (event, bool) {
+	// Method on the codec object: enc.Uvarint(...), dec.Section(...).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == codec {
+			name := sel.Sel.Name
+			if ignoredMethods[name] {
+				return event{}, false
+			}
+			if !codecKinds[name] {
+				return event{kind: "opaque", pos: call.Pos()}, true
+			}
+			ev := event{kind: name, pos: call.Pos()}
+			if len(call.Args) == 1 {
+				if name == "Section" {
+					if tag, ok := constString(pass, call.Args[0]); ok {
+						ev.tag, ev.hasTag = tag, true
+					}
+				} else {
+					ev.field = receiverFieldIn(pass, call.Args[0], recv)
+				}
+			}
+			return ev, true
+		}
+	}
+	// A call forwarding the codec as an argument: either a nested
+	// Snapshot/Restore (paired positionally) or an opaque helper.
+	for _, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != codec {
+			continue
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == sub && len(call.Args) == 1 {
+			return event{kind: "sub", pos: call.Pos()}, true
+		}
+		return event{kind: "opaque", pos: call.Pos()}, true
+	}
+	return event{}, false
+}
+
+// recvObj returns the receiver variable's object, if named.
+func recvObj(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// receiverField returns the field name when expr is a store target
+// rooted at the receiver: r.f, r.f[i], r.f.g.
+func receiverField(pass *analysis.Pass, expr ast.Expr, recv types.Object) string {
+	if recv == nil {
+		return ""
+	}
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv {
+				return e.Sel.Name
+			}
+			expr = e.X
+		default:
+			return ""
+		}
+	}
+}
+
+// receiverFieldIn finds the first receiver-field reference anywhere in
+// an argument expression (uint64(s.a) -> "a").
+func receiverFieldIn(pass *analysis.Pass, expr ast.Expr, recv types.Object) string {
+	if recv == nil {
+		return ""
+	}
+	found := ""
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv {
+				found = sel.Sel.Name
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func constString(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func unwrapToCall(expr ast.Expr) (*ast.CallExpr, bool) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.CallExpr:
+			// A conversion wraps exactly one operand; a decoder read has
+			// a codec receiver. Either way, descend once if this call is
+			// a conversion.
+			if len(e.Args) == 1 {
+				if inner, ok := ast.Unparen(e.Args[0]).(*ast.CallExpr); ok {
+					if _, isSel := ast.Unparen(inner.Fun).(*ast.SelectorExpr); isSel {
+						return inner, true
+					}
+				}
+			}
+			return e, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// checkPair verifies Snapshot/Restore symmetry for one type.
+func checkPair(pass *analysis.Pass, typeName string, p *pair) {
+	snap := extract(pass, p.snapshot, "Snapshot")
+	rest := extract(pass, p.restore, "Restore")
+	for _, evs := range [2][]event{snap, rest} {
+		for _, ev := range evs {
+			if ev.kind == "opaque" {
+				return // helper call the analyzer cannot see through
+			}
+		}
+	}
+
+	i, j := 0, 0
+	for i < len(snap) && j < len(rest) {
+		a, b := snap[i], rest[j]
+		if a.kind != b.kind {
+			pass.Reportf(b.pos, "checkpoint asymmetry in %s: Snapshot writes %s here but Restore reads %s", typeName, describe(a), describe(b))
+			return
+		}
+		if a.kind == "Section" && a.hasTag && b.hasTag && a.tag != b.tag {
+			pass.Reportf(b.pos, "checkpoint asymmetry in %s: Snapshot writes section %q but Restore expects %q", typeName, a.tag, b.tag)
+			return
+		}
+		if a.field != "" && b.field != "" && a.field != b.field {
+			pass.Reportf(b.pos, "checkpoint asymmetry in %s: Snapshot writes field %s at this position but Restore fills %s", typeName, a.field, b.field)
+			return
+		}
+		// A looped call swallows consecutive same-kind events on the
+		// other side (explicit unrolled writes vs a restore loop).
+		switch {
+		case a.inLoop && !b.inLoop:
+			j++
+			for j < len(rest) && rest[j].kind == a.kind && !rest[j].inLoop {
+				j++
+			}
+			i++
+		case b.inLoop && !a.inLoop:
+			i++
+			for i < len(snap) && snap[i].kind == b.kind && !snap[i].inLoop {
+				i++
+			}
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	if i < len(snap) {
+		pass.Reportf(p.restore.Pos(), "checkpoint asymmetry in %s: Snapshot writes %s that Restore never reads", typeName, describe(snap[i]))
+	} else if j < len(rest) {
+		pass.Reportf(rest[j].pos, "checkpoint asymmetry in %s: Restore reads %s that Snapshot never writes", typeName, describe(rest[j]))
+	}
+}
+
+func describe(ev event) string {
+	switch {
+	case ev.kind == "sub":
+		return "a nested component snapshot"
+	case ev.hasTag:
+		return "Section(" + ev.tag + ")"
+	case ev.field != "":
+		return ev.kind + " of field " + ev.field
+	default:
+		return ev.kind
+	}
+}
+
+// checkSticky enforces the decoder's sticky-error discipline inside
+// Restore: no receiver mutation from decoded values before an Err()
+// consultation, and no `return nil` with unexamined reads behind it.
+func checkSticky(pass *analysis.Pass, fd *ast.FuncDecl) {
+	codec := pass.TypesInfo.Defs[fd.Type.Params.List[0].Names[0]]
+	recv := recvObj(pass, fd)
+
+	// Positions of decoder reads and of error consultations (dec.Err()
+	// calls and nested Restore calls, which return the same error).
+	var reads, checks []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == codec {
+			switch {
+			case sel.Sel.Name == "Err":
+				checks = append(checks, call.Pos())
+			case codecKinds[sel.Sel.Name]:
+				reads = append(reads, call.Pos())
+			}
+			return true
+		}
+		if sel.Sel.Name == "Restore" && len(call.Args) == 1 {
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == codec {
+				checks = append(checks, call.Pos())
+			}
+		}
+		return true
+	})
+	checkedBetween := func(from, to token.Pos) bool {
+		for _, c := range checks {
+			if from < c && c < to {
+				return true
+			}
+		}
+		return false
+	}
+	lastReadBefore := func(pos token.Pos) token.Pos {
+		last := token.NoPos
+		for _, r := range reads {
+			if r < pos && r > last {
+				last = r
+			}
+		}
+		return last
+	}
+
+	// Taint: locals carrying decoded values, with the position of the
+	// read that produced them.
+	taint := map[types.Object]token.Pos{}
+	taintOf := func(expr ast.Expr) token.Pos {
+		latest := token.NoPos
+		ast.Inspect(expr, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == codec && codecKinds[sel.Sel.Name] {
+						if e.Pos() > latest {
+							latest = e.Pos()
+						}
+					}
+				}
+				// A helper handed the decoder returns decoder-derived
+				// state too: v := decodeCounters(dec).
+				for _, arg := range e.Args {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == codec {
+						if e.Pos() > latest {
+							latest = e.Pos()
+						}
+					}
+				}
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[e]; obj != nil {
+					if p, ok := taint[obj]; ok && p > latest {
+						latest = p
+					}
+				}
+			}
+			return true
+		})
+		return latest
+	}
+
+	// Statements in source order: ast.Inspect visits siblings by
+	// position, which is exactly the order the sticky protocol cares
+	// about.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for k, lhs := range st.Lhs {
+				var rhs ast.Expr
+				switch {
+				case len(st.Rhs) == len(st.Lhs):
+					rhs = st.Rhs[k]
+				case len(st.Rhs) == 1:
+					rhs = st.Rhs[0]
+				default:
+					continue
+				}
+				produced := taintOf(rhs)
+				if field := receiverField(pass, lhs, recv); field != "" {
+					if produced.IsValid() && !checkedBetween(produced, st.Pos()) {
+						pass.Reportf(st.Pos(), "Restore commits decoded value into receiver field %s before checking the decoder's sticky error (call dec.Err() first so a failed restore leaves the component untouched)", field)
+					}
+					continue
+				}
+				if produced.IsValid() {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						var obj types.Object
+						if st.Tok == token.DEFINE {
+							obj = pass.TypesInfo.Defs[id]
+						} else {
+							obj = pass.TypesInfo.Uses[id]
+						}
+						if obj != nil {
+							taint[obj] = produced
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// Decoding straight into receiver storage: dec.Uint8s(r.table).
+			sel, ok := ast.Unparen(st.Fun).(*ast.SelectorExpr)
+			if !ok || len(st.Args) != 1 {
+				return true
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == codec && targetKinds[sel.Sel.Name] {
+				if field := receiverField(pass, st.Args[0], recv); field != "" {
+					pass.Reportf(st.Pos(), "Restore decodes directly into receiver field %s (decode into a scratch slice, check dec.Err(), then commit, so a failed restore leaves the component untouched)", field)
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(st.Results) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(st.Results[0]).(*ast.Ident)
+			if !ok || id.Name != "nil" {
+				return true
+			}
+			if last := lastReadBefore(st.Pos()); last.IsValid() && !checkedBetween(last, st.Pos()) {
+				pass.Reportf(st.Pos(), "Restore returns nil without checking the decoder's sticky error after its last read (call dec.Err())")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,13 @@
+package snapsym_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"prophetcritic/internal/analysis/analysistest"
+	"prophetcritic/internal/analysis/snapsym"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src"), snapsym.Analyzer, "good", "bad")
+}

@@ -1,0 +1,119 @@
+// Package bad exercises every snapsym diagnostic: each type below
+// violates exactly one aspect of the checkpoint protocol (the field
+// mismatch and direct-decode cases overlap by construction, since
+// decoding into a receiver field is how a restore names a field).
+package bad
+
+import "checkpoint"
+
+// KindMismatch: Snapshot writes a Uvarint where Restore reads a Bool.
+type KindMismatch struct{ a uint64 }
+
+func (k *KindMismatch) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("km")
+	enc.Uvarint(k.a)
+}
+
+func (k *KindMismatch) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("km")
+	_ = dec.Bool() // want `Snapshot writes Uvarint of field a here but Restore reads Bool`
+	return dec.Err()
+}
+
+// SectionMismatch: tags disagree.
+type SectionMismatch struct{ f bool }
+
+func (s *SectionMismatch) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("alpha")
+	enc.Bool(s.f)
+}
+
+func (s *SectionMismatch) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("beta") // want `Snapshot writes section "alpha" but Restore expects "beta"`
+	f := dec.Bool()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	s.f = f
+	return nil
+}
+
+// FieldMismatch: the slice decoded back is not the slice written out.
+// Decoding straight into the receiver is itself a sticky-error
+// violation, so this line carries both diagnostics.
+type FieldMismatch struct{ x, y []uint8 }
+
+func (f *FieldMismatch) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("fm")
+	enc.Uint8s(f.x)
+}
+
+func (f *FieldMismatch) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("fm")
+	dec.Uint8s(f.y) // want `Snapshot writes field x at this position but Restore fills y` `decodes directly into receiver field y`
+	return dec.Err()
+}
+
+// SnapLeftover: Snapshot writes state Restore never reads.
+type SnapLeftover struct{ f bool }
+
+func (s *SnapLeftover) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("sl")
+	enc.Bool(s.f)
+}
+
+func (s *SnapLeftover) Restore(dec *checkpoint.Decoder) error { // want `Snapshot writes Bool of field f that Restore never reads`
+	dec.Section("sl")
+	return dec.Err()
+}
+
+// RestLeftover: Restore reads state Snapshot never writes.
+type RestLeftover struct{}
+
+func (r *RestLeftover) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("rl")
+}
+
+func (r *RestLeftover) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("rl")
+	_ = dec.Uvarint() // want `Restore reads Uvarint that Snapshot never writes`
+	return dec.Err()
+}
+
+// StickyCommit: a decoded local committed before Err is consulted.
+type StickyCommit struct{ v uint64 }
+
+func (s *StickyCommit) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("sc")
+	enc.Uvarint(s.v)
+}
+
+func (s *StickyCommit) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("sc")
+	v := dec.Uvarint()
+	s.v = v // want `commits decoded value into receiver field v before checking the decoder's sticky error`
+	return dec.Err()
+}
+
+// ReturnNil: a read after the last Err consultation, then return nil.
+type ReturnNil struct {
+	v  uint64
+	on bool
+}
+
+func (r *ReturnNil) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("rn")
+	enc.Uvarint(r.v)
+	enc.Bool(r.on)
+}
+
+func (r *ReturnNil) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("rn")
+	v := dec.Uvarint()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	r.v = v
+	_ = dec.Bool()
+	return nil // want `returns nil without checking the decoder's sticky error`
+}

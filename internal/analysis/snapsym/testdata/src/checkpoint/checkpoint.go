@@ -1,0 +1,33 @@
+// Package checkpoint is a stub of the real codec for snapsym's golden
+// tests: the analyzer matches Encoder/Decoder structurally (package
+// name + method shapes), so the stub needs the same surface, not the
+// same behavior.
+package checkpoint
+
+// Encoder mirrors the write surface of the real codec.
+type Encoder struct{ b []byte }
+
+func (e *Encoder) Section(tag string) {}
+func (e *Encoder) Uvarint(v uint64)   {}
+func (e *Encoder) Svarint(v int64)    {}
+func (e *Encoder) Bool(v bool)        {}
+func (e *Encoder) Float64(v float64)  {}
+func (e *Encoder) String(s string)    {}
+func (e *Encoder) Uint8s(v []uint8)   {}
+func (e *Encoder) Int8s(v []int8)     {}
+func (e *Encoder) Uint64s(v []uint64) {}
+
+// Decoder mirrors the read surface, sticky error included.
+type Decoder struct{ err error }
+
+func (d *Decoder) Section(tag string)               {}
+func (d *Decoder) Uvarint() uint64                  { return 0 }
+func (d *Decoder) Svarint() int64                   { return 0 }
+func (d *Decoder) Bool() bool                       { return false }
+func (d *Decoder) Float64() float64                 { return 0 }
+func (d *Decoder) String() string                   { return "" }
+func (d *Decoder) Uint8s(dst []uint8)               {}
+func (d *Decoder) Int8s(dst []int8)                 {}
+func (d *Decoder) Uint64s(dst []uint64)             {}
+func (d *Decoder) Err() error                       { return d.err }
+func (d *Decoder) Failf(format string, args ...any) {}

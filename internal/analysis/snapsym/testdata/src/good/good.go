@@ -1,0 +1,101 @@
+// Package good holds Snapshotter implementations snapsym must accept
+// without a single diagnostic: plain symmetry, decode-validate-commit,
+// unrolled-vs-looped sub-snapshots, and opaque helpers (which mute the
+// symmetry check rather than false-positive on it).
+package good
+
+import "checkpoint"
+
+// Plain symmetric codec with the sticky protocol observed.
+type Plain struct {
+	v     uint64
+	on    bool
+	table []uint8
+}
+
+func (p *Plain) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("plain")
+	enc.Uvarint(p.v)
+	enc.Bool(p.on)
+	enc.Uint8s(p.table)
+}
+
+func (p *Plain) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("plain")
+	v := dec.Uvarint()
+	on := dec.Bool()
+	table := make([]uint8, len(p.table))
+	dec.Uint8s(table)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	p.v = v
+	p.on = on
+	copy(p.table, table)
+	return nil
+}
+
+// Part is a nested component.
+type Part struct{ v uint64 }
+
+func (p *Part) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("part")
+	enc.Uvarint(p.v)
+}
+
+func (p *Part) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("part")
+	v := dec.Uvarint()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	p.v = v
+	return nil
+}
+
+// Multi writes its parts unrolled but restores them in a loop — the
+// loop-aware matcher must pair one looped read with many writes.
+type Multi struct{ parts [4]Part }
+
+func (m *Multi) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("multi")
+	m.parts[0].Snapshot(enc)
+	m.parts[1].Snapshot(enc)
+	m.parts[2].Snapshot(enc)
+	m.parts[3].Snapshot(enc)
+}
+
+func (m *Multi) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("multi")
+	for i := range m.parts {
+		if err := m.parts[i].Restore(dec); err != nil {
+			return err
+		}
+	}
+	return dec.Err()
+}
+
+func writeExtra(enc *checkpoint.Encoder, v uint64) { enc.Uvarint(v) }
+
+func readExtra(dec *checkpoint.Decoder) uint64 { return dec.Uvarint() }
+
+// Opaque moves state through helpers the analyzer cannot see through;
+// symmetry is unverifiable and must be muted, not reported. The sticky
+// checks still apply: readExtra's result is decoder-derived and is
+// committed only after Err.
+type Opaque struct{ x uint64 }
+
+func (o *Opaque) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("op")
+	writeExtra(enc, o.x)
+}
+
+func (o *Opaque) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("op")
+	x := readExtra(dec)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	o.x = x
+	return nil
+}

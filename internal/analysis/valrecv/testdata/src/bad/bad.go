@@ -1,0 +1,31 @@
+// Package bad exercises every valrecv diagnostic: discarded
+// value-receiver mutations, value receivers on mutable table types, and
+// dereference copies of them.
+package bad
+
+// Gauge is scalar-only, so only the mutation check applies.
+type Gauge struct{ n uint64 }
+
+func (g Gauge) Bump() {
+	g.n++ // want `increment of g.n through value receiver g mutates a copy that is discarded when Bump returns`
+}
+
+func (g Gauge) Set(v uint64) {
+	g.n = v // want `assignment to g.n through value receiver g mutates a copy that is discarded when Set returns`
+}
+
+// Table holds slices and is mutated through a pointer receiver, which
+// makes every by-value copy of it alias the live tables.
+type Table struct {
+	rows []int8
+	n    int
+}
+
+func (t *Table) Update(i int, v int8) { t.rows[i] = v }
+
+func (t Table) Len() int { return t.n } // want `method Len copies Table by value while it holds mutable table slices`
+
+func snapshot(p *Table) Table {
+	t := *p // want `dereference copies Table while it holds mutable table slices`
+	return t
+}

@@ -1,0 +1,46 @@
+// Package good holds receiver patterns valrecv must accept: the
+// mutate-and-return idiom, slice-bearing types that are never mutated
+// in place, disciplined pointer-receiver table types, and scalar value
+// types copied freely.
+package good
+
+// Config uses the mutate-and-return idiom: the value receiver is the
+// scratch copy, and returning it makes the mutation observable.
+type Config struct {
+	Depth int
+	Width int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Depth == 0 {
+		c.Depth = 8
+	}
+	if c.Width == 0 {
+		c.Width = 4
+	}
+	return c
+}
+
+// Frozen holds a slice but has no pointer-receiver mutators: it is
+// rebuilt wholesale, never mutated in place, so copying is safe.
+type Frozen struct{ rows []int8 }
+
+func (f Frozen) At(i int) int8 { return f.rows[i] }
+
+func snapshotFrozen(p *Frozen) Frozen {
+	f := *p
+	return f
+}
+
+// Live holds mutable tables and keeps every method on the pointer — the
+// discipline valrecv enforces.
+type Live struct{ rows []int8 }
+
+func (l *Live) Update(i int, v int8) { l.rows[i] = v }
+func (l *Live) Len() int             { return len(l.rows) }
+
+// Sat is a scalar value type: copies are independent and idiomatic.
+type Sat struct{ v uint8 }
+
+func (s Sat) Taken() bool { return s.v >= 2 }
+func (s *Sat) Inc()       { s.v++ }

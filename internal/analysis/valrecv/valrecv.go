@@ -1,0 +1,311 @@
+// Package valrecv implements the pclint analyzer that guards
+// value-receiver discipline on predictor state:
+//
+//   - Assigning to a receiver field (or ++/--/op=) through a value
+//     receiver mutates a copy that is discarded when the method
+//     returns — always a bug, reported unconditionally.
+//   - A type that carries mutable table state (slice or map fields) and
+//     is mutated through pointer receivers must not also declare value
+//     receivers: each value-receiver call copies the struct while the
+//     slice headers still alias the live tables, a recipe for aliasing
+//     surprises the moment anyone reassigns a table (Restore, resize).
+//   - Dereference-copies (x := *p, x = *p) of such table-bearing types
+//     duplicate the headers the same way and are reported at the copy
+//     site.
+//
+// Types whose fields are all scalars (history.Register, counter.Sat)
+// are exempt from the copy checks — copying them is the idiomatic way
+// to read them.
+package valrecv
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"prophetcritic/internal/analysis"
+)
+
+// Analyzer is the valrecv analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "valrecv",
+	Doc:  "check that predictor state is not mutated through value receivers or copied while holding mutable table slices",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	tables := tableTypes(pass)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv != nil && fd.Body != nil {
+				checkValueReceiverMutation(pass, fd)
+				checkTableValueReceiver(pass, fd, tables)
+			}
+			if fd.Body != nil {
+				checkDerefCopies(pass, fd.Body, tables)
+			}
+		}
+	}
+	return nil
+}
+
+// tableTypes returns the package-local named struct types that hold
+// mutable table state (slice or map fields) AND are mutated through at
+// least one pointer-receiver method — the combination that makes
+// copying hazardous.
+func tableTypes(pass *analysis.Pass) map[*types.Named]bool {
+	hasTables := map[*types.Named]bool{}
+	mutated := map[*types.Named]bool{}
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			switch st.Field(i).Type().Underlying().(type) {
+			case *types.Slice, *types.Map:
+				hasTables[named] = true
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			named, ptr := recvType(pass, fd)
+			if named == nil || !ptr || !hasTables[named] {
+				continue
+			}
+			if mutatesReceiver(pass, fd) {
+				mutated[named] = true
+			}
+		}
+	}
+
+	out := map[*types.Named]bool{}
+	for n := range hasTables {
+		if mutated[n] {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// recvType resolves a method's receiver to its named type, reporting
+// whether the receiver is a pointer.
+func recvType(pass *analysis.Pass, fd *ast.FuncDecl) (*types.Named, bool) {
+	if len(fd.Recv.List) == 0 {
+		return nil, false
+	}
+	tv := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if tv == nil {
+		return nil, false
+	}
+	if p, ok := tv.(*types.Pointer); ok {
+		n, _ := p.Elem().(*types.Named)
+		return n, true
+	}
+	n, _ := tv.(*types.Named)
+	return n, false
+}
+
+func recvObj(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// checkValueReceiverMutation flags field stores through a value
+// receiver when the mutated copy is never read afterwards — the
+// mutate-and-return idiom (func (c Config) withDefaults() Config
+// { c.X = ...; return c }) reads the copy and is exempt.
+func checkValueReceiverMutation(pass *analysis.Pass, fd *ast.FuncDecl) {
+	_, ptr := recvType(pass, fd)
+	if ptr {
+		return
+	}
+	recv := recvObj(pass, fd)
+	if recv == nil {
+		return
+	}
+
+	// A "store" is a statement mutating the receiver copy; a "read" is
+	// any other use of the receiver. A store whose statement is
+	// followed by a read is observable (returned, passed on) and fine.
+	type store struct {
+		pos, end token.Pos
+		field    string
+		verb     string
+	}
+	var stores []store
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false // a closure capturing the copy counts as a read below
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if field := directReceiverField(pass, lhs, recv); field != "" {
+					stores = append(stores, store{lhs.Pos(), st.End(), field, "assignment to"})
+				}
+			}
+		case *ast.IncDecStmt:
+			if field := directReceiverField(pass, st.X, recv); field != "" {
+				stores = append(stores, store{st.X.Pos(), st.End(), field, "increment of"})
+			}
+		}
+		return true
+	})
+	if len(stores) == 0 {
+		return
+	}
+
+	inStoreTarget := func(pos token.Pos) bool {
+		for _, s := range stores {
+			if s.pos <= pos && pos < s.end {
+				return true
+			}
+		}
+		return false
+	}
+	lastRead := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != recv || inStoreTarget(id.Pos()) {
+			return true
+		}
+		if id.Pos() > lastRead {
+			lastRead = id.Pos()
+		}
+		return true
+	})
+
+	for _, s := range stores {
+		if lastRead >= s.end {
+			continue // the mutated copy is used (returned, passed on)
+		}
+		pass.Reportf(s.pos, "%s %s.%s through value receiver %s mutates a copy that is discarded when %s returns (use a pointer receiver, or return the modified copy)", s.verb, recv.Name(), s.field, recv.Name(), fd.Name.Name)
+	}
+}
+
+// directReceiverField matches r.f exactly — not r.f[i] (which mutates
+// the shared backing array and is legitimate) and not r.f.g (flagged on
+// the outer field only if r.f is itself stored; nested paths still copy
+// so treat them the same as r.f).
+func directReceiverField(pass *analysis.Pass, expr ast.Expr, recv types.Object) string {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	x := ast.Unparen(sel.X)
+	for {
+		inner, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		x = ast.Unparen(inner.X)
+	}
+	if id, ok := x.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// mutatesReceiver reports whether a pointer-receiver method stores into
+// receiver state (field assignment, indexed store, or ++/--).
+func mutatesReceiver(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	recv := recvObj(pass, fd)
+	if recv == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if rootedAtReceiver(pass, lhs, recv) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootedAtReceiver(pass, st.X, recv) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rootedAtReceiver reports whether a store target ultimately derefs the
+// receiver: r.f, r.f[i], r.f.g[i].h.
+func rootedAtReceiver(pass *analysis.Pass, expr ast.Expr, recv types.Object) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[e] == recv
+		default:
+			return false
+		}
+	}
+}
+
+// checkTableValueReceiver flags value receivers on table-bearing
+// mutable types.
+func checkTableValueReceiver(pass *analysis.Pass, fd *ast.FuncDecl, tables map[*types.Named]bool) {
+	named, ptr := recvType(pass, fd)
+	if ptr || named == nil || !tables[named] {
+		return
+	}
+	pass.Reportf(fd.Recv.Pos(), "method %s copies %s by value while it holds mutable table slices mutated through pointer receivers (use a pointer receiver for every method of %s)", fd.Name.Name, named.Obj().Name(), named.Obj().Name())
+}
+
+// checkDerefCopies flags x := *p / x = *p copies of table-bearing
+// mutable types.
+func checkDerefCopies(pass *analysis.Pass, body *ast.BlockStmt, tables map[*types.Named]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			star, ok := ast.Unparen(rhs).(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			tv := pass.TypesInfo.TypeOf(star)
+			named, _ := tv.(*types.Named)
+			if named != nil && tables[named] {
+				pass.Reportf(star.Pos(), "dereference copies %s while it holds mutable table slices (the copy aliases the live tables; keep the pointer instead)", named.Obj().Name())
+			}
+		}
+		return true
+	})
+}

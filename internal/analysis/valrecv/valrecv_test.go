@@ -1,0 +1,13 @@
+package valrecv_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"prophetcritic/internal/analysis/analysistest"
+	"prophetcritic/internal/analysis/valrecv"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src"), valrecv.Analyzer, "good", "bad")
+}

@@ -37,22 +37,29 @@ func New(indexBits, ctrWidth uint) *Bimodal {
 	return b
 }
 
+//pclint:hotpath
 func (b *Bimodal) index(addr uint64) uint64 {
 	return bitutil.Fold(addr>>2, b.indexBits)
 }
 
 // Predict implements predictor.Predictor.
+//
+//pclint:hotpath
 func (b *Bimodal) Predict(addr, hist uint64) bool {
 	return b.table[b.index(addr)].Taken()
 }
 
 // Update implements predictor.Predictor.
+//
+//pclint:hotpath
 func (b *Bimodal) Update(addr, hist uint64, taken bool) {
 	b.table[b.index(addr)].Update(taken)
 }
 
 // Reinforce strengthens the counter only if it already agrees with the
 // outcome; the partial-update policy of 2Bc-gskew uses this.
+//
+//pclint:hotpath
 func (b *Bimodal) Reinforce(addr uint64, taken bool) {
 	b.table[b.index(addr)].Reinforce(taken)
 }

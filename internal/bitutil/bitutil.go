@@ -8,6 +8,8 @@ package bitutil
 import "math/bits"
 
 // Mask returns a value with the low n bits set. n must be in [0, 64].
+//
+//pclint:hotpath
 func Mask(n uint) uint64 {
 	if n >= 64 {
 		return ^uint64(0)
@@ -48,6 +50,8 @@ func Log2(v uint64) uint {
 // chunks together. It is the standard history-folding trick used when a
 // history register is longer than the index a table can accept. width must
 // be in (0, 64]; Fold returns 0 when width is 0.
+//
+//pclint:hotpath
 func Fold(v uint64, width uint) uint64 {
 	if width == 0 {
 		return 0
@@ -73,6 +77,8 @@ func Fold(v uint64, width uint) uint64 {
 // BOR) value. The address is pre-shifted right by 2 to discard the usual
 // alignment bits, then XOR-folded with the history into indexBits bits,
 // gshare style.
+//
+//pclint:hotpath
 func IndexHash(addr, hist uint64, indexBits uint) uint64 {
 	a := addr >> 2
 	return (Fold(a, indexBits) ^ Fold(hist, indexBits)) & Mask(indexBits)
@@ -85,6 +91,8 @@ func IndexHash(addr, hist uint64, indexBits uint) uint64 {
 // (Section 4 of the paper: "two different hash functions ... selected to
 // minimize the probability that a particular branch address and BOR value
 // combination will use the same table entry and have the same tag").
+//
+//pclint:hotpath
 func TagHash(addr, hist uint64, tagBits uint) uint64 {
 	x := Spread(hist ^ bits.RotateLeft64(addr>>2, 32) ^ 0x9e3779b97f4a7c15)
 	return Fold(x, tagBits)
@@ -92,6 +100,8 @@ func TagHash(addr, hist uint64, tagBits uint) uint64 {
 
 // Spread is a 64-bit finalizer (xmix) used to decorrelate synthetic branch
 // addresses and seeds. It is a bijection on uint64.
+//
+//pclint:hotpath
 func Spread(v uint64) uint64 {
 	v ^= v >> 33
 	v *= 0xff51afd7ed558ccd
@@ -102,11 +112,15 @@ func Spread(v uint64) uint64 {
 }
 
 // Parity returns the XOR of the low n bits of v (0 or 1).
+//
+//pclint:hotpath
 func Parity(v uint64, n uint) uint64 {
 	return uint64(bits.OnesCount64(v&Mask(n)) & 1)
 }
 
 // PopCount returns the number of set bits among the low n bits of v.
+//
+//pclint:hotpath
 func PopCount(v uint64, n uint) int {
 	return bits.OnesCount64(v & Mask(n))
 }

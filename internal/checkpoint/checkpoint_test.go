@@ -133,8 +133,12 @@ type stub struct{ v uint64 }
 func (s *stub) Snapshot(enc *Encoder) { enc.Section("stub"); enc.Uvarint(s.v) }
 func (s *stub) Restore(dec *Decoder) error {
 	dec.Section("stub")
-	s.v = dec.Uvarint()
-	return dec.Err()
+	v := dec.Uvarint()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	s.v = v
+	return nil
 }
 
 func TestFileRoundTrip(t *testing.T) {

@@ -1,0 +1,84 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"testing"
+
+	"prophetcritic/internal/checkpoint"
+)
+
+// fuzzState is a tiny Snapshotter used to craft well-formed seed files.
+type fuzzState struct {
+	v     uint64
+	table []uint8
+}
+
+func (s *fuzzState) Snapshot(enc *checkpoint.Encoder) {
+	enc.Section("fuzz")
+	enc.Uvarint(s.v)
+	enc.Uint8s(s.table)
+}
+
+func (s *fuzzState) Restore(dec *checkpoint.Decoder) error {
+	dec.Section("fuzz")
+	v := dec.Uvarint()
+	table := make([]uint8, len(s.table))
+	dec.Uint8s(table)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	s.v = v
+	copy(s.table, table)
+	return nil
+}
+
+// FuzzCheckpointDecoder feeds arbitrary bytes to the "PCCK" file reader
+// and then drains the decoder with every read kind. The decoder's
+// contract on untrusted input is: never panic, keep the first error
+// sticky, and return zero values after it. A checkpoint written by
+// WriteFile is among the seeds, so the fuzzer also explores mutations
+// of valid files, not just garbage.
+func FuzzCheckpointDecoder(f *testing.F) {
+	var valid bytes.Buffer
+	meta := checkpoint.Meta{Workload: "gcc", Prophet: "gshare:8", Critic: "none", FutureBits: 8, Position: 1000}
+	if err := checkpoint.WriteFile(&valid, meta, &fuzzState{v: 42, table: []uint8{1, 2, 3, 0}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("PCCK"))
+	f.Add([]byte("PCCK\x01"))
+	f.Add([]byte("PCCK\xff\x04meta"))
+	f.Add([]byte("not a checkpoint"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		meta, dec, err := checkpoint.ReadFile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Header and meta parsed; the state payload is untrusted. Every
+		// read must stay in bounds and honor the sticky error.
+		dec.Section("fuzz")
+		_ = dec.Uvarint()
+		_ = dec.Svarint()
+		_ = dec.Bool()
+		_ = dec.Float64()
+		_ = dec.String()
+		var u8 [4]uint8
+		dec.Uint8s(u8[:])
+		var i8 [4]int8
+		dec.Int8s(i8[:])
+		var u64 [2]uint64
+		dec.Uint64s(u64[:])
+		firstErr := dec.Err()
+		if v := dec.Uvarint(); firstErr != nil && v != 0 {
+			t.Fatalf("read after error returned %d, want 0", v)
+		}
+		if firstErr != nil && dec.Err() != firstErr {
+			t.Fatalf("sticky error changed: %v -> %v", firstErr, dec.Err())
+		}
+		if dec.Remaining() < 0 {
+			t.Fatalf("negative remaining %d (meta %+v)", dec.Remaining(), meta)
+		}
+	})
+}

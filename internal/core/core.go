@@ -205,6 +205,8 @@ func New(prophet predictor.Predictor, critic predictor.Predictor, cfg Config) *H
 // addr. walk drives the speculative future-bit gathering; it may be nil
 // when FutureBits <= 1 (no walk is needed: the first future bit is the
 // prophet's own prediction).
+//
+//pclint:hotpath
 func (h *Hybrid) Predict(addr uint64, walk WalkFunc) Prediction {
 	bhrV := h.bhr.Value()
 	p := h.prophet.Predict(addr, bhrV)
@@ -263,6 +265,8 @@ func (h *Hybrid) Predict(addr uint64, walk WalkFunc) Prediction {
 // actual outcome (checkpoint-repair semantics: after a mispredict the
 // registers are restored and the correct outcome inserted, so in commit
 // order they always carry actual outcomes).
+//
+//pclint:hotpath
 func (h *Hybrid) Resolve(pr Prediction, taken bool) Critique {
 	h.stats.Branches++
 	prophetRight := pr.Prophet == taken
@@ -299,6 +303,7 @@ func (h *Hybrid) Resolve(pr Prediction, taken bool) Critique {
 	return cr
 }
 
+//pclint:hotpath
 func (h *Hybrid) classify(pr Prediction, prophetRight bool) Critique {
 	if h.critic == nil || !pr.CriticUsed {
 		if h.critic != nil && h.cfg.Filtered {

@@ -22,6 +22,8 @@ type Sat struct {
 // NewSat returns a counter of the given bit width, initialised to the given
 // value (clamped to the representable range). Width must be in [1, 8];
 // widths outside the range are clamped.
+//
+//pclint:hotpath
 func NewSat(width uint, init uint8) Sat {
 	if width < 1 {
 		width = 1
@@ -37,12 +39,16 @@ func NewSat(width uint, init uint8) Sat {
 
 // NewSat2 returns the canonical 2-bit counter initialised to weakly
 // not-taken (01), the standard cold value.
+//
+//pclint:hotpath
 func NewSat2() Sat { return NewSat(2, 1) }
 
 // NewSat2Weak returns a 2-bit counter biased to the given direction
 // (weakly taken for taken=true, weakly not-taken otherwise). Used when a
 // critic entry is allocated and "the critic's prediction structures are
 // also initialized according to the branch's outcome" (Section 4).
+//
+//pclint:hotpath
 func NewSat2Weak(taken bool) Sat {
 	if taken {
 		return NewSat(2, 2)
@@ -51,22 +57,32 @@ func NewSat2Weak(taken bool) Sat {
 }
 
 // Value returns the raw counter value.
+//
+//pclint:hotpath
 func (c Sat) Value() uint8 { return c.v }
 
 // Max returns the saturation ceiling.
+//
+//pclint:hotpath
 func (c Sat) Max() uint8 { return c.max }
 
 // Taken reports the predicted direction: true when the counter is in the
 // upper half of its range.
+//
+//pclint:hotpath
 func (c Sat) Taken() bool { return c.v >= c.half }
 
 // Strong reports whether the counter is fully saturated in either
 // direction.
+//
+//pclint:hotpath
 func (c Sat) Strong() bool { return c.v == 0 || c.v == c.max }
 
 // Confidence returns a small integer measuring distance from the decision
 // boundary: 0 for the weak states next to the midpoint, growing toward the
 // saturated states.
+//
+//pclint:hotpath
 func (c Sat) Confidence() uint8 {
 	if c.Taken() {
 		return c.v - c.half
@@ -75,6 +91,8 @@ func (c Sat) Confidence() uint8 {
 }
 
 // Set stores v, clamped to the counter range.
+//
+//pclint:hotpath
 func (c *Sat) Set(v uint8) {
 	if v > c.max {
 		v = c.max
@@ -84,6 +102,8 @@ func (c *Sat) Set(v uint8) {
 
 // Update moves the counter toward the observed outcome: increment on
 // taken, decrement on not-taken, saturating at both ends.
+//
+//pclint:hotpath
 func (c *Sat) Update(taken bool) {
 	if taken {
 		if c.v < c.max {
@@ -97,6 +117,8 @@ func (c *Sat) Update(taken bool) {
 // Reinforce moves the counter toward the given direction only if it
 // already agrees; otherwise it is a no-op. Used by partial-update policies
 // (2Bc-gskew strengthens only the tables that were correct).
+//
+//pclint:hotpath
 func (c *Sat) Reinforce(taken bool) {
 	if c.Taken() == taken {
 		c.Update(taken)
@@ -115,10 +137,14 @@ func (c *Sat) Reinforce(taken bool) {
 const Sat2Cold uint8 = 1
 
 // Sat2Taken reports the predicted direction of a bare 2-bit counter.
+//
+//pclint:hotpath
 func Sat2Taken(v uint8) bool { return v >= 2 }
 
 // Sat2Update moves the counter toward the observed outcome, saturating
 // at both ends.
+//
+//pclint:hotpath
 func Sat2Update(c *uint8, taken bool) {
 	if taken {
 		if *c < 3 {
@@ -132,6 +158,8 @@ func Sat2Update(c *uint8, taken bool) {
 // Sat2Reinforce strengthens the counter toward the direction only if it
 // already agrees; used by partial-update policies (2Bc-gskew strengthens
 // only the tables that were correct).
+//
+//pclint:hotpath
 func Sat2Reinforce(c *uint8, taken bool) {
 	if Sat2Taken(*c) == taken {
 		Sat2Update(c, taken)
@@ -140,6 +168,8 @@ func Sat2Reinforce(c *uint8, taken bool) {
 
 // Sat2Weak returns the weakly-biased cold value for an entry initialised
 // "according to the branch's outcome" (Section 4 of the paper).
+//
+//pclint:hotpath
 func Sat2Weak(taken bool) uint8 {
 	if taken {
 		return 2
@@ -169,6 +199,8 @@ type Weight struct {
 // in [2, 16]; widths outside the range are clamped. Perceptron predictors
 // traditionally use 8-bit weights in [-128, 127]; we use the symmetric
 // range so negation is always representable.
+//
+//pclint:hotpath
 func NewWeight(width uint) Weight {
 	if width < 2 {
 		width = 2
@@ -181,9 +213,13 @@ func NewWeight(width uint) Weight {
 }
 
 // Value returns the current weight.
+//
+//pclint:hotpath
 func (w Weight) Value() int16 { return w.v }
 
 // Bump moves the weight one step in the given direction, saturating.
+//
+//pclint:hotpath
 func (w *Weight) Bump(up bool) {
 	if up {
 		if w.v < w.max {
@@ -195,6 +231,8 @@ func (w *Weight) Bump(up bool) {
 }
 
 // Set stores v clamped to the representable range.
+//
+//pclint:hotpath
 func (w *Weight) Set(v int16) {
 	if v > w.max {
 		v = w.max
@@ -206,5 +244,9 @@ func (w *Weight) Set(v int16) {
 }
 
 // Min and Max return the saturation bounds.
+//
+//pclint:hotpath
 func (w Weight) Min() int16 { return w.min }
+
+//pclint:hotpath
 func (w Weight) Max() int16 { return w.max }

@@ -39,12 +39,16 @@ func New(n int, histLen uint, filterSetBits uint, filterWays int, tagBits, filte
 }
 
 // Predict implements predictor.Predictor (unfiltered view).
+//
+//pclint:hotpath
 func (f *Perceptron) Predict(addr, hist uint64) bool {
 	return f.pred.Predict(addr, hist)
 }
 
 // PredictTagged implements predictor.Tagged: the perceptron's prediction,
 // gated by the filter.
+//
+//pclint:hotpath
 func (f *Perceptron) PredictTagged(addr, hist uint64) (taken, hit bool) {
 	_, hit = f.filter.Lookup(addr, hist)
 	return f.pred.Predict(addr, hist), hit
@@ -52,6 +56,8 @@ func (f *Perceptron) PredictTagged(addr, hist uint64) (taken, hit bool) {
 
 // Update implements predictor.Predictor: trains the perceptron and
 // refreshes the filter entry's LRU position when present.
+//
+//pclint:hotpath
 func (f *Perceptron) Update(addr, hist uint64, taken bool) {
 	f.pred.Update(addr, hist, taken)
 	f.filter.Update(addr, hist, taken)
@@ -59,6 +65,8 @@ func (f *Perceptron) Update(addr, hist uint64, taken bool) {
 
 // Allocate implements predictor.Tagged: inserts the (addr, BOR) context
 // into the filter and initialises the perceptron toward the outcome.
+//
+//pclint:hotpath
 func (f *Perceptron) Allocate(addr, hist uint64, taken bool) {
 	f.filter.Allocate(addr, hist, taken)
 	f.pred.Train(addr, hist, taken)

@@ -71,6 +71,7 @@ func newG(indexBits, histLen uint, f Flavor) *Gshare {
 	return g
 }
 
+//pclint:hotpath
 func (g *Gshare) index(addr, hist uint64) uint64 {
 	h := hist & g.histMask
 	switch g.flavor {
@@ -87,11 +88,15 @@ func (g *Gshare) index(addr, hist uint64) uint64 {
 }
 
 // Predict implements predictor.Predictor.
+//
+//pclint:hotpath
 func (g *Gshare) Predict(addr, hist uint64) bool {
 	return counter.Sat2Taken(g.table[g.index(addr, hist)])
 }
 
 // Update implements predictor.Predictor.
+//
+//pclint:hotpath
 func (g *Gshare) Update(addr, hist uint64, taken bool) {
 	counter.Sat2Update(&g.table[g.index(addr, hist)], taken)
 }

@@ -87,10 +87,13 @@ func New(indexBits, histLen uint) *Gskew {
 // The three indexing functions. BIM ignores history. G0 and G1 use
 // distinct skewing transforms so inter-table aliasing is decorrelated —
 // the essence of the skewed organisation.
+//
+//pclint:hotpath
 func (g *Gskew) idxBim(addr uint64) uint64 {
 	return bitutil.Fold(addr>>2, g.indexBits)
 }
 
+//pclint:hotpath
 func (g *Gskew) idxG0(addr, hist uint64) uint64 {
 	h := hist & g.histMask
 	if g.histLen <= g.indexBits {
@@ -101,6 +104,7 @@ func (g *Gskew) idxG0(addr, hist uint64) uint64 {
 	return bitutil.IndexHash(addr, h, g.indexBits)
 }
 
+//pclint:hotpath
 func (g *Gskew) idxG1(addr, hist uint64) uint64 {
 	h := hist & g.histMask
 	a := bits.RotateLeft64(addr>>2, 5)
@@ -113,6 +117,7 @@ func (g *Gskew) idxG1(addr, hist uint64) uint64 {
 	return (bitutil.Fold(a, g.indexBits) ^ hf) & g.idxMask
 }
 
+//pclint:hotpath
 func (g *Gskew) idxMeta(addr, hist uint64) uint64 {
 	h := hist & g.histMask
 	a := bits.RotateLeft64(addr>>2, 11)
@@ -125,10 +130,13 @@ func (g *Gskew) idxMeta(addr, hist uint64) uint64 {
 
 // indices computes all four table indices in one pass; Predict and Update
 // each hash the (addr, hist) pair exactly once.
+//
+//pclint:hotpath
 func (g *Gskew) indices(addr, hist uint64) (iB, i0, i1, iM uint64) {
 	return g.idxBim(addr), g.idxG0(addr, hist), g.idxG1(addr, hist), g.idxMeta(addr, hist)
 }
 
+//pclint:hotpath
 func majority(a, b, c bool) bool {
 	n := 0
 	if a {
@@ -144,6 +152,8 @@ func majority(a, b, c bool) bool {
 }
 
 // components returns the three direction predictions and the meta choice.
+//
+//pclint:hotpath
 func (g *Gskew) components(addr, hist uint64) (bim, p0, p1, useMajority bool) {
 	iB, i0, i1, iM := g.indices(addr, hist)
 	return counter.Sat2Taken(g.bim[iB]), counter.Sat2Taken(g.g0[i0]), counter.Sat2Taken(g.g1[i1]), counter.Sat2Taken(g.meta[iM])
@@ -153,6 +163,8 @@ func (g *Gskew) components(addr, hist uint64) (bim, p0, p1, useMajority bool) {
 // lazily: when META selects the bimodal component, the G0/G1 hashes —
 // the most expensive ones — are never computed. Predict is the dominant
 // call of the prophet's future-bit walk, so this pays once per future bit.
+//
+//pclint:hotpath
 func (g *Gskew) Predict(addr, hist uint64) bool {
 	bim := counter.Sat2Taken(g.bim[g.idxBim(addr)])
 	if !counter.Sat2Taken(g.meta[g.idxMeta(addr, hist)]) {
@@ -163,6 +175,8 @@ func (g *Gskew) Predict(addr, hist uint64) bool {
 
 // Update implements predictor.Predictor, applying the partial update
 // policy described in the package comment.
+//
+//pclint:hotpath
 func (g *Gskew) Update(addr, hist uint64, taken bool) {
 	iB, i0, i1, iM := g.indices(addr, hist)
 	bim := counter.Sat2Taken(g.bim[iB])

@@ -60,17 +60,25 @@ func New(n uint) Register {
 }
 
 // Len returns the register length in bits.
+//
+//pclint:hotpath
 func (r Register) Len() uint { return r.len }
 
 // Value returns the register contents. Only the low Len bits can be set.
+//
+//pclint:hotpath
 func (r Register) Value() uint64 { return r.v }
 
 // Mask returns the length mask (low Len bits set), precomputed at
 // construction so hot paths can shift-and-mask without recomputing it.
+//
+//pclint:hotpath
 func (r Register) Mask() uint64 { return r.mask }
 
 // Push shifts in a new outcome (true = taken) as the newest bit, discarding
 // the oldest.
+//
+//pclint:hotpath
 func (r *Register) Push(taken bool) {
 	b := uint64(0)
 	if taken {
@@ -82,6 +90,8 @@ func (r *Register) Push(taken bool) {
 // PushBits shifts in n outcome bits from v, oldest first: bit n-1 of v is
 // inserted first and bit 0 of v becomes the newest register bit. n must not
 // exceed 64.
+//
+//pclint:hotpath
 func (r *Register) PushBits(v uint64, n uint) {
 	for i := int(n) - 1; i >= 0; i-- {
 		r.Push(v>>uint(i)&1 == 1)
@@ -89,15 +99,19 @@ func (r *Register) PushBits(v uint64, n uint) {
 }
 
 // Bit returns outcome i, where 0 is the newest bit. It panics if i >= Len.
+//
+//pclint:hotpath
 func (r Register) Bit(i uint) bool {
 	if i >= r.len {
-		panic(fmt.Sprintf("history: Bit(%d) out of range for %d-bit register", i, r.len))
+		panic(fmt.Sprintf("history: Bit(%d) out of range for %d-bit register", i, r.len)) //pclint:allow cold panic guard
 	}
 	return r.v>>i&1 == 1
 }
 
 // Window returns n bits starting at offset from the newest end: offset 0,
 // n=k yields the k newest bits. Bits beyond the register length read as 0.
+//
+//pclint:hotpath
 func (r Register) Window(offset, n uint) uint64 {
 	return (r.v >> offset) & bitutil.Mask(n)
 }

@@ -41,12 +41,15 @@ func New(lhtBits, histLen uint) *Local {
 	return l
 }
 
+//pclint:hotpath
 func (l *Local) lhtIndex(addr uint64) uint64 {
 	return bitutil.Fold(addr>>2, l.lhtBits)
 }
 
 // Predict implements predictor.Predictor. The global history argument is
 // ignored: this predictor correlates on the branch's own past.
+//
+//pclint:hotpath
 func (l *Local) Predict(addr, hist uint64) bool {
 	lh := l.lht[l.lhtIndex(addr)]
 	return l.pht[lh].Taken()
@@ -55,6 +58,8 @@ func (l *Local) Predict(addr, hist uint64) bool {
 // Update implements predictor.Predictor: trains the pattern table with the
 // pre-update local history, then shifts the outcome into the local history
 // register.
+//
+//pclint:hotpath
 func (l *Local) Update(addr, hist uint64, taken bool) {
 	li := l.lhtIndex(addr)
 	lh := l.lht[li]

@@ -118,6 +118,8 @@ func New(n int, histLen uint) *Perceptron {
 
 // rowIndex maps a branch address to its perceptron, memoising the modulo
 // through the direct-mapped cache.
+//
+//pclint:hotpath
 func (p *Perceptron) rowIndex(addr uint64) int {
 	a := addr >> 2
 	slot := a & (1<<rowCacheBits - 1)
@@ -130,6 +132,7 @@ func (p *Perceptron) rowIndex(addr uint64) int {
 	return idx
 }
 
+//pclint:hotpath
 func (p *Perceptron) rowWordsOf(idx int) []uint64 {
 	start := idx * p.rowWords
 	return p.packed[start : start+p.rowWords]
@@ -143,6 +146,8 @@ func (p *Perceptron) rowWordsOf(idx int) []uint64 {
 // Summing the lanes and subtracting lanes*laneBias recovers the exact
 // signed sum; weights beyond histLen are zero, so their lanes contribute
 // laneBias regardless of the (ignored) history bits above histLen.
+//
+//pclint:hotpath
 func outputPacked(words []uint64, bias int8, hist uint64) int32 {
 	sum := int32(0)
 	var acc uint64
@@ -166,17 +171,23 @@ func outputPacked(words []uint64, bias int8, hist uint64) int32 {
 }
 
 // spillLanes sums the four 16-bit lanes of acc.
+//
+//pclint:hotpath
 func spillLanes(acc uint64) int32 {
 	return int32(acc&0xFFFF) + int32(acc>>16&0xFFFF) + int32(acc>>32&0xFFFF) + int32(acc>>48)
 }
 
 // laneGet extracts weight j from a packed row.
+//
+//pclint:hotpath
 func laneGet(words []uint64, j int) int32 {
 	sh := uint(j&(lanesPerW-1)) * 16
 	return int32(uint16(words[j/lanesPerW]>>sh)) - laneBias
 }
 
 // laneSet stores weight w into slot j of a packed row.
+//
+//pclint:hotpath
 func laneSet(words []uint64, j int, w int32) {
 	sh := uint(j&(lanesPerW-1)) * 16
 	k := j / lanesPerW
@@ -184,6 +195,8 @@ func laneSet(words []uint64, j int, w int32) {
 }
 
 // clampWeight saturates at ±maxWeight.
+//
+//pclint:hotpath
 func clampWeight(v int32) int32 {
 	if v > maxWeight {
 		return maxWeight
@@ -194,6 +207,7 @@ func clampWeight(v int32) int32 {
 	return v
 }
 
+//pclint:hotpath
 func (p *Perceptron) output(addr, hist uint64) int32 {
 	if p.mOK && p.mAddr == addr && p.mHist == hist {
 		return p.mOut
@@ -206,18 +220,24 @@ func (p *Perceptron) output(addr, hist uint64) int32 {
 
 // Predict implements predictor.Predictor: taken when the output is
 // non-negative.
+//
+//pclint:hotpath
 func (p *Perceptron) Predict(addr, hist uint64) bool {
 	return p.output(addr, hist) >= 0
 }
 
 // Output exposes the raw perceptron output, a confidence magnitude used by
 // white-box tests and by overriding/confidence experiments.
+//
+//pclint:hotpath
 func (p *Perceptron) Output(addr, hist uint64) int32 { return p.output(addr, hist) }
 
 // train applies one perceptron learning step toward the outcome:
 // strengthen agreement between each history bit and the outcome. The step
 // direction is computed arithmetically — training directions are
 // data-dependent and would mispredict as branches.
+//
+//pclint:hotpath
 func (p *Perceptron) train(idx int, hist uint64, taken bool) {
 	p.mOK = false
 	d := int32(-1)
@@ -235,6 +255,8 @@ func (p *Perceptron) train(idx int, hist uint64, taken bool) {
 
 // Update implements predictor.Predictor using the standard perceptron
 // learning rule: train on a mispredict or when |output| <= theta.
+//
+//pclint:hotpath
 func (p *Perceptron) Update(addr, hist uint64, taken bool) {
 	out := p.output(addr, hist)
 	pred := out >= 0
@@ -251,6 +273,8 @@ func (p *Perceptron) Update(addr, hist uint64, taken bool) {
 // Train forces a training step toward the outcome regardless of threshold;
 // used when a filtered-critic entry is allocated and its "prediction
 // structures are initialized according to the branch's outcome" (§4).
+//
+//pclint:hotpath
 func (p *Perceptron) Train(addr, hist uint64, taken bool) {
 	p.train(p.rowIndex(addr), hist, taken)
 }

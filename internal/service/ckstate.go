@@ -91,26 +91,47 @@ func (c *ckState) Restore(dec *checkpoint.Decoder) error {
 	if dec.Err() == nil && mode != c.mode {
 		dec.Failf("service: checkpoint mode %d does not match the job's mode %d (spec changed?)", mode, c.mode)
 	}
-	c.workload = int(workload)
+	// Decode everything into scratch first and only commit to the
+	// receiver once the decoder is known clean, so a truncated or
+	// corrupt checkpoint leaves the job state untouched.
 	switch c.mode {
 	case ckModeStepped:
-		c.measuredDone = int(dec.Uvarint())
-		c.partial = decodeCounters(dec)
+		measuredDone := int(dec.Uvarint())
+		partial := decodeCounters(dec)
 		if err := dec.Err(); err != nil {
 			return err
 		}
-		return c.hybrid.Restore(dec)
+		if err := c.hybrid.Restore(dec); err != nil {
+			return err
+		}
+		c.workload = int(workload)
+		c.measuredDone = measuredDone
+		c.partial = partial
+		return nil
 	case ckModeSharded:
 		n := dec.Uvarint()
 		if dec.Err() == nil && n != uint64(len(c.done)) {
 			dec.Failf("service: checkpoint has %d shards, job has %d", n, len(c.done))
 		}
-		for i := range c.done {
-			c.done[i] = dec.Bool()
-			if c.done[i] {
-				c.shards[i] = decodeCounters(dec)
+		done := make([]bool, len(c.done))
+		shards := make([]sim.Result, len(c.shards))
+		for i := range done {
+			done[i] = dec.Bool()
+			if done[i] {
+				shards[i] = decodeCounters(dec)
 			}
 		}
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		c.workload = int(workload)
+		copy(c.done, done)
+		copy(c.shards, shards)
+		return nil
 	}
-	return dec.Err()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	c.workload = int(workload)
+	return nil
 }

@@ -99,6 +99,23 @@ func (r Result) FilteredFrac() (correct, incorrect, total float64) {
 	return c, i, c + i
 }
 
+// stepBranch is the simulator's per-branch inner loop: predict the
+// branch at the stream cursor, commit it, and resolve. It is the one
+// function every simulated branch funnels through, so it is held to the
+// hotpath wall — everything it calls must be allocation-free.
+//
+//pclint:hotpath
+func stepBranch(run *program.Run, h *core.Hybrid, walk core.WalkFunc) program.Event {
+	addr := run.CurrentAddr()
+	pr := h.Predict(addr, walk)
+	ev := run.Next()
+	if ev.Addr != addr {
+		panic(fmt.Sprintf("sim: committed branch %#x does not match predicted %#x", ev.Addr, addr)) //pclint:allow cold panic guard, never on the committed path
+	}
+	h.Resolve(pr, ev.Taken)
+	return ev
+}
+
 // Run simulates one hybrid over one program.
 func Run(p *program.Program, h *core.Hybrid, opt Options) Result {
 	if opt.MeasureBranches <= 0 {
@@ -136,13 +153,7 @@ func RunSegment(p *program.Program, h *core.Hybrid, skip, train, measure int) Re
 		if i == train {
 			baseline = h.Stats()
 		}
-		addr := run.CurrentAddr()
-		pr := h.Predict(addr, walk)
-		ev := run.Next()
-		if ev.Addr != addr {
-			panic(fmt.Sprintf("sim: committed branch %#x does not match predicted %#x", ev.Addr, addr))
-		}
-		h.Resolve(pr, ev.Taken)
+		ev := stepBranch(run, h, walk)
 		if i >= train {
 			res.Uops += uint64(ev.Uops)
 		}

@@ -33,12 +33,16 @@ func New(setBits uint, ways int, tagBits, histLen uint) *Gshare {
 
 // Predict implements predictor.Predictor. On a tag miss it returns
 // not-taken; callers that care about filtering use PredictTagged.
+//
+//pclint:hotpath
 func (g *Gshare) Predict(addr, hist uint64) bool {
 	taken, _ := g.table.Lookup(addr, hist)
 	return taken
 }
 
 // PredictTagged implements predictor.Tagged.
+//
+//pclint:hotpath
 func (g *Gshare) PredictTagged(addr, hist uint64) (taken, hit bool) {
 	return g.table.Lookup(addr, hist)
 }
@@ -46,11 +50,15 @@ func (g *Gshare) PredictTagged(addr, hist uint64) (taken, hit bool) {
 // Update implements predictor.Predictor: trains the counter if the entry
 // exists; misses are ignored ("the critic is only trained for branches
 // that have hits").
+//
+//pclint:hotpath
 func (g *Gshare) Update(addr, hist uint64, taken bool) {
 	g.table.Update(addr, hist, taken)
 }
 
 // Allocate implements predictor.Tagged.
+//
+//pclint:hotpath
 func (g *Gshare) Allocate(addr, hist uint64, taken bool) {
 	g.table.Allocate(addr, hist, taken)
 }

@@ -68,12 +68,14 @@ func New(setBits uint, ways int, tagBits, histLen uint, withCounters bool) *Tabl
 	return t
 }
 
+//pclint:hotpath
 func (t *Table) set(addr, hist uint64) []entry {
 	h := hist & t.histMask
 	idx := bitutil.IndexHash(addr, h, t.setBits)
 	return t.entries[idx*uint64(t.ways) : (idx+1)*uint64(t.ways)]
 }
 
+//pclint:hotpath
 func (t *Table) tag(addr, hist uint64) uint32 {
 	h := hist & t.histMask
 	return uint32(bitutil.TagHash(addr, h, t.tagBits))
@@ -81,6 +83,8 @@ func (t *Table) tag(addr, hist uint64) uint32 {
 
 // Lookup reports whether (addr, hist) hits and, if so, the direction its
 // counter predicts. Lookup is side-effect free.
+//
+//pclint:hotpath
 func (t *Table) Lookup(addr, hist uint64) (taken, hit bool) {
 	set := t.set(addr, hist)
 	tag := t.tag(addr, hist)
@@ -94,6 +98,8 @@ func (t *Table) Lookup(addr, hist uint64) (taken, hit bool) {
 
 // Update trains the counter of a hitting entry toward the outcome and
 // refreshes its LRU position. It reports whether the entry was found.
+//
+//pclint:hotpath
 func (t *Table) Update(addr, hist uint64, taken bool) bool {
 	set := t.set(addr, hist)
 	tag := t.tag(addr, hist)
@@ -111,6 +117,8 @@ func (t *Table) Update(addr, hist uint64, taken bool) bool {
 // Allocate inserts an entry for (addr, hist), replacing the LRU way, with
 // its counter initialised weakly toward the outcome. If the entry already
 // exists it is re-initialised and touched instead.
+//
+//pclint:hotpath
 func (t *Table) Allocate(addr, hist uint64, taken bool) {
 	set := t.set(addr, hist)
 	tag := t.tag(addr, hist)

@@ -40,6 +40,7 @@ func New(a, b predictor.Predictor, idxBits uint, useHist bool, histLen uint) *To
 	return t
 }
 
+//pclint:hotpath
 func (t *Tournament) index(addr, hist uint64) uint64 {
 	if t.useHist {
 		return bitutil.IndexHash(addr, hist&bitutil.Mask(t.histLen), t.idxBits)
@@ -48,6 +49,8 @@ func (t *Tournament) index(addr, hist uint64) uint64 {
 }
 
 // Predict implements predictor.Predictor.
+//
+//pclint:hotpath
 func (t *Tournament) Predict(addr, hist uint64) bool {
 	if t.chooser[t.index(addr, hist)].Taken() {
 		return t.b.Predict(addr, hist)
@@ -58,6 +61,8 @@ func (t *Tournament) Predict(addr, hist uint64) bool {
 // Update implements predictor.Predictor: both components always train;
 // the chooser trains toward the component that was right when they
 // disagree.
+//
+//pclint:hotpath
 func (t *Tournament) Update(addr, hist uint64, taken bool) {
 	pa := t.a.Predict(addr, hist)
 	pb := t.b.Predict(addr, hist)

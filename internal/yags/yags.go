@@ -39,6 +39,8 @@ func New(choiceBits, cacheBits uint, ways int, tagBits, histLen uint) *YAGS {
 }
 
 // Predict implements predictor.Predictor.
+//
+//pclint:hotpath
 func (y *YAGS) Predict(addr, hist uint64) bool {
 	if y.choice.Predict(addr, hist) {
 		// Bias taken: consult the NT exception cache.
@@ -57,6 +59,8 @@ func (y *YAGS) Predict(addr, hist uint64) bool {
 // chosen side trains on hits and allocates when the bias mispredicts; the
 // choice table trains except when the exception was right and the bias
 // wrong (the standard YAGS partial-update rule).
+//
+//pclint:hotpath
 func (y *YAGS) Update(addr, hist uint64, taken bool) {
 	bias := y.choice.Predict(addr, hist)
 	cache := y.tCache
