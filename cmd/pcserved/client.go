@@ -16,12 +16,24 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"prophetcritic/internal/service"
 )
+
+// multiFlag collects a repeatable string flag in order.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
 
 // apiFlags registers the connection flags shared by every client mode
 // and returns a constructor for the configured client.
@@ -40,6 +52,8 @@ func submit(args []string) {
 	bench := fs.String("bench", "", "comma-separated benchmarks, suites, or 'all'")
 	traceFlag := fs.String("trace", "", "comma-separated trace files (relative to the server's trace dir)")
 	prophetFlag := fs.String("prophet", "2Bc-gskew:8", "prophet spec: kind:KB or kind(name=value,...); see sweep -list-kinds")
+	var specsFlag multiFlag
+	fs.Var(&specsFlag, "spec", "prophet spec; repeat to evaluate several specs in one pass of each workload (overrides -prophet)")
 	criticFlag := fs.String("critic", "tagged gshare:8", "critic spec (same grammar as -prophet), or 'none'")
 	fb := fs.Uint("fb", 1, "number of future bits")
 	unfiltered := fs.Bool("unfiltered", false, "critique every branch (no tag filter)")
@@ -55,13 +69,17 @@ func submit(args []string) {
 	spec := service.JobSpec{
 		Client:     *client,
 		Priority:   *priority,
-		Prophet:    *prophetFlag,
 		Critic:     *criticFlag,
 		FutureBits: *fb,
 		Unfiltered: *unfiltered,
 		Warmup:     *warmup,
 		Measure:    *measure,
 		Shards:     *shards,
+	}
+	if len(specsFlag) > 0 {
+		spec.Specs = specsFlag
+	} else {
+		spec.Prophet = *prophetFlag
 	}
 	if *warmupFrac != 1 {
 		spec.WarmupFrac = warmupFrac
@@ -223,19 +241,86 @@ func result(args []string) {
 func list(args []string) {
 	fs := flag.NewFlagSet("pcserved list", flag.ExitOnError)
 	api := apiFlags(fs)
+	state := fs.String("state", "", "filter by state: queued, running, done, or failed")
+	limit := fs.Int("limit", 0, "page size (0 = everything in one response)")
 	fs.Parse(args)
-	var jobs []service.Job
-	if err := api().GetJSON(context.Background(), "/v1/jobs", &jobs); err != nil {
-		fatal(fmt.Errorf("list rejected: %w", err))
-	}
+	c := api()
+
 	fmt.Printf("%-10s %-9s %-4s %-9s %s\n", "ID", "STATE", "PRIO", "WORKLOADS", "PREDICTOR")
-	for _, j := range jobs {
-		critic := j.Spec.Critic
-		if critic == "" {
-			critic = "none"
+	after := ""
+	for {
+		q := url.Values{}
+		if *state != "" {
+			q.Set("state", *state)
 		}
-		fmt.Printf("%-10s %-9s %-4d %-9d %s + %s\n",
-			j.ID, j.State, j.Spec.Priority, len(j.Workloads), j.Spec.Prophet, critic)
+		if *limit > 0 {
+			q.Set("limit", strconv.Itoa(*limit))
+		}
+		if after != "" {
+			q.Set("after", after)
+		}
+		path := "/v1/jobs"
+		if enc := q.Encode(); enc != "" {
+			path += "?" + enc
+		}
+		var page service.JobList
+		if err := c.GetJSON(context.Background(), path, &page); err != nil {
+			fatal(fmt.Errorf("list rejected: %w", err))
+		}
+		for _, j := range page.Jobs {
+			critic := j.Spec.Critic
+			if critic == "" {
+				critic = "none"
+			}
+			// Pre-normalization records may carry only the deprecated
+			// single-spec aliases.
+			specs := j.Spec.Specs
+			if len(specs) == 0 && j.Spec.Prophet != "" {
+				specs = []string{j.Spec.Prophet}
+			}
+			if len(specs) == 0 && j.Spec.Spec != "" {
+				specs = []string{j.Spec.Spec}
+			}
+			fmt.Printf("%-10s %-9s %-4d %-9d %s + %s\n",
+				j.ID, j.State, j.Spec.Priority, len(j.Workloads), strings.Join(specs, "; "), critic)
+		}
+		if page.Next == "" {
+			return
+		}
+		after = page.Next
+	}
+}
+
+// results queries the server's content-addressed result cache (GET
+// /v1/results), printing one NDJSON entry per cached cell — each with
+// its cell key, the job that computed it, and the row it serves.
+func results(args []string) {
+	fs := flag.NewFlagSet("pcserved results", flag.ExitOnError)
+	api := apiFlags(fs)
+	spec := fs.String("spec", "", "filter by prophet spec (canonicalized; prophet-alone specs also match their hybrid cells)")
+	workload := fs.String("workload", "", "filter by workload: a benchmark name or a trace content-hash prefix")
+	fs.Parse(args)
+
+	q := url.Values{}
+	if *spec != "" {
+		q.Set("spec", *spec)
+	}
+	if *workload != "" {
+		q.Set("workload", *workload)
+	}
+	path := "/v1/results"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var list service.ResultList
+	if err := api().GetJSON(context.Background(), path, &list); err != nil {
+		fatal(fmt.Errorf("results rejected: %w", err))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, e := range list.Results {
+		if err := enc.Encode(e); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -51,6 +51,8 @@ func main() {
 		result(os.Args[2:])
 	case "list":
 		list(os.Args[2:])
+	case "results":
+		results(os.Args[2:])
 	default:
 		usage()
 	}
@@ -68,12 +70,14 @@ func usage() {
   pcserved worker -addr <coordinator-url> [-name NAME] [-trace-dir <dir>]
                   [-timeout 30s] [-retries 4] [-chaos SPEC]
   pcserved submit -addr <url> (-bench a,b|-trace f.trc) [-prophet kind:KB]
-                  [-critic kind:KB|none] [-fb N] [-unfiltered] [-warmup N]
-                  [-measure N] [-shards K] [-warmup-frac F] [-priority P]
-                  [-client NAME] [-watch] [-timeout D] [-retries N]
+                  [-spec kind:KB]... [-critic kind:KB|none] [-fb N]
+                  [-unfiltered] [-warmup N] [-measure N] [-shards K]
+                  [-warmup-frac F] [-priority P] [-client NAME] [-watch]
+                  [-timeout D] [-retries N]
   pcserved watch  -addr <url> [-json] [-timeout D] [-retries N] <job-id>
   pcserved result -addr <url> [-timeout D] [-retries N] <job-id>
-  pcserved list   -addr <url> [-timeout D] [-retries N]
+  pcserved list   -addr <url> [-state S] [-limit N] [-timeout D] [-retries N]
+  pcserved results -addr <url> [-spec S] [-workload W] [-timeout D] [-retries N]
 
 chaos SPEC (worker fault injection, comma-separated):
   kill-on-lease=N, drop-heartbeats, delay-results=D, duplicate-deliver`)

@@ -208,11 +208,32 @@ func New(prophet predictor.Predictor, critic predictor.Predictor, cfg Config) *H
 //
 //pclint:hotpath
 func (h *Hybrid) Predict(addr uint64, walk WalkFunc) Prediction {
+	var pr Prediction
+	h.predictInto(addr, walk, &pr)
+	return pr
+}
+
+// Step predicts the branch at addr and immediately resolves it against
+// the committed outcome — the one-pass engine's per-branch call. It is
+// exactly Predict followed by Resolve, with the Prediction kept
+// internal so it never crosses a call boundary by value: with N
+// resident predictors per branch, that spares 2N struct copies per
+// committed branch.
+//
+//pclint:hotpath
+func (h *Hybrid) Step(addr uint64, walk WalkFunc, taken bool) Critique {
+	var pr Prediction
+	h.predictInto(addr, walk, &pr)
+	return h.resolve(&pr, taken)
+}
+
+//pclint:hotpath
+func (h *Hybrid) predictInto(addr uint64, walk WalkFunc, pr *Prediction) {
 	bhrV := h.bhr.Value()
 	p := h.prophet.Predict(addr, bhrV)
-	pr := Prediction{Addr: addr, Prophet: p, Final: p, BHRValue: bhrV}
+	pr.Addr, pr.Prophet, pr.Final, pr.BHRValue = addr, p, p, bhrV
 	if h.critic == nil {
-		return pr
+		return
 	}
 
 	// Gather the branch future: the prophet's prediction for this branch
@@ -251,12 +272,11 @@ func (h *Hybrid) Predict(addr uint64, walk WalkFunc) Prediction {
 			pr.Critic = c
 			pr.Final = c
 		}
-		return pr
+		return
 	}
 	pr.CriticUsed = true
 	pr.Critic = h.critic.Predict(addr, pr.BORValue)
 	pr.Final = pr.Critic
-	return pr
 }
 
 // Resolve commits the branch: classifies the critique, trains the prophet
@@ -268,6 +288,11 @@ func (h *Hybrid) Predict(addr uint64, walk WalkFunc) Prediction {
 //
 //pclint:hotpath
 func (h *Hybrid) Resolve(pr Prediction, taken bool) Critique {
+	return h.resolve(&pr, taken)
+}
+
+//pclint:hotpath
+func (h *Hybrid) resolve(pr *Prediction, taken bool) Critique {
 	h.stats.Branches++
 	prophetRight := pr.Prophet == taken
 	if !prophetRight {
@@ -304,7 +329,7 @@ func (h *Hybrid) Resolve(pr Prediction, taken bool) Critique {
 }
 
 //pclint:hotpath
-func (h *Hybrid) classify(pr Prediction, prophetRight bool) Critique {
+func (h *Hybrid) classify(pr *Prediction, prophetRight bool) Critique {
 	if h.critic == nil || !pr.CriticUsed {
 		if h.critic != nil && h.cfg.Filtered {
 			if prophetRight {

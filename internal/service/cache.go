@@ -1,0 +1,165 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"prophetcritic/internal/budget"
+)
+
+// CacheEntry is one persisted result cell of the content-addressed
+// cache: the canonical (cell spec × workload identity × window) key, the
+// job whose simulation produced it, and the result row. Entries are
+// immutable — results are deterministic per key, so the first writer
+// wins and later identical jobs are answered from here with provenance.
+type CacheEntry struct {
+	Key      string    `json:"key"`
+	Spec     string    `json:"spec"`     // canonical cell spec (cellSpec)
+	Workload string    `json:"workload"` // workload identity (workloadID)
+	Window   string    `json:"window"`   // canonical window (JobSpec.windowKey)
+	Job      string    `json:"job"`      // job that simulated the cell
+	Row      ResultRow `json:"row"`
+}
+
+// resultCache is the scheduler's content-addressed result store: an
+// in-memory index over one JSON file per cell under <data>/cache/,
+// written atomically, loaded wholesale at startup so hits survive
+// restarts. Keys are produced exclusively from normalized job specs
+// (spec.go's cellKey pipeline), which is what makes explicit-default and
+// omitted-field submissions land on the same cell.
+type resultCache struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]CacheEntry
+	hits    uint64
+	misses  uint64
+	stores  uint64
+	bytes   int64 // persisted bytes across all entry files
+}
+
+func newResultCache(dir string) (*resultCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating cache directory: %w", err)
+	}
+	c := &resultCache{dir: dir, entries: make(map[string]CacheEntry)}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var e CacheEntry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return nil, fmt.Errorf("service: corrupt cache entry %s: %w", f.Name(), err)
+		}
+		c.entries[e.Key] = e
+		c.bytes += int64(len(data))
+	}
+	return c, nil
+}
+
+// entryPath addresses an entry file by the content hash of its key, so
+// arbitrary key strings never meet the filesystem.
+func (c *resultCache) entryPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// get looks one cell up, counting the hit or miss.
+func (c *resultCache) get(key string) (CacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+// put stores one cell. The first writer wins: results are deterministic
+// per key, so a concurrent duplicate carries the same counters and only
+// the earlier provenance is kept.
+func (c *resultCache) put(e CacheEntry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[e.Key]; ok {
+		return nil
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: encoding cache entry: %w", err)
+	}
+	if err := atomicWrite(c.entryPath(e.Key), data); err != nil {
+		return fmt.Errorf("service: persisting cache entry: %w", err)
+	}
+	c.entries[e.Key] = e
+	c.stores++
+	c.bytes += int64(len(data))
+	return nil
+}
+
+// list returns the entries matching the (optional) spec and workload
+// query, ordered by key. The spec query is canonicalized through the
+// budget grammar when it parses, and a prophet-alone query also matches
+// hybrid cells led by that prophet; the workload query matches the full
+// identity, a bare benchmark name, or a trace-hash prefix.
+func (c *resultCache) list(spec, workload string) []CacheEntry {
+	var canon string
+	if spec != "" {
+		if cfg, err := budget.ParseSpec(spec); err == nil {
+			canon = cfg.String()
+		} else {
+			canon = spec
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []CacheEntry
+	for _, e := range c.entries {
+		if canon != "" && e.Spec != canon && !strings.HasPrefix(e.Spec, canon+" + ") {
+			continue
+		}
+		if workload != "" && !workloadMatches(e.Workload, workload) {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Key < out[k].Key })
+	return out
+}
+
+func workloadMatches(id, q string) bool {
+	if id == q || id == "bench:"+q {
+		return true
+	}
+	return strings.HasPrefix(id, "trace:") && strings.HasPrefix(strings.TrimPrefix(id, "trace:"), q)
+}
+
+// cacheStats is the counter snapshot /metricsz renders.
+type cacheStats struct {
+	hits, misses, stores uint64
+	entries              int
+	bytes                int64
+}
+
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{hits: c.hits, misses: c.misses, stores: c.stores, entries: len(c.entries), bytes: c.bytes}
+}

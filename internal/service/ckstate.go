@@ -8,19 +8,28 @@ import (
 
 // Job checkpoint payloads, carried in the state section of a standard
 // "PCCK" file (the meta record reuses checkpoint.Meta, so `trace
-// checkpoint info` can inspect a service checkpoint too). Two modes:
+// checkpoint info` can inspect a service checkpoint too). Four modes:
 //
-//   - stepped (Shards <= 1): the measured-so-far partial counters plus a
-//     full hybrid snapshot at Position. Resume restores the hybrid,
-//     fast-forwards the workload to Position, and keeps measuring; the
-//     final counters are the persisted partial merged with the
-//     post-resume window, bit-identical to an uninterrupted run.
-//   - sharded (Shards > 1): the results of completed shards. Resume
-//     reruns only the missing shards and merges in interval order,
-//     reproducing sim.RunSharded exactly.
+//   - stepped (Shards <= 1, one spec): the measured-so-far partial
+//     counters plus a full hybrid snapshot at Position. Resume restores
+//     the hybrid, fast-forwards the workload to Position, and keeps
+//     measuring; the final counters are the persisted partial merged
+//     with the post-resume window, bit-identical to an uninterrupted
+//     run.
+//   - sharded (Shards > 1, one spec): the results of completed shards.
+//     Resume reruns only the missing shards and merges in interval
+//     order, reproducing sim.RunSharded exactly.
+//   - many-stepped / many-sharded (several cache-miss specs in one
+//     pass): the same payloads per covered spec, prefixed by the spec
+//     indices the pass covers. The cache can answer a pre-crash miss
+//     after a restart (another job may have stored the cell meanwhile),
+//     so the covered set at resume can differ from the snapshot's; a
+//     mismatch restarts the workload clean rather than failing the job.
 const (
-	ckModeStepped = 1
-	ckModeSharded = 2
+	ckModeStepped     = 1
+	ckModeSharded     = 2
+	ckModeManyStepped = 3
+	ckModeManySharded = 4
 )
 
 type ckState struct {
@@ -35,6 +44,16 @@ type ckState struct {
 	// sharded mode
 	done   []bool
 	shards []sim.Result
+
+	// many modes: indices (into the job's Specs) of the cache-miss specs
+	// this one-pass run covers, in pass order.
+	specIdx []int
+	// many-stepped: per covered spec, parallel to specIdx
+	partials []sim.Result
+	hybrids  []*core.Hybrid
+	// many-sharded: windows[w][k] is covered spec k's result for
+	// completed shard window w (done still gates per window).
+	windows [][]sim.Result
 }
 
 func encodeCounters(enc *checkpoint.Encoder, r sim.Result) {
@@ -77,13 +96,40 @@ func (c *ckState) Snapshot(enc *checkpoint.Encoder) {
 				encodeCounters(enc, c.shards[i])
 			}
 		}
+	case ckModeManyStepped:
+		enc.Uvarint(uint64(c.measuredDone))
+		enc.Uvarint(uint64(len(c.specIdx)))
+		for i, si := range c.specIdx {
+			enc.Uvarint(uint64(si))
+			encodeCounters(enc, c.partials[i])
+			c.hybrids[i].Snapshot(enc)
+		}
+	case ckModeManySharded:
+		enc.Uvarint(uint64(len(c.specIdx)))
+		for _, si := range c.specIdx {
+			enc.Uvarint(uint64(si))
+		}
+		enc.Uvarint(uint64(len(c.done)))
+		for w, d := range c.done {
+			enc.Bool(d)
+			if d {
+				for k := range c.specIdx {
+					encodeCounters(enc, c.windows[w][k])
+				}
+			}
+		}
 	}
 }
 
 // Restore implements checkpoint.Snapshotter. For stepped checkpoints the
 // caller must have built c.hybrid (from the job spec) before calling;
 // for sharded checkpoints it must have sized c.done/c.shards to the
-// job's shard count. Mode or geometry mismatches fail cleanly.
+// job's shard count. Many-mode checkpoints additionally require
+// c.specIdx set to the covered spec indices (many-stepped: c.hybrids
+// built parallel to it; many-sharded: c.done/c.windows sized) — a
+// covered-set mismatch fails cleanly and the scheduler restarts the
+// workload rather than the job. Mode or geometry mismatches fail
+// cleanly.
 func (c *ckState) Restore(dec *checkpoint.Decoder) error {
 	dec.Section("svcjob")
 	mode := dec.Uvarint()
@@ -127,6 +173,66 @@ func (c *ckState) Restore(dec *checkpoint.Decoder) error {
 		c.workload = int(workload)
 		copy(c.done, done)
 		copy(c.shards, shards)
+		return nil
+	case ckModeManyStepped:
+		measuredDone := int(dec.Uvarint())
+		n := dec.Uvarint()
+		if dec.Err() == nil && n != uint64(len(c.specIdx)) {
+			dec.Failf("service: checkpoint covers %d specs, this pass covers %d", n, len(c.specIdx))
+		}
+		partials := make([]sim.Result, len(c.specIdx))
+		for i := range c.specIdx {
+			si := dec.Uvarint()
+			if dec.Err() == nil && si != uint64(c.specIdx[i]) {
+				dec.Failf("service: checkpoint spec index %d does not match pass index %d", si, c.specIdx[i])
+			}
+			partials[i] = decodeCounters(dec)
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			if err := c.hybrids[i].Restore(dec); err != nil {
+				return err
+			}
+		}
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		c.workload = int(workload)
+		c.measuredDone = measuredDone
+		copy(c.partials, partials)
+		return nil
+	case ckModeManySharded:
+		n := dec.Uvarint()
+		if dec.Err() == nil && n != uint64(len(c.specIdx)) {
+			dec.Failf("service: checkpoint covers %d specs, this pass covers %d", n, len(c.specIdx))
+		}
+		for i := range c.specIdx {
+			si := dec.Uvarint()
+			if dec.Err() == nil && si != uint64(c.specIdx[i]) {
+				dec.Failf("service: checkpoint spec index %d does not match pass index %d", si, c.specIdx[i])
+			}
+		}
+		nw := dec.Uvarint()
+		if dec.Err() == nil && nw != uint64(len(c.done)) {
+			dec.Failf("service: checkpoint has %d shards, job has %d", nw, len(c.done))
+		}
+		done := make([]bool, len(c.done))
+		windows := make([][]sim.Result, len(c.done))
+		for w := range done {
+			done[w] = dec.Bool()
+			if done[w] {
+				windows[w] = make([]sim.Result, len(c.specIdx))
+				for k := range c.specIdx {
+					windows[w][k] = decodeCounters(dec)
+				}
+			}
+		}
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		c.workload = int(workload)
+		copy(c.done, done)
+		copy(c.windows, windows)
 		return nil
 	}
 	if err := dec.Err(); err != nil {

@@ -47,9 +47,10 @@ type unit struct {
 	wi    int // workload index within the job
 	idx   int // window index within the workload
 
-	ref    WorkloadRef
-	spec   JobSpec
-	window sim.Window
+	ref     WorkloadRef
+	spec    JobSpec
+	prophet string // the prophet spec this unit simulates (jobs carry many)
+	window  sim.Window
 
 	state        int
 	attempts     int       // leases issued so far
@@ -303,7 +304,7 @@ func (c *coordinator) lease(workerID string) (*UnitLease, error) {
 		Token:      pick.token,
 		TTLMs:      c.cfg.LeaseTTL.Milliseconds(),
 		Workload:   pick.ref,
-		Prophet:    pick.spec.Prophet,
+		Prophet:    pick.prophet,
 		Critic:     pick.spec.Critic,
 		FutureBits: pick.spec.FutureBits,
 		Unfiltered: pick.spec.Unfiltered,
@@ -370,7 +371,7 @@ func (c *coordinator) complete(unitID, token string, r sim.Result) error {
 
 // addUnits registers the not-yet-done windows of one job workload as
 // leasable units.
-func (c *coordinator) addUnits(j *Job, wi int, ref WorkloadRef, ws []sim.Window, done []bool) {
+func (c *coordinator) addUnits(j *Job, wi int, ref WorkloadRef, ws []sim.Window, done []bool, prophet string) {
 	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -381,7 +382,7 @@ func (c *coordinator) addUnits(j *Job, wi int, ref WorkloadRef, ws []sim.Window,
 		id := unitID(j.ID, wi, i)
 		c.units[id] = &unit{
 			id: id, jobID: j.ID, wi: wi, idx: i,
-			ref: ref, spec: j.Spec, window: w,
+			ref: ref, spec: j.Spec, prophet: prophet, window: w,
 			state: uPending, pendingSince: now, notBefore: now,
 		}
 	}

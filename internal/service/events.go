@@ -42,6 +42,15 @@ type ResultRow struct {
 	Suite     string `json:"suite"`
 	Config    string `json:"config"`
 
+	// Spec is the prophet spec (as submitted) the row answers; CellKey is
+	// the canonical cache-cell identity it was stored or served under.
+	// Cached rows carry provenance: Cached true and SourceJob naming the
+	// job whose simulation originally produced the cell.
+	Spec      string `json:"spec,omitempty"`
+	CellKey   string `json:"cell_key,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
+	SourceJob string `json:"source_job,omitempty"`
+
 	Branches    uint64                    `json:"branches"`
 	Uops        uint64                    `json:"uops"`
 	ProphetMisp uint64                    `json:"prophet_misp"`

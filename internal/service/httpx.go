@@ -213,14 +213,25 @@ func (c *APIClient) Stream(ctx context.Context, path string) (*http.Response, er
 	}
 }
 
-// apiError extracts the server's {"error": ...} body, or echoes the raw
-// payload.
+// apiError extracts the server's {"error":{"code","message"}} envelope
+// (falling back to the pre-v1-envelope {"error":"..."} shape of older
+// servers), or echoes the raw payload.
 func apiError(data []byte) string {
 	var body struct {
-		Error string `json:"error"`
+		Error json.RawMessage `json:"error"`
 	}
-	if json.Unmarshal(data, &body) == nil && body.Error != "" {
-		return body.Error
+	if json.Unmarshal(data, &body) == nil && len(body.Error) > 0 {
+		var env APIError
+		if json.Unmarshal(body.Error, &env) == nil && env.Message != "" {
+			if env.Code != "" {
+				return env.Code + ": " + env.Message
+			}
+			return env.Message
+		}
+		var msg string
+		if json.Unmarshal(body.Error, &msg) == nil && msg != "" {
+			return msg
+		}
 	}
 	if len(data) == 0 {
 		return "(no error body)"

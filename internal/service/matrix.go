@@ -12,41 +12,47 @@ import (
 // returns results[ci][bi] in input order. It is the scheduler's batch
 // entry point, shared by the experiment harness (whose runner is a thin
 // client of this function) and ad-hoc callers; server jobs use the
-// durable per-workload runners instead, which add checkpointing on top
-// of the same sim primitives.
+// durable per-workload runners instead, which add checkpointing and the
+// result cache on top of the same sim primitives.
 //
-// With so.Shards <= 1 the whole matrix fans out on the shared worker
-// pool — the regime for many (configuration × benchmark) cells. With
-// so.Shards > 1 each cell instead splits its measurement window across
-// intra-workload shards (sim.RunSharded) and cells run sequentially:
-// the parallelism budget belongs to the shards within each cell, and
-// nesting a sharded pool inside the cell pool would oversubscribe the
-// CPUs while full-warmup replay multiplies total work. Full-warmup
-// replay keeps every cell bit-identical to its sequential run, so shard
-// settings never change emitted tables.
+// Every configuration is evaluated in ONE pass of each program's
+// committed stream (sim.RunMany): the committed stream depends only on
+// program state, never on the predictor, so a program is generated or
+// decoded once per matrix column instead of once per cell — with rows
+// bit-identical to per-cell sim.Run calls.
+//
+// With so.Shards <= 1 programs fan out on the shared worker pool. With
+// so.Shards > 1 each program instead splits its measurement window
+// across intra-workload shards (sim.RunManySharded) and programs run
+// sequentially: the parallelism budget belongs to the shards within
+// each program, and nesting a sharded pool inside the program pool
+// would oversubscribe the CPUs while full-warmup replay multiplies
+// total work. Full-warmup replay keeps every cell bit-identical to its
+// sequential run, so shard settings never change emitted tables.
 func Matrix(ctx context.Context, builds []sim.Builder, progs []*program.Program, opt sim.Options, so sim.ShardOptions) ([][]sim.Result, error) {
 	results := make([][]sim.Result, len(builds))
 	for ci := range results {
 		results[ci] = make([]sim.Result, len(progs))
 	}
 	if so.Shards > 1 {
-		for ci := range builds {
-			for bi := range progs {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-				r, err := sim.RunSharded(progs[bi], builds[ci], opt, so)
-				if err != nil {
-					return nil, err
-				}
-				results[ci][bi] = r
+		for bi := range progs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			col, err := sim.RunManySharded(progs[bi], builds, opt, so)
+			if err != nil {
+				return nil, err
+			}
+			for ci := range builds {
+				results[ci][bi] = col[ci]
 			}
 		}
 		return results, nil
 	}
-	err := pool.RunCtx(ctx, len(builds)*len(progs), func(k int) error {
-		ci, bi := k/len(progs), k%len(progs)
-		results[ci][bi] = sim.Run(progs[bi], builds[ci](), opt)
+	err := pool.RunCtx(ctx, len(progs), func(bi int) error {
+		for ci, r := range sim.RunMany(progs[bi], builds, opt) {
+			results[ci][bi] = r
+		}
 		return nil
 	})
 	if err != nil {

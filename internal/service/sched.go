@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -129,6 +131,14 @@ type Metrics struct {
 	QueueDepth         int
 	Running            int
 	Draining           bool
+
+	// Result-cache counters: cell lookups during job execution (hits are
+	// rows answered without simulating) and the persisted store size.
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheStores  uint64
+	CacheEntries int
+	CacheBytes   int64
 }
 
 // errStopped reports that a job was interrupted by drain or kill; the
@@ -138,10 +148,11 @@ var errStopped = errors.New("service: scheduler stopping")
 // Scheduler owns the job queue, the worker goroutines, durability, and
 // the per-job event logs. One Scheduler per data directory.
 type Scheduler struct {
-	cfg Config
-	st  *store
-	q   *jobQueue
-	co  *coordinator
+	cfg   Config
+	st    *store
+	q     *jobQueue
+	co    *coordinator
+	cache *resultCache
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -173,16 +184,21 @@ func New(cfg Config) (*Scheduler, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache, err := newResultCache(filepath.Join(cfg.DataDir, "cache"))
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
-		cfg:  cfg,
-		st:   st,
-		q:    newJobQueue(cfg.QueueCap, cfg.PerClient),
-		co:   newCoordinator(cfg),
-		jobs: make(map[string]*Job),
-		logs: make(map[string]*EventLog),
-		ctx:  ctx,
-		stop: cancel,
+		cfg:   cfg,
+		st:    st,
+		q:     newJobQueue(cfg.QueueCap, cfg.PerClient),
+		co:    newCoordinator(cfg),
+		cache: cache,
+		jobs:  make(map[string]*Job),
+		logs:  make(map[string]*EventLog),
+		ctx:   ctx,
+		stop:  cancel,
 	}
 	s.crashLeft.Store(int64(cfg.CrashAfterCheckpoints))
 
@@ -192,6 +208,10 @@ func New(cfg Config) (*Scheduler, error) {
 		return nil, err
 	}
 	for _, j := range jobs {
+		// Records written before the multi-spec schema carry only the
+		// single-spec alias; fold it so resume arithmetic (rows per
+		// workload = len(Specs)) holds for every loaded job.
+		j.Spec = j.Spec.normalized()
 		s.jobs[j.ID] = j
 		s.logs[j.ID] = newEventLog()
 		if n := idNumber(j.ID); n >= s.nextID {
@@ -341,6 +361,7 @@ func (s *Scheduler) Events(id string) (*EventLog, bool) {
 
 // Metrics returns the operational counter snapshot.
 func (s *Scheduler) Metrics() Metrics {
+	cs := s.cache.stats()
 	return Metrics{
 		Submitted:          s.submitted.Load(),
 		Completed:          s.completed.Load(),
@@ -351,7 +372,18 @@ func (s *Scheduler) Metrics() Metrics {
 		QueueDepth:         s.q.Depth(),
 		Running:            int(s.running.Load()),
 		Draining:           s.draining.Load(),
+		CacheHits:          cs.hits,
+		CacheMisses:        cs.misses,
+		CacheStores:        cs.stores,
+		CacheEntries:       cs.entries,
+		CacheBytes:         cs.bytes,
 	}
+}
+
+// CacheResults lists cached result cells matching the optional spec and
+// workload filters — the GET /v1/results surface.
+func (s *Scheduler) CacheResults(spec, workload string) []CacheEntry {
+	return s.cache.list(spec, workload)
 }
 
 // Drain gracefully stops the scheduler: admissions are rejected, running
@@ -462,15 +494,31 @@ func (s *Scheduler) checkpointWritten() {
 	}
 }
 
-// runJob executes one job to completion, drain, or failure.
+// runJob executes one job to completion, drain, or failure. Each
+// workload is answered spec by spec from the result cache first; the
+// remaining misses run in ONE pass of the workload's committed stream
+// (sim.RunMany semantics) and are stored back, so a later identical
+// submission is a lookup.
 func (s *Scheduler) runJob(j *Job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
-	build, err := HybridBuilder(j.Spec.Prophet, j.Spec.Critic, j.Spec.FutureBits, j.Spec.Unfiltered)
-	if err != nil {
-		s.failJob(j, err) // unreachable for specs admitted by Submit
-		return
+	specs := j.Spec.Specs
+	builders := make([]sim.Builder, len(specs))
+	cells := make([]string, len(specs))
+	for i, spec := range specs {
+		b, err := HybridBuilder(spec, j.Spec.Critic, j.Spec.FutureBits, j.Spec.Unfiltered)
+		if err != nil {
+			s.failJob(j, err) // unreachable for specs admitted by Submit
+			return
+		}
+		cell, err := cellSpec(spec, j.Spec.Critic, j.Spec.FutureBits, j.Spec.Unfiltered)
+		if err != nil {
+			s.failJob(j, err)
+			return
+		}
+		builders[i] = b
+		cells[i] = cell
 	}
 	if err := s.setState(j, StateRunning); err != nil {
 		s.failJob(j, err)
@@ -483,42 +531,94 @@ func (s *Scheduler) runJob(j *Job) {
 		s.emit(j.ID, Event{Type: "started", Job: j.ID})
 	}
 
-	// A resumed job continues at the first workload without a persisted
-	// row; its checkpoint, if any, belongs to that workload.
-	for wi := len(j.Rows); wi < len(j.Workloads); wi++ {
+	// A resumed job continues at the first workload without persisted
+	// rows (each finished workload appended len(specs) rows); its
+	// checkpoint, if any, belongs to that workload.
+	window := j.Spec.windowKey()
+	for wi := len(j.Rows) / len(specs); wi < len(j.Workloads); wi++ {
 		ref := j.Workloads[wi]
+		wlID, err := workloadID(ref, s.cfg.TraceDir)
+		if err != nil {
+			s.failJob(j, err)
+			return
+		}
 		p, err := s.loadWorkload(ref)
 		if err != nil {
 			s.failJob(j, err)
 			return
 		}
-		var r sim.Result
-		switch {
-		case s.cfg.Cluster:
-			r, err = s.runClustered(j, wi, ref, p, build)
-		case j.Spec.Shards <= 1:
-			r, err = s.runStepped(j, wi, p, build)
-		default:
-			r, err = s.runSharded(j, wi, p, build)
+
+		// Cache pass: serve what exists, collect the miss set.
+		rows := make([]ResultRow, len(specs))
+		var missIdx []int
+		for i := range specs {
+			key := cellKey(cells[i], wlID, window)
+			if e, ok := s.cache.get(key); ok {
+				row := e.Row
+				row.Spec = specs[i]
+				row.CellKey = key
+				row.Cached = true
+				row.SourceJob = e.Job
+				rows[i] = row
+			} else {
+				missIdx = append(missIdx, i)
+			}
 		}
-		if errors.Is(err, errStopped) {
-			return // record stays "running"; next start resumes
+
+		if len(missIdx) > 0 {
+			var rs []sim.Result
+			switch {
+			case s.cfg.Cluster:
+				rs, err = s.runClusteredSpecs(j, wi, ref, p, specs, builders, missIdx)
+			case len(missIdx) == 1:
+				// A single miss keeps the original checkpoint formats, so
+				// pre-upgrade "running" records resume unchanged.
+				var r sim.Result
+				i := missIdx[0]
+				if j.Spec.Shards <= 1 {
+					r, err = s.runStepped(j, wi, p, builders[i], specs[i])
+				} else {
+					r, err = s.runSharded(j, wi, p, builders[i], specs[i])
+				}
+				rs = []sim.Result{r}
+			case j.Spec.Shards <= 1:
+				rs, err = s.runSteppedMany(j, wi, p, specs, builders, missIdx)
+			default:
+				rs, err = s.runShardedMany(j, wi, p, specs, builders, missIdx)
+			}
+			if errors.Is(err, errStopped) {
+				return // record stays "running"; next start resumes
+			}
+			if err != nil {
+				s.failJob(j, err)
+				return
+			}
+			for k, i := range missIdx {
+				key := cellKey(cells[i], wlID, window)
+				row := rowFromResult(rs[k])
+				row.Spec = specs[i]
+				row.CellKey = key
+				rows[i] = row
+				if err := s.cache.put(CacheEntry{Key: key, Spec: cells[i], Workload: wlID, Window: window, Job: j.ID, Row: row}); err != nil {
+					s.failJob(j, err)
+					return
+				}
+			}
 		}
-		if err != nil {
-			s.failJob(j, err)
-			return
-		}
-		row := rowFromResult(r)
+
 		s.mu.Lock()
-		j.Rows = append(j.Rows, row)
+		j.Rows = append(j.Rows, rows...)
 		s.mu.Unlock()
 		if err := s.st.saveJob(j); err != nil {
 			s.failJob(j, err)
 			return
 		}
 		s.st.removeCheckpoint(j.ID)
-		s.emit(j.ID, Event{Type: "result", Job: j.ID, Workload: p.Name,
-			Done: j.Spec.Measure, Total: j.Spec.Measure, Row: &row})
+		for i := range rows {
+			row := rows[i]
+			s.emit(j.ID, Event{Type: "result", Job: j.ID, Workload: p.Name,
+				Done: j.Spec.Measure, Total: j.Spec.Measure, Row: &row})
+		}
 	}
 
 	if err := s.setState(j, StateDone); err != nil {
@@ -534,15 +634,18 @@ func (s *Scheduler) runJob(j *Job) {
 	s.emit(j.ID, Event{Type: "done", Job: j.ID, Rows: rows})
 }
 
-// steppedResume loads a stepped checkpoint applicable to workload wi, if
-// one exists.
-func (s *Scheduler) steppedResume(j *Job, wi int, wlName string, build sim.Builder) (ck *ckState, meta checkpoint.Meta, err error) {
+// steppedResume loads a stepped checkpoint applicable to workload wi and
+// spec, if one exists.
+func (s *Scheduler) steppedResume(j *Job, wi int, wlName, spec string, build sim.Builder) (ck *ckState, meta checkpoint.Meta, err error) {
 	meta, dec, ok, err := s.st.readCheckpoint(j.ID)
 	if err != nil || !ok {
 		return nil, meta, err
 	}
-	if meta.Workload != wlName {
-		return nil, meta, nil // checkpoint from another workload; restart this one
+	if meta.Workload != wlName || meta.Prophet != spec {
+		// Checkpoint from another workload — or from a pass whose miss
+		// set differed (the cache may answer a pre-crash miss after a
+		// restart): restart this workload clean.
+		return nil, meta, nil
 	}
 	c := &ckState{mode: ckModeStepped, hybrid: build()}
 	if err := c.Restore(dec); err != nil {
@@ -558,7 +661,7 @@ func (s *Scheduler) steppedResume(j *Job, wi int, wlName string, build sim.Build
 // CheckpointEvery-sized measured chunks, snapshotting the hybrid and
 // partial counters at every boundary. Interrupted runs resume from the
 // snapshot and produce counters bit-identical to an uninterrupted run.
-func (s *Scheduler) runStepped(j *Job, wi int, p *program.Program, build sim.Builder) (sim.Result, error) {
+func (s *Scheduler) runStepped(j *Job, wi int, p *program.Program, build sim.Builder, spec string) (sim.Result, error) {
 	opt := j.Spec.simOptions()
 	total := opt.MeasureBranches
 
@@ -570,7 +673,7 @@ func (s *Scheduler) runStepped(j *Job, wi int, p *program.Program, build sim.Bui
 		hybrid       *core.Hybrid
 	)
 	if j.Resumed {
-		ck, meta, err := s.steppedResume(j, wi, p.Name, build)
+		ck, meta, err := s.steppedResume(j, wi, p.Name, spec, build)
 		if err != nil {
 			return sim.Result{}, err
 		}
@@ -596,7 +699,7 @@ func (s *Scheduler) runStepped(j *Job, wi int, p *program.Program, build sim.Bui
 
 	meta := checkpoint.Meta{
 		Workload:   p.Name,
-		Prophet:    j.Spec.Prophet,
+		Prophet:    spec,
 		Critic:     j.Spec.Critic,
 		FutureBits: j.Spec.FutureBits,
 		Unfiltered: j.Spec.Unfiltered,
@@ -638,7 +741,7 @@ func (s *Scheduler) runStepped(j *Job, wi int, p *program.Program, build sim.Bui
 // windows) on the shared pool, persisting each completed shard's
 // counters. A restarted server reruns only the missing shards; the
 // merged result is bit-identical to RunSharded's.
-func (s *Scheduler) runSharded(j *Job, wi int, p *program.Program, build sim.Builder) (sim.Result, error) {
+func (s *Scheduler) runSharded(j *Job, wi int, p *program.Program, build sim.Builder, spec string) (sim.Result, error) {
 	opt := j.Spec.simOptions()
 	ws, err := sim.ShardWindows(opt, j.Spec.shardOptions())
 	if err != nil {
@@ -652,7 +755,7 @@ func (s *Scheduler) runSharded(j *Job, wi int, p *program.Program, build sim.Bui
 		if err != nil {
 			return sim.Result{}, err
 		}
-		if ok && meta.Workload == p.Name {
+		if ok && meta.Workload == p.Name && meta.Prophet == spec {
 			c := &ckState{mode: ckModeSharded, done: done, shards: results}
 			if err := c.Restore(dec); err != nil {
 				return sim.Result{}, fmt.Errorf("service: restoring checkpoint for job %s: %w", j.ID, err)
@@ -668,7 +771,7 @@ func (s *Scheduler) runSharded(j *Job, wi int, p *program.Program, build sim.Bui
 	cfgName := build().Name()
 	meta := checkpoint.Meta{
 		Workload:   p.Name,
-		Prophet:    j.Spec.Prophet,
+		Prophet:    spec,
 		Critic:     j.Spec.Critic,
 		FutureBits: j.Spec.FutureBits,
 		Unfiltered: j.Spec.Unfiltered,
@@ -710,6 +813,15 @@ func (s *Scheduler) runSharded(j *Job, wi int, p *program.Program, build sim.Bui
 		}
 		return sim.Result{}, err
 	}
+	// A Crash hook can kill a pool worker between its checkpoint write
+	// and job completion, so a nil pool error does not yet prove every
+	// window ran. Merging zero-valued windows would persist wrong rows;
+	// an incomplete pass leaves the record running for resume instead.
+	for _, d := range done {
+		if !d {
+			return sim.Result{}, errStopped
+		}
+	}
 
 	merged := sim.Result{Benchmark: p.Name, Suite: p.Suite, Config: cfgName}
 	for _, r := range results {
@@ -727,7 +839,7 @@ func (s *Scheduler) runSharded(j *Job, wi int, p *program.Program, build sim.Bui
 // sharded checkpoint state runSharded uses, so a coordinator restart
 // reruns only the missing units and the merged result stays
 // bit-identical to the sequential run.
-func (s *Scheduler) runClustered(j *Job, wi int, ref WorkloadRef, p *program.Program, build sim.Builder) (sim.Result, error) {
+func (s *Scheduler) runClustered(j *Job, wi int, ref WorkloadRef, p *program.Program, build sim.Builder, spec string) (sim.Result, error) {
 	opt := j.Spec.simOptions()
 	ws, err := sim.ShardWindows(opt, j.Spec.shardOptions())
 	if err != nil {
@@ -741,7 +853,7 @@ func (s *Scheduler) runClustered(j *Job, wi int, ref WorkloadRef, p *program.Pro
 		if err != nil {
 			return sim.Result{}, err
 		}
-		if ok && meta.Workload == p.Name {
+		if ok && meta.Workload == p.Name && meta.Prophet == spec {
 			c := &ckState{mode: ckModeSharded, done: done, shards: results}
 			if err := c.Restore(dec); err != nil {
 				return sim.Result{}, fmt.Errorf("service: restoring checkpoint for job %s: %w", j.ID, err)
@@ -753,12 +865,12 @@ func (s *Scheduler) runClustered(j *Job, wi int, ref WorkloadRef, p *program.Pro
 		}
 	}
 
-	s.co.addUnits(j, wi, ref, ws, done)
+	s.co.addUnits(j, wi, ref, ws, done, spec)
 	defer s.co.dropUnits(j.ID, wi)
 
 	meta := checkpoint.Meta{
 		Workload:   p.Name,
-		Prophet:    j.Spec.Prophet,
+		Prophet:    spec,
 		Critic:     j.Spec.Critic,
 		FutureBits: j.Spec.FutureBits,
 		Unfiltered: j.Spec.Unfiltered,
@@ -837,6 +949,213 @@ func (s *Scheduler) runClustered(j *Job, wi int, ref WorkloadRef, p *program.Pro
 		merged.Merge(r)
 	}
 	return merged, nil
+}
+
+// manyMeta builds the checkpoint meta record of a one-pass run covering
+// several specs: Prophet carries the covered specs joined in pass order,
+// which doubles as the resume guard (a different miss set after a
+// restart — the cache can answer a pre-crash miss meanwhile — fails the
+// match and restarts the workload clean).
+func (s *Scheduler) manyMeta(j *Job, wlName string, covered []string) checkpoint.Meta {
+	return checkpoint.Meta{
+		Workload:   wlName,
+		Prophet:    strings.Join(covered, "; "),
+		Critic:     j.Spec.Critic,
+		FutureBits: j.Spec.FutureBits,
+		Unfiltered: j.Spec.Unfiltered,
+	}
+}
+
+// runSteppedMany runs one workload's cache-miss specs in ONE pass of the
+// committed stream through a sim.ManyStepper, checkpointing every
+// hybrid and every spec's partial counters at CheckpointEvery
+// boundaries. The results are bit-identical to per-spec runStepped runs;
+// restore problems (covered-set drift, truncated snapshot) restart the
+// workload clean instead of failing the job.
+func (s *Scheduler) runSteppedMany(j *Job, wi int, p *program.Program, specs []string, builders []sim.Builder, missIdx []int) ([]sim.Result, error) {
+	opt := j.Spec.simOptions()
+	total := opt.MeasureBranches
+
+	covered := make([]string, len(missIdx))
+	for k, i := range missIdx {
+		covered[k] = specs[i]
+	}
+	buildMiss := func() []*core.Hybrid {
+		hs := make([]*core.Hybrid, len(missIdx))
+		for k, i := range missIdx {
+			hs[k] = builders[i]()
+		}
+		return hs
+	}
+
+	hybrids := buildMiss()
+	partials := make([]sim.Result, len(missIdx))
+	measuredDone := 0
+	skip := 0
+	train := opt.WarmupBranches
+	meta := s.manyMeta(j, p.Name, covered)
+	if j.Resumed {
+		cmeta, dec, ok, err := s.st.readCheckpoint(j.ID)
+		if err == nil && ok && cmeta.Workload == p.Name && cmeta.Prophet == meta.Prophet {
+			c := &ckState{mode: ckModeManyStepped, specIdx: missIdx, hybrids: hybrids, partials: partials}
+			if rerr := c.Restore(dec); rerr == nil && c.workload == wi &&
+				int(cmeta.Position) == opt.WarmupBranches+c.measuredDone {
+				measuredDone = c.measuredDone
+				skip = int(cmeta.Position)
+				train = 0
+			} else {
+				// A failed restore may have half-applied hybrid state:
+				// rebuild everything and restart this workload clean.
+				hybrids = buildMiss()
+				partials = make([]sim.Result, len(missIdx))
+			}
+		}
+	}
+
+	st := sim.NewManyStepper(p, hybrids)
+	defer st.Close()
+	st.Skip(skip)
+	st.Train(train)
+
+	for measuredDone < total {
+		n := s.cfg.CheckpointEvery
+		if n > total-measuredDone {
+			n = total - measuredDone
+		}
+		st.Measure(n)
+		measuredDone += n
+		curs := st.Results()
+		for k := range curs {
+			curs[k].Merge(partials[k])
+		}
+		if measuredDone >= total {
+			return curs, nil
+		}
+
+		meta.Position = uint64(opt.WarmupBranches + measuredDone)
+		state := &ckState{mode: ckModeManyStepped, workload: wi, measuredDone: measuredDone,
+			specIdx: missIdx, partials: curs, hybrids: hybrids}
+		if err := s.st.writeCheckpoint(j.ID, meta, state); err != nil {
+			return nil, err
+		}
+		s.checkpointWritten()
+		s.emit(j.ID, Event{Type: "progress", Job: j.ID, Workload: p.Name,
+			Done: measuredDone, Total: total})
+		select {
+		case <-s.ctx.Done():
+			return nil, errStopped
+		default:
+		}
+	}
+	return st.Results(), nil // unreachable: loop exits via measuredDone >= total
+}
+
+// runShardedMany runs one workload's shard windows on the shared pool,
+// each window simulating every cache-miss spec in one pass
+// (sim.RunManySegment); completed windows persist every covered spec's
+// counters. The per-spec merges are bit-identical to runSharded per
+// spec.
+func (s *Scheduler) runShardedMany(j *Job, wi int, p *program.Program, specs []string, builders []sim.Builder, missIdx []int) ([]sim.Result, error) {
+	opt := j.Spec.simOptions()
+	ws, err := sim.ShardWindows(opt, j.Spec.shardOptions())
+	if err != nil {
+		return nil, err
+	}
+	done := make([]bool, len(ws))
+	windows := make([][]sim.Result, len(ws))
+
+	covered := make([]string, len(missIdx))
+	for k, i := range missIdx {
+		covered[k] = specs[i]
+	}
+	meta := s.manyMeta(j, p.Name, covered)
+	if j.Resumed {
+		cmeta, dec, ok, rerr := s.st.readCheckpoint(j.ID)
+		if rerr == nil && ok && cmeta.Workload == p.Name && cmeta.Prophet == meta.Prophet {
+			c := &ckState{mode: ckModeManySharded, specIdx: missIdx, done: done, windows: windows}
+			if err := c.Restore(dec); err != nil || c.workload != wi {
+				done = make([]bool, len(ws))
+				windows = make([][]sim.Result, len(ws))
+			}
+		}
+	}
+
+	buildMiss := func() []*core.Hybrid {
+		hs := make([]*core.Hybrid, len(missIdx))
+		for k, i := range missIdx {
+			hs[k] = builders[i]()
+		}
+		return hs
+	}
+	var mu sync.Mutex
+	doneBranches := 0
+	for i, d := range done {
+		if d {
+			doneBranches += ws[i].Measure
+		}
+	}
+	err = pool.RunCtx(s.ctx, len(ws), func(i int) error {
+		if done[i] {
+			return nil // completed before the restart
+		}
+		w := ws[i]
+		rs := sim.RunManySegment(p, buildMiss(), w.Skip, w.Train, w.Measure)
+
+		mu.Lock()
+		windows[i] = rs
+		done[i] = true
+		doneBranches += w.Measure
+		meta.Position = uint64(opt.WarmupBranches + doneBranches)
+		state := &ckState{mode: ckModeManySharded, workload: wi, specIdx: missIdx, done: done, windows: windows}
+		werr := s.st.writeCheckpoint(j.ID, meta, state)
+		progress := doneBranches
+		mu.Unlock()
+		if werr != nil {
+			return werr
+		}
+		s.checkpointWritten()
+		s.emit(j.ID, Event{Type: "progress", Job: j.ID, Workload: p.Name,
+			Done: progress, Total: opt.MeasureBranches})
+		return nil
+	})
+	if err != nil {
+		if s.ctx.Err() != nil {
+			return nil, errStopped
+		}
+		return nil, err
+	}
+	// Same guard as runSharded: a Crash hook killing a worker mid-pass
+	// can surface as a nil pool error with windows missing.
+	for _, d := range done {
+		if !d {
+			return nil, errStopped
+		}
+	}
+
+	merged := make([]sim.Result, len(missIdx))
+	for k, i := range missIdx {
+		merged[k] = sim.Result{Benchmark: p.Name, Suite: p.Suite, Config: builders[i]().Name()}
+		for w := range ws {
+			merged[k].Merge(windows[w][k])
+		}
+	}
+	return merged, nil
+}
+
+// runClusteredSpecs runs each cache-miss spec's shard units through the
+// cluster protocol in turn — unit leases stay per (window × spec), so
+// the fleet's failure handling is untouched; the cache still collapses
+// later duplicates into lookups.
+func (s *Scheduler) runClusteredSpecs(j *Job, wi int, ref WorkloadRef, p *program.Program, specs []string, builders []sim.Builder, missIdx []int) ([]sim.Result, error) {
+	out := make([]sim.Result, len(missIdx))
+	for k, i := range missIdx {
+		r, err := s.runClustered(j, wi, ref, p, builders[i], specs[i])
+		if err != nil {
+			return nil, err
+		}
+		out[k] = r
+	}
+	return out, nil
 }
 
 // ClusterMetricsSnapshot exposes the coordinator counters for /metricsz.

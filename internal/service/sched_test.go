@@ -34,7 +34,12 @@ func fastSpec() JobSpec {
 func directRows(t *testing.T, spec JobSpec) []ResultRow {
 	t.Helper()
 	spec = spec.normalized()
-	build, err := HybridBuilder(spec.Prophet, spec.Critic, spec.FutureBits, spec.Unfiltered)
+	prophet := spec.Specs[0]
+	build, err := HybridBuilder(prophet, spec.Critic, spec.FutureBits, spec.Unfiltered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := cellSpec(prophet, spec.Critic, spec.FutureBits, spec.Unfiltered)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +58,12 @@ func directRows(t *testing.T, spec JobSpec) []ResultRow {
 				t.Fatal(err)
 			}
 		}
-		rows = append(rows, rowFromResult(r))
+		// A first (uncached) run's rows carry the spec and the cache cell
+		// they were stored under — the provenance contract, pinned here.
+		row := rowFromResult(r)
+		row.Spec = prophet
+		row.CellKey = cellKey(cell, "bench:"+b, spec.windowKey())
+		rows = append(rows, row)
 	}
 	return rows
 }

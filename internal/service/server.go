@@ -14,10 +14,14 @@ import (
 // Server is the HTTP face of a Scheduler:
 //
 //	POST /v1/jobs             submit a JobSpec; 201 + job record
-//	GET  /v1/jobs             list all jobs
+//	GET  /v1/jobs             list jobs: ?limit=&after= pagination
+//	                          (ID-ordered, cursor in "next") and ?state=
+//	                          filtering
 //	GET  /v1/jobs/{id}        one job's record
 //	GET  /v1/jobs/{id}/events NDJSON event stream (replays history, then
 //	                          follows until the job is terminal)
+//	GET  /v1/results          the content-addressed result cache:
+//	                          ?spec=&workload= filters
 //	GET  /v1/predictors       predictor registry: every constructible
 //	                          family with its parameter schema
 //	GET  /healthz             liveness + drain state
@@ -32,11 +36,14 @@ import (
 //	POST /v1/units/{id}/checkpoint    upload a mid-unit "PCCK" snapshot
 //	POST /v1/units/{id}/result        deliver the unit's counters
 //
-// Error responses are JSON {"error": "..."}: 400 for malformed or
-// invalid job specs, 429 when the queue or the client's quota is full,
-// 503 while draining (both with a Retry-After computed from queue
-// depth), 404 for unknown jobs/workers/units, and 409 for cluster
-// completions fenced out by a stale lease token.
+// Every error response is one JSON envelope,
+// {"error":{"code":"...","message":"..."}}: code "bad_request" with 400
+// for malformed or invalid requests, "queue_full"/"client_quota" with
+// 429 when admission fails, "draining" with 503 while draining (both
+// with a Retry-After computed from queue depth), "not_found" with 404
+// for unknown jobs/workers/units, "stale_lease" with 409 for cluster
+// completions fenced out by a stale lease token, and "internal" with
+// 500.
 type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
@@ -49,6 +56,7 @@ func NewServer(s *Scheduler) *Server {
 	srv.mux.HandleFunc("GET /v1/jobs", srv.handleList)
 	srv.mux.HandleFunc("GET /v1/jobs/{id}", srv.handleJob)
 	srv.mux.HandleFunc("GET /v1/jobs/{id}/events", srv.handleEvents)
+	srv.mux.HandleFunc("GET /v1/results", srv.handleResults)
 	srv.mux.HandleFunc("GET /v1/predictors", srv.handlePredictors)
 	srv.mux.HandleFunc("GET /healthz", srv.handleHealth)
 	srv.mux.HandleFunc("GET /metricsz", srv.handleMetrics)
@@ -71,8 +79,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// APIError is the single error envelope every non-2xx response carries:
+// a stable machine-readable code plus the human-readable message.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error envelope codes.
+const (
+	CodeBadRequest  = "bad_request"
+	CodeNotFound    = "not_found"
+	CodeQueueFull   = "queue_full"
+	CodeClientQuota = "client_quota"
+	CodeDraining    = "draining"
+	CodeStaleLease  = "stale_lease"
+	CodeInternal    = "internal"
+)
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]APIError{"error": {Code: code, Message: err.Error()}})
 }
 
 func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -80,7 +106,7 @@ func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: malformed job spec: %w", err))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("service: malformed job spec: %w", err))
 		return
 	}
 	j, err := srv.sched.Submit(spec)
@@ -88,32 +114,97 @@ func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
 		writeJSON(w, http.StatusCreated, j)
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClientQuota):
+	case errors.Is(err, ErrQueueFull):
 		// Retry-After tracks the backlog (≈ one queue drain per worker),
 		// so backpressure tells clients something true instead of "1".
 		w.Header().Set("Retry-After", strconv.Itoa(srv.sched.RetryAfterSeconds()))
-		writeError(w, http.StatusTooManyRequests, err)
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull, err)
+	case errors.Is(err, ErrClientQuota):
+		w.Header().Set("Retry-After", strconv.Itoa(srv.sched.RetryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, CodeClientQuota, err)
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", strconv.Itoa(srv.sched.RetryAfterSeconds()))
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, err)
 	case errors.Is(err, ErrInternal):
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 	default:
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 	}
 }
 
+// JobList is the GET /v1/jobs response: one ID-ordered page plus the
+// cursor of the page after it (empty on the last page). Pass it back as
+// ?after= to continue; the ordering is stable across requests, so pages
+// never skip or repeat a job that existed when paging began.
+type JobList struct {
+	Jobs []Job  `json:"jobs"`
+	Next string `json:"next,omitempty"`
+}
+
 func (srv *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, srv.sched.Jobs())
+	q := r.URL.Query()
+	limit := 0
+	if lq := q.Get("limit"); lq != "" {
+		n, err := strconv.Atoi(lq)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("service: limit=%q: want a positive integer", lq))
+			return
+		}
+		limit = n
+	}
+	state := q.Get("state")
+	switch state {
+	case "", StateQueued, StateRunning, StateDone, StateFailed:
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("service: state=%q: want one of queued, running, done, failed", state))
+		return
+	}
+	after := q.Get("after")
+
+	all := srv.sched.Jobs() // ID-ordered
+	page := JobList{Jobs: []Job{}}
+	for _, j := range all {
+		if after != "" && j.ID <= after {
+			continue
+		}
+		if state != "" && j.State != state {
+			continue
+		}
+		if limit > 0 && len(page.Jobs) == limit {
+			page.Next = page.Jobs[limit-1].ID
+			break
+		}
+		page.Jobs = append(page.Jobs, j)
+	}
+	writeJSON(w, http.StatusOK, page)
 }
 
 func (srv *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := srv.sched.JobSnapshot(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("service: no job %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, j)
+}
+
+// ResultList is the GET /v1/results response: the cache cells matching
+// the query, key-ordered.
+type ResultList struct {
+	Results []CacheEntry `json:"results"`
+}
+
+// handleResults serves the content-addressed result cache directly:
+// every cell matching ?spec= (canonicalized through the budget grammar;
+// a prophet-alone spec also matches hybrid cells led by it) and
+// ?workload= (full identity, benchmark name, or trace-hash prefix).
+func (srv *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	entries := srv.sched.CacheResults(q.Get("spec"), q.Get("workload"))
+	if entries == nil {
+		entries = []CacheEntry{}
+	}
+	writeJSON(w, http.StatusOK, ResultList{Results: entries})
 }
 
 // handleEvents streams a job's events as NDJSON: the history first, then
@@ -126,14 +217,14 @@ func (srv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	log, ok := srv.sched.Events(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", id))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("service: no job %q", id))
 		return
 	}
 	from := 0
 	if fq := r.URL.Query().Get("from"); fq != "" {
 		n, err := strconv.Atoi(fq)
 		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("service: from=%q: want a non-negative last-seen sequence number", fq))
+			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("service: from=%q: want a non-negative last-seen sequence number", fq))
 			return
 		}
 		from = n // Seq k lives at history index k-1, so resuming after k starts at index k
@@ -202,6 +293,11 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "pcserved_queue_depth %d\n", m.QueueDepth)
 	fmt.Fprintf(w, "pcserved_jobs_running %d\n", m.Running)
 	fmt.Fprintf(w, "pcserved_draining %d\n", draining)
+	fmt.Fprintf(w, "pcserved_cache_hits_total %d\n", m.CacheHits)
+	fmt.Fprintf(w, "pcserved_cache_misses_total %d\n", m.CacheMisses)
+	fmt.Fprintf(w, "pcserved_cache_stores_total %d\n", m.CacheStores)
+	fmt.Fprintf(w, "pcserved_cache_entries %d\n", m.CacheEntries)
+	fmt.Fprintf(w, "pcserved_cache_bytes %d\n", m.CacheBytes)
 	fmt.Fprintf(w, "pool_jobs_run_total %d\n", ps.JobsRun)
 	fmt.Fprintf(w, "pool_max_in_flight %d\n", ps.MaxInFlight)
 	cm := srv.sched.ClusterMetricsSnapshot()
@@ -226,7 +322,7 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (srv *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
 	var reg WorkerRegistration
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&reg); err != nil && err != io.EOF {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: malformed registration: %w", err))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("service: malformed registration: %w", err))
 		return
 	}
 	writeJSON(w, http.StatusCreated, srv.sched.co.register(reg.Name))
@@ -235,7 +331,7 @@ func (srv *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) 
 func (srv *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !srv.sched.co.heartbeat(id) {
-		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown worker %q (re-register)", id))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("service: unknown worker %q (re-register)", id))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -244,12 +340,12 @@ func (srv *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 func (srv *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: malformed lease request: %w", err))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("service: malformed lease request: %w", err))
 		return
 	}
 	lease, err := srv.sched.co.lease(req.Worker)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	if lease == nil {
@@ -263,15 +359,15 @@ func (srv *Server) handleUnitCheckpoint(w http.ResponseWriter, r *http.Request) 
 	id := r.PathValue("id")
 	var up checkpointUpload
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&up); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: malformed checkpoint upload: %w", err))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("service: malformed checkpoint upload: %w", err))
 		return
 	}
 	if len(up.Data) < 5 || string(up.Data[:4]) != "PCCK" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: checkpoint upload for unit %q is not a PCCK snapshot", id))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("service: checkpoint upload for unit %q is not a PCCK snapshot", id))
 		return
 	}
 	if err := srv.sched.co.storeCheckpoint(id, up.Token, up.Data); err != nil {
-		writeError(w, unitErrStatus(err), err)
+		writeError(w, unitErrStatus(err), unitErrCode(err), err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -281,11 +377,11 @@ func (srv *Server) handleUnitResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	var ur UnitResult
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&ur); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: malformed unit result: %w", err))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("service: malformed unit result: %w", err))
 		return
 	}
 	if err := srv.sched.co.complete(id, ur.Token, ur.toResult()); err != nil {
-		writeError(w, unitErrStatus(err), err)
+		writeError(w, unitErrStatus(err), unitErrCode(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
@@ -299,4 +395,11 @@ func unitErrStatus(err error) int {
 		return http.StatusConflict
 	}
 	return http.StatusNotFound
+}
+
+func unitErrCode(err error) string {
+	if errors.Is(err, errStaleLease) {
+		return CodeStaleLease
+	}
+	return CodeNotFound
 }

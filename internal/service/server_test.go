@@ -46,6 +46,40 @@ func specJSON(t *testing.T, spec JobSpec) string {
 	return string(b)
 }
 
+// errEnvelope asserts the decoded body is the single v1 error envelope
+// {"error":{"code","message"}} and returns its fields — every 4xx/5xx
+// assertion goes through here, so a handler that strays from the
+// envelope fails loudly.
+func errEnvelope(t *testing.T, body map[string]any) (code, message string) {
+	t.Helper()
+	env, ok := body["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("error body %v does not carry the {\"error\":{...}} envelope", body)
+	}
+	code, _ = env["code"].(string)
+	message, _ = env["message"].(string)
+	if code == "" || message == "" {
+		t.Fatalf("error envelope %v lacks code or message", env)
+	}
+	return code, message
+}
+
+// getError GETs a path expected to fail and returns status + envelope.
+func getError(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: non-JSON error body: %v", url, err)
+	}
+	code, msg := errEnvelope(t, body)
+	return resp.StatusCode, code, msg
+}
+
 // Malformed and invalid job specs are 400s with a JSON error body.
 func TestSubmitBadRequests(t *testing.T) {
 	s, ts := newTestServer(t, t.TempDir(), nil)
@@ -78,14 +112,21 @@ func TestSubmitBadRequests(t *testing.T) {
 		// bits must be rejected here, not panic in a worker.
 		{"fb into local critic", `{"prophet":"2Bc-gskew:8","critic":"local:8","future_bits":1,"benches":["gcc"]}`},
 		{"fb over tournament ghist", `{"prophet":"2Bc-gskew:8","critic":"tournament:8","future_bits":15,"benches":["gcc"]}`},
+		// Multi-spec schema rejections.
+		{"no predictor spec", `{"benches":["gcc"]}`},
+		{"empty specs", `{"specs":[],"benches":["gcc"]}`},
+		{"spec alias conflict", `{"spec":"gshare:8","specs":["gshare:16"],"benches":["gcc"]}`},
+		{"prophet alias conflict", `{"prophet":"gshare:8","specs":["gshare:16"],"benches":["gcc"]}`},
+		{"duplicate cell", `{"specs":["gshare:8","gshare:8"],"benches":["gcc"]}`},
+		{"bad spec among many", `{"specs":["gshare:8","neural:8"],"benches":["gcc"]}`},
 	}
 	for _, tc := range cases {
 		resp, body := submitHTTP(t, ts, tc.body)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
 		}
-		if body["error"] == "" {
-			t.Errorf("%s: no error body", tc.name)
+		if code, _ := errEnvelope(t, body); code != CodeBadRequest {
+			t.Errorf("%s: code %q, want %q", tc.name, code, CodeBadRequest)
 		}
 	}
 	if m := s.Metrics(); m.Submitted != 0 {
@@ -193,8 +234,8 @@ func TestSubmitQueueFull429(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("429 without Retry-After")
 	}
-	if !strings.Contains(fmt.Sprint(body["error"]), "queue") {
-		t.Errorf("queue-full error %v", body["error"])
+	if code, msg := errEnvelope(t, body); code != CodeQueueFull || !strings.Contains(msg, "queue") {
+		t.Errorf("queue-full envelope %q %q", code, msg)
 	}
 
 	// Per-client quota: a distinct client is admitted to the queue-full
@@ -214,8 +255,8 @@ func TestSubmitQueueFull429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("quota submit: %d, want 429", resp.StatusCode)
 	}
-	if !strings.Contains(fmt.Sprint(body["error"]), "quota") {
-		t.Errorf("quota error %v", body["error"])
+	if code, msg := errEnvelope(t, body); code != CodeClientQuota || !strings.Contains(msg, "quota") {
+		t.Errorf("quota envelope %q %q", code, msg)
 	}
 	// Another client still gets in.
 	other := fastSpec()
@@ -289,10 +330,8 @@ func TestHTTPLifecycle(t *testing.T) {
 	} else {
 		resp.Body.Close()
 	}
-	if resp, err := http.Get(ts.URL + "/v1/jobs/zzz"); err != nil || resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("unknown job: %v %v", err, resp.StatusCode)
-	} else {
-		resp.Body.Close()
+	if status, code, _ := getError(t, ts.URL+"/v1/jobs/zzz"); status != http.StatusNotFound || code != CodeNotFound {
+		t.Fatalf("unknown job: %d %q", status, code)
 	}
 
 	// Health and metrics.
@@ -368,8 +407,10 @@ func TestHTTPShutdownMidJobAndResume(t *testing.T) {
 	if health["status"] != "draining" {
 		t.Errorf("health during drain %v", health)
 	}
-	if resp, _ := submitHTTP(t, ts, specJSON(t, fastSpec())); resp.StatusCode != http.StatusServiceUnavailable {
+	if resp, body := submitHTTP(t, ts, specJSON(t, fastSpec())); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("submit during drain: %d, want 503", resp.StatusCode)
+	} else if code, _ := errEnvelope(t, body); code != CodeDraining {
+		t.Errorf("drain envelope code %q", code)
 	}
 	ts.Close()
 
@@ -477,13 +518,128 @@ func TestEventStreamReconnectExactlyOnce(t *testing.T) {
 
 	// A malformed resume cursor is a 400, not a silent full replay.
 	for _, bad := range []string{"x", "-1"} {
-		resp, err := http.Get(url + "?from=" + bad)
+		status, code, _ := getError(t, url+"?from="+bad)
+		if status != http.StatusBadRequest || code != CodeBadRequest {
+			t.Errorf("from=%s: %d %q, want 400 %q", bad, status, code, CodeBadRequest)
+		}
+	}
+}
+
+// Every cluster-protocol failure path speaks the same error envelope:
+// unknown workers and units are not_found, stale tokens are fenced as
+// stale_lease with 409.
+func TestClusterErrorEnvelope(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir(), nil)
+	defer s.Kill()
+
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("from=%s: status %d, want 400", bad, resp.StatusCode)
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("POST %s: non-JSON error body: %v", path, err)
+		}
+		code, _ := errEnvelope(t, m)
+		return resp.StatusCode, code
+	}
+	if status, code := post("/v1/workers/ghost/heartbeat", ""); status != http.StatusNotFound || code != CodeNotFound {
+		t.Errorf("ghost heartbeat: %d %q", status, code)
+	}
+	if status, code := post("/v1/units/lease", `{"worker":"ghost"}`); status != http.StatusNotFound || code != CodeNotFound {
+		t.Errorf("ghost lease: %d %q", status, code)
+	}
+	if status, code := post("/v1/units/nope/result", `{"worker":"w","token":"t"}`); status != http.StatusNotFound || code != CodeNotFound {
+		t.Errorf("unknown unit result: %d %q", status, code)
+	}
+	if status, code := post("/v1/units/lease", `{`); status != http.StatusBadRequest || code != CodeBadRequest {
+		t.Errorf("malformed lease: %d %q", status, code)
+	}
+}
+
+// GET /v1/jobs pages in ID order behind ?limit=&after= and filters on
+// ?state=, with the cursor of the next page in the response.
+func TestJobsPaginationAndFilter(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir(), nil)
+	defer s.Kill()
+
+	spec := fastSpec()
+	spec.Warmup, spec.Measure = 500, 1_000
+	var ids []string
+	for i := 0; i < 3; i++ {
+		sp := spec
+		sp.Specs = []string{[]string{"gshare:1", "gshare:2", "gshare:4"}[i]}
+		sp.Prophet = ""
+		resp, body := submitHTTP(t, ts, specJSON(t, sp))
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		ids = append(ids, fmt.Sprint(body["id"]))
+	}
+	for _, id := range ids {
+		waitState(t, s, id, StateDone)
+	}
+
+	getPage := func(query string) JobList {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("list%s: status %d", query, resp.StatusCode)
+		}
+		var page JobList
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+
+	full := getPage("")
+	if len(full.Jobs) != 3 || full.Next != "" {
+		t.Fatalf("unpaged list: %d jobs, next %q", len(full.Jobs), full.Next)
+	}
+	for i := 1; i < len(full.Jobs); i++ {
+		if full.Jobs[i-1].ID >= full.Jobs[i].ID {
+			t.Fatalf("list not ID-ordered: %s before %s", full.Jobs[i-1].ID, full.Jobs[i].ID)
+		}
+	}
+
+	// Walk the pages and reassemble the full list exactly.
+	var walked []string
+	query := "?limit=2"
+	for {
+		page := getPage(query)
+		if len(page.Jobs) > 2 {
+			t.Fatalf("page of %d jobs over limit 2", len(page.Jobs))
+		}
+		for _, j := range page.Jobs {
+			walked = append(walked, j.ID)
+		}
+		if page.Next == "" {
+			break
+		}
+		query = "?limit=2&after=" + page.Next
+	}
+	if !reflect.DeepEqual(walked, ids) {
+		t.Errorf("paged walk %v, want %v", walked, ids)
+	}
+
+	if page := getPage("?state=done"); len(page.Jobs) != 3 {
+		t.Errorf("state=done: %d jobs", len(page.Jobs))
+	}
+	if page := getPage("?state=failed"); len(page.Jobs) != 0 {
+		t.Errorf("state=failed: %d jobs", len(page.Jobs))
+	}
+	for _, bad := range []string{"?limit=0", "?limit=x", "?state=bogus"} {
+		status, code, _ := getError(t, ts.URL+"/v1/jobs"+bad)
+		if status != http.StatusBadRequest || code != CodeBadRequest {
+			t.Errorf("%s: %d %q, want 400 %q", bad, status, code, CodeBadRequest)
 		}
 	}
 }

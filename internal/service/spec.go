@@ -13,7 +13,10 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -58,8 +61,8 @@ func Predictors() []PredictorInfo {
 	return out
 }
 
-// JobSpec is the wire form of one simulation job: a predictor
-// configuration × a workload set × simulation options. Zero-valued
+// JobSpec is the wire form of one simulation job: N predictor
+// configurations × a workload set × simulation options. Zero-valued
 // windows take the sim defaults; WarmupFrac nil means exact full-warmup
 // replay (1.0), mirroring the CLIs' -warmup-frac default.
 type JobSpec struct {
@@ -76,12 +79,24 @@ type JobSpec struct {
 	Benches []string `json:"benches,omitempty"`
 	Traces  []string `json:"traces,omitempty"`
 
-	// Prophet and Critic are predictor specs in the budget grammar:
-	// "kind:KB" (pinned Table 3 cells at published budgets, solver
-	// geometry elsewhere) or "kind(name=value,...)" for explicit
-	// geometry; any family listed by GET /v1/predictors works. Critic
-	// "none" or empty runs the prophet alone.
-	Prophet    string `json:"prophet"`
+	// Specs lists the prophet specs evaluated over the workload set, in
+	// the budget grammar: "kind:KB" (pinned Table 3 cells at published
+	// budgets, solver geometry elsewhere) or "kind(name=value,...)" for
+	// explicit geometry; any family listed by GET /v1/predictors works.
+	// All specs share Critic/FutureBits/Unfiltered and the simulation
+	// window, and are simulated in ONE pass of each workload's committed
+	// stream (cells already in the server's result cache are answered
+	// without simulating at all). A job's rows come out in workload-major
+	// order: every spec's row for workload 0, then workload 1, and so on.
+	Specs []string `json:"specs,omitempty"`
+	// Spec and Prophet are single-spec compatibility aliases of Specs
+	// (Prophet is the original field name). Deprecated: new clients
+	// should send "specs"; see EXPERIMENTS.md for the schema note.
+	Spec    string `json:"spec,omitempty"`
+	Prophet string `json:"prophet,omitempty"`
+
+	// Critic is the (shared) critic spec in the same grammar; "none" or
+	// empty runs every prophet alone.
 	Critic     string `json:"critic,omitempty"`
 	FutureBits uint   `json:"future_bits,omitempty"`
 	Unfiltered bool   `json:"unfiltered,omitempty"`
@@ -99,8 +114,21 @@ type WorkloadRef struct {
 	Name string `json:"name"`
 }
 
-// normalized returns the spec with defaults applied.
+// normalized returns the spec with defaults applied and the single-spec
+// aliases folded into Specs. Folding and defaulting happen BEFORE any
+// cache keying (cellKey works off the normalized spec only), so an
+// explicit-default submission and an omitted-field submission land on
+// the same cache cell — the canonicalization property
+// TestCacheKeyCanonicalizesDefaults pins.
 func (js JobSpec) normalized() JobSpec {
+	if len(js.Specs) == 0 {
+		switch {
+		case js.Spec != "":
+			js.Specs = []string{js.Spec}
+		case js.Prophet != "":
+			js.Specs = []string{js.Prophet}
+		}
+	}
 	if js.Warmup == 0 {
 		js.Warmup = sim.DefaultOptions.WarmupBranches
 	}
@@ -192,8 +220,30 @@ func validTracePath(p string) error {
 // validate checks everything that does not need the trace directory. The
 // spec must already be normalized.
 func (js JobSpec) validate() error {
-	if _, err := HybridBuilder(js.Prophet, js.Critic, js.FutureBits, js.Unfiltered); err != nil {
-		return err
+	if len(js.Specs) == 0 {
+		return fmt.Errorf("service: job names no predictor spec (set specs)")
+	}
+	// The aliases are accepted only as a stand-in for a one-element
+	// Specs; a submission saying both things is ambiguous, not merged.
+	if js.Spec != "" && (len(js.Specs) != 1 || js.Specs[0] != js.Spec) {
+		return fmt.Errorf("service: set either specs or the single-spec alias spec, not both")
+	}
+	if js.Prophet != "" && (len(js.Specs) != 1 || js.Specs[0] != js.Prophet) {
+		return fmt.Errorf("service: set either specs or the single-spec alias prophet, not both")
+	}
+	seen := make(map[string]string, len(js.Specs))
+	for _, spec := range js.Specs {
+		if _, err := HybridBuilder(spec, js.Critic, js.FutureBits, js.Unfiltered); err != nil {
+			return err
+		}
+		cell, err := cellSpec(spec, js.Critic, js.FutureBits, js.Unfiltered)
+		if err != nil {
+			return err
+		}
+		if prev, dup := seen[cell]; dup {
+			return fmt.Errorf("service: specs %q and %q are the same predictor cell %q", prev, spec, cell)
+		}
+		seen[cell] = spec
 	}
 	if js.Warmup < 0 {
 		return fmt.Errorf("service: warmup must be >= 0, got %d", js.Warmup)
@@ -205,6 +255,75 @@ func (js JobSpec) validate() error {
 		return err
 	}
 	return nil
+}
+
+// cellSpec returns the canonical predictor-cell identity of one prophet
+// spec under the job's shared critic settings: the prophets' and
+// critics' budget.Config.String() round-trips (so "gshare:8" and the
+// equivalent explicit geometry name the same cell), the filter mode, and
+// the future-bit count. Prophet-alone cells exclude the critic knobs —
+// future bits and the filter flag are meaningless without a critic and
+// must not split cache cells.
+func cellSpec(prophetSpec, criticSpec string, fb uint, unfiltered bool) (string, error) {
+	pc, err := budget.ParseSpec(prophetSpec)
+	if err != nil {
+		return "", err
+	}
+	s := pc.String()
+	if criticSpec != "" && criticSpec != "none" {
+		cc, err := budget.ParseSpec(criticSpec)
+		if err != nil {
+			return "", err
+		}
+		mode := "filtered"
+		if unfiltered || !cc.IsCritic() {
+			mode = "unfiltered"
+		}
+		s = fmt.Sprintf("%s + %s %s fb=%d", s, cc.String(), mode, fb)
+	}
+	return s, nil
+}
+
+// windowKey is the canonical simulation-window identity of a normalized
+// spec. With WarmupFrac 1 every shard count merges to the bit-identical
+// sequential result (the shard-merge property the golden tests pin), so
+// the key deliberately excludes the shard geometry; approximate runs
+// (WarmupFrac < 1) measure different state and key on it.
+func (js JobSpec) windowKey() string {
+	if *js.WarmupFrac == 1 {
+		return fmt.Sprintf("w%d+m%d", js.Warmup, js.Measure)
+	}
+	return fmt.Sprintf("w%d+m%d/s%d@%g", js.Warmup, js.Measure, js.Shards, *js.WarmupFrac)
+}
+
+// cellKey assembles the content-addressed cache key of one result cell:
+// canonical predictor cell × workload identity × canonical window.
+func cellKey(cell, workload, window string) string {
+	return cell + " | " + workload + " | " + window
+}
+
+// workloadID is the content-addressed workload identity a cache cell is
+// keyed by: benchmark names are stable generators ("bench:gcc"), trace
+// files hash their content ("trace:<sha256>") so a re-recorded or
+// renamed trace never aliases a stale cell.
+func workloadID(ref WorkloadRef, traceDir string) (string, error) {
+	switch ref.Kind {
+	case "bench":
+		return "bench:" + ref.Name, nil
+	case "trace":
+		f, err := os.Open(filepath.Join(traceDir, ref.Name))
+		if err != nil {
+			return "", fmt.Errorf("service: hashing trace workload %q: %w", ref.Name, err)
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return "", fmt.Errorf("service: hashing trace workload %q: %w", ref.Name, err)
+		}
+		return "trace:" + hex.EncodeToString(h.Sum(nil)), nil
+	default:
+		return "", fmt.Errorf("service: unknown workload kind %q", ref.Kind)
+	}
 }
 
 // NewHybrid assembles a prophet/critic hybrid from resolved budget

@@ -5,16 +5,22 @@
 # CI) but never gate: shared runners are too noisy for that. Allocations
 # are deterministic, so they gate hard.
 #
+# A second pass runs the one-pass multi-predictor scaling benches and
+# writes BENCH_runmany.json: ns/branch/pred at N=1,4,8,16 over synthetic
+# gcc, the same over a recorded gcc trace, the 8-sequential-runs
+# baseline, and the acceptance ratio (RunMany N=8 over a trace vs the
+# single-run wall — must stay < 3x; decode is shared once, so it does).
+#
 #   scripts/perfguard.sh [output-file]   # default /tmp/bench-new.txt
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-/tmp/bench-new.txt}
-go test -run=NONE -bench='BenchmarkHybridPredictResolve$|BenchmarkProphetAlone$' \
+go test -run=NONE -bench='BenchmarkHybridPredictResolve$|BenchmarkProphetAlone$|BenchmarkManyStepperStep$' \
     -benchtime=2000x -benchmem -count=3 . | tee "$out"
 
 fail=0
-for b in BenchmarkHybridPredictResolve BenchmarkProphetAlone; do
+for b in BenchmarkHybridPredictResolve BenchmarkProphetAlone BenchmarkManyStepperStep; do
     # Every sampled run of a pinned benchmark must report 0 allocs/op.
     runs=$(grep -c "^$b" "$out" || true)
     clean=$(grep "^$b" "$out" | grep -c " 0 allocs/op" || true)
@@ -31,3 +37,71 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "perf-guard: hot-path allocation guarantees hold (0 allocs/op)"
+
+# ---- one-pass engine scaling: BENCH_runmany.json ----
+many=/tmp/bench-runmany.txt
+go test -run=NONE -bench='BenchmarkRunManyGcc|BenchmarkRunSequential8Gcc$|BenchmarkRunManyTraceN8VsSingle$' \
+    -benchtime=10x -count=5 . | tee "$many"
+
+# One resubmit-hit smoke: the server test that submits a job, resubmits
+# the identical spec, and asserts every row of the second job is served
+# from the cache with provenance. Hit rate is 1.0 by that test passing.
+if go test -run 'TestCacheHitProvenanceAndResultsEndpoint$' -count=1 ./internal/service/ >/dev/null; then
+    cache_hit=1.0
+else
+    echo "perf-guard: cache resubmit smoke failed" >&2
+    exit 1
+fi
+
+awk -v cache_hit="$cache_hit" '
+/^BenchmarkRunManyGcc\/N=/       { split($1, f, "="); syn_ns[f[2]] = syn_ns[f[2]] " " $3; syn_pp[f[2]] = syn_pp[f[2]] " " $5 }
+/^BenchmarkRunManyGccTrace\/N=/  { split($1, f, "="); trc_ns[f[2]] = trc_ns[f[2]] " " $3; trc_pp[f[2]] = trc_pp[f[2]] " " $5 }
+/^BenchmarkRunSequential8Gcc/    { seq_ns = seq_ns " " $3 }
+/^BenchmarkRunManyTraceN8VsSingle/ { pair_ratio = pair_ratio " " $5 }
+# med returns the median of the -count samples (robust to shared-runner
+# noise outliers; insertion sort keeps this portable awk).
+function med(s,   a, n, i, j, t) {
+    n = split(s, a, " ")
+    for (i = 1; i <= n; i++) a[i] += 0
+    for (i = 2; i <= n; i++) {
+        t = a[i]
+        for (j = i - 1; j >= 1 && a[j] > t; j--) a[j+1] = a[j]
+        a[j+1] = t
+    }
+    return a[int((n + 1) / 2)]
+}
+END {
+    printf "{\n"
+    printf "  \"bench\": \"gcc\",\n"
+    printf "  \"window\": {\"warmup_branches\": 20000, \"measure_branches\": 50000},\n"
+    printf "  \"synthetic\": {\n"
+    sep = ""
+    for (n = 1; n <= 16; n++) if (n in syn_ns) {
+        printf "%s    \"N=%d\": {\"ns_op\": %d, \"ns_per_branch_per_pred\": %.2f}", sep, n, med(syn_ns[n]), med(syn_pp[n])
+        sep = ",\n"
+    }
+    printf "\n  },\n"
+    printf "  \"trace\": {\n"
+    sep = ""
+    for (n = 1; n <= 16; n++) if (n in trc_ns) {
+        printf "%s    \"N=%d\": {\"ns_op\": %d, \"ns_per_branch_per_pred\": %.2f}", sep, n, med(trc_ns[n]), med(trc_pp[n])
+        sep = ",\n"
+    }
+    printf "\n  },\n"
+    printf "  \"sequential_8_ns_op\": %d,\n", med(seq_ns)
+    printf "  \"runmany_vs_sequential8_speedup\": %.2f,\n", med(seq_ns) / med(syn_ns[8])
+    printf "  \"n8_over_single_trace\": %.2f,\n", med(pair_ratio)
+    printf "  \"n8_over_single_synthetic\": %.2f,\n", med(syn_ns[8]) / med(syn_ns[1])
+    printf "  \"resubmit_cache_hit_rate\": %.1f\n", cache_hit
+    printf "}\n"
+    # Gate on the PAIRED ratio: N=8 and N=1 passes interleaved per
+    # iteration, so shared-runner load drift hits both sides equally.
+    ratio = med(pair_ratio)
+    if (ratio >= 3.0) {
+        printf "perf-guard: RunMany N=8 over trace is %.2fx the single-run wall (must be < 3x)\n", ratio > "/dev/stderr"
+        exit 1
+    }
+}' "$many" > BENCH_runmany.json
+
+cat BENCH_runmany.json
+echo "perf-guard: one-pass scaling recorded in BENCH_runmany.json"
