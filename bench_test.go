@@ -322,3 +322,52 @@ func BenchmarkManyStepperStep(b *testing.B) {
 		st.Measure(1)
 	}
 }
+
+// ---- simulator telemetry overhead (BENCH_obs.json) ----
+
+// BenchmarkObsOverhead measures what the sampled throughput counters
+// cost the simulator: per iteration it runs the same single-predictor
+// gcc window once with obs enabled and once disabled, back to back so
+// both sides see identical runner load, and reports the paired wall
+// ratio as on/off. scripts/perfguard.sh gates the median of this
+// metric ≤ 1.02 (the ≤2% observability wall) and records it into
+// BENCH_obs.json.
+func BenchmarkObsOverhead(b *testing.B) {
+	prog := program.MustLoad("gcc")
+	mk := runManyBuilders(b, 1)[0]
+	defer sim.EnableObs(false)
+	var tOn, tOff time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.EnableObs(true)
+		s := time.Now()
+		sim.Run(prog, mk(), runManyWindow)
+		tOn += time.Since(s)
+		sim.EnableObs(false)
+		s = time.Now()
+		sim.Run(prog, mk(), runManyWindow)
+		tOff += time.Since(s)
+	}
+	b.ReportMetric(float64(tOn)/float64(tOff), "on/off")
+}
+
+// BenchmarkManyStepperStepObsOn is BenchmarkManyStepperStep with the
+// throughput counters live: the instrumented inner loop must hold the
+// same 0 allocs/op wall (perfguard gates it alongside the baseline).
+func BenchmarkManyStepperStepObsOn(b *testing.B) {
+	prog := program.MustLoad("gcc")
+	builds := runManyBuilders(b, 8)
+	hs := make([]*core.Hybrid, len(builds))
+	for i, mk := range builds {
+		hs[i] = mk()
+	}
+	st := sim.NewManyStepper(prog, hs)
+	defer st.Close()
+	sim.EnableObs(true)
+	defer sim.EnableObs(false)
+	st.Train(runManyWindow.WarmupBranches)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Measure(1)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"prophetcritic/internal/obs"
 	"prophetcritic/internal/service"
 )
 
@@ -155,8 +156,51 @@ func streamEvents(c *service.APIClient, id string, raw bool) {
 		}
 		time.Sleep(250 * time.Millisecond)
 	}
+	if !raw {
+		printTraceSummary(c, id)
+	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// printTraceSummary fetches the job's span tree and renders per-stage
+// timings aggregated by span name — where the job's wall clock went
+// (queueing, warmup, measurement, checkpoints, unit leases). Best
+// effort: a server without the trace (evicted, or an older build) just
+// skips the summary.
+func printTraceSummary(c *service.APIClient, id string) {
+	var tr obs.Trace
+	if err := c.GetJSON(context.Background(), "/v1/jobs/"+id+"/trace", &tr); err != nil {
+		return
+	}
+	type agg struct {
+		name  string
+		count int
+		total time.Duration
+	}
+	byName := map[string]*agg{}
+	order := []*agg{}
+	for _, sp := range tr.Spans {
+		if sp.End.IsZero() {
+			continue // still open (or dropped); no duration to report
+		}
+		a := byName[sp.Name]
+		if a == nil {
+			a = &agg{name: sp.Name}
+			byName[sp.Name] = a
+			order = append(order, a)
+		}
+		a.count++
+		a.total += sp.End.Sub(sp.Start)
+	}
+	if len(order) == 0 {
+		return
+	}
+	fmt.Println("stage timings:")
+	for _, a := range order {
+		fmt.Printf("  %-12s %4d span(s)  %10.1fms total\n",
+			a.name, a.count, float64(a.total)/float64(time.Millisecond))
 	}
 }
 

@@ -24,14 +24,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"prophetcritic/internal/obs"
 	"prophetcritic/internal/service"
+	"prophetcritic/internal/sim"
 )
 
 func main() {
@@ -66,9 +68,11 @@ func usage() {
                   [-cluster] [-lease-ttl 5s] [-heartbeat-every 1s]
                   [-heartbeat-misses 3] [-unit-attempts 4]
                   [-retry-backoff 200ms] [-retry-backoff-max 5s]
-                  [-local-fallback-after 3s]
+                  [-local-fallback-after 3s] [-log-format text|json]
+                  [-debug-addr :8918]
   pcserved worker -addr <coordinator-url> [-name NAME] [-trace-dir <dir>]
                   [-timeout 30s] [-retries 4] [-chaos SPEC]
+                  [-log-format text|json]
   pcserved submit -addr <url> (-bench a,b|-trace f.trc) [-prophet kind:KB]
                   [-spec kind:KB]... [-critic kind:KB|none] [-fb N]
                   [-unfiltered] [-warmup N] [-measure N] [-shards K]
@@ -104,10 +108,14 @@ func serve(args []string) {
 	retryBackoff := fs.Duration("retry-backoff", 200*time.Millisecond, "base backoff before re-issuing an expired unit")
 	retryBackoffMax := fs.Duration("retry-backoff-max", 5*time.Second, "backoff cap for unit re-issues")
 	localAfter := fs.Duration("local-fallback-after", 3*time.Second, "run pending units locally after this long with no live workers")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	debugAddr := fs.String("debug-addr", "", "listen address for /debug/pprof, /statusz, /metricsz (empty = disabled)")
 	fs.Parse(args)
 	if *data == "" {
 		fatal(fmt.Errorf("serve needs -data"))
 	}
+	logger := newLogger(*logFormat)
+	sim.EnableObs(true) // sampled throughput counters feed /metricsz and /statusz
 
 	sched, err := service.New(service.Config{
 		DataDir:               *data,
@@ -129,6 +137,7 @@ func serve(args []string) {
 		RetryBackoff:       *retryBackoff,
 		RetryBackoffMax:    *retryBackoffMax,
 		LocalFallbackAfter: *localAfter,
+		Logger:             logger,
 	})
 	if err != nil {
 		fatal(err)
@@ -138,6 +147,16 @@ func serve(args []string) {
 	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched).Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: service.DebugHandler(sched)}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "pcserved: debug server:", err)
+			}
+		}()
+		fmt.Printf("pcserved: debug endpoints on %s (/debug/pprof, /statusz, /metricsz)\n", *debugAddr)
+	}
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -176,6 +195,7 @@ func worker(args []string) {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 	retries := fs.Int("retries", 4, "HTTP retries on connection errors and 429/503")
 	chaosSpec := fs.String("chaos", "", "fault injection: kill-on-lease=N,drop-heartbeats,delay-results=D,duplicate-deliver")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
 	fs.Parse(args)
 
 	chaos, err := service.ParseChaos(*chaosSpec)
@@ -185,13 +205,14 @@ func worker(args []string) {
 	if *name == "" {
 		*name = fmt.Sprintf("worker-%d", os.Getpid())
 	}
+	sim.EnableObs(true) // sampled throughput counters ride the heartbeat to the coordinator
 	w, err := service.NewWorker(service.WorkerConfig{
 		Coordinator: *addr,
 		Name:        *name,
 		TraceDir:    *traceDir,
 		Client:      service.NewAPIClient(*addr, *timeout, *retries),
 		Chaos:       chaos,
-		Log:         log.New(os.Stderr, "", log.LstdFlags),
+		Logger:      newLogger(*logFormat),
 	})
 	if err != nil {
 		fatal(err)
@@ -216,6 +237,16 @@ func worker(args []string) {
 	case err != nil:
 		fatal(err)
 	}
+}
+
+// newLogger builds the process logger from -log-format, exiting on an
+// unknown format so a typo fails fast instead of silently logging text.
+func newLogger(format string) *slog.Logger {
+	l, err := obs.NewLogger(os.Stderr, format)
+	if err != nil {
+		fatal(err)
+	}
+	return l
 }
 
 func fatal(err error) {

@@ -16,8 +16,8 @@
 //   - go statements, function literals, and method values (closures);
 //   - any call into fmt, errors, or log;
 //   - static calls to functions that are not themselves annotated
-//     //pclint:hotpath (math/bits is allowlisted: its functions compile
-//     to intrinsics).
+//     //pclint:hotpath (math/bits and sync/atomic are allowlisted:
+//     their functions compile to intrinsics and never allocate).
 //
 // Dynamic calls — through interface methods, function values, or
 // closures — are permitted: interface dispatch does not allocate, and
@@ -43,9 +43,13 @@ import (
 const Marker = "pclint:hotpath"
 
 // allowedPkgs may be called from hot functions without annotation:
-// their exported functions compile to branch-free intrinsics.
+// math/bits functions compile to branch-free intrinsics, and
+// sync/atomic operations compile to single atomic instructions —
+// neither can allocate, and atomics are exactly what the sampled obs
+// counter flushes on the hot path are built from.
 var allowedPkgs = map[string]bool{
-	"math/bits": true,
+	"math/bits":   true,
+	"sync/atomic": true,
 }
 
 // fmtPkgs always draw a dedicated diagnostic: calling them means

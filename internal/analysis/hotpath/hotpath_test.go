@@ -11,3 +11,10 @@ import (
 func TestAnalyzer(t *testing.T) {
 	analysistest.Run(t, filepath.Join("testdata", "src"), hotpath.Analyzer, "good", "bad")
 }
+
+// TestObsPolicy pins the telemetry hot-path contract: sampled atomic
+// counter flushes (the internal/sim obs shape) pass, a naive histogram
+// observe in the hot loop trips the analyzer.
+func TestObsPolicy(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src"), hotpath.Analyzer, "obsgood", "obsbad")
+}

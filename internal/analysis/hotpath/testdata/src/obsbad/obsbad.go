@@ -1,0 +1,33 @@
+// Package obsbad pins the other half of the observability hot-path
+// policy: a naive per-branch histogram observe is a method call into
+// an unannotated function, and the analyzer rejects it — per-branch
+// telemetry must go through sampled atomic flushes instead.
+package obsbad
+
+import "sync"
+
+// histogram stands in for obs.Histogram: an unannotated Observe with
+// a lock — exactly what must not run per branch.
+type histogram struct {
+	mu      sync.Mutex
+	buckets [8]uint64
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[0]++
+	_ = v
+}
+
+var lat histogram
+
+//pclint:hotpath
+func Hot(n int) uint64 {
+	var acc uint64
+	for i := 0; i < n; i++ {
+		acc += uint64(i)
+		lat.observe(float64(i)) // want `call to non-hotpath function histogram.observe from a hotpath function`
+	}
+	return acc
+}

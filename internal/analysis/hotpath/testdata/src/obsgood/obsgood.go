@@ -1,0 +1,46 @@
+// Package obsgood pins the observability hot-path policy: sampled
+// atomic counter flushes are legal inside annotated functions, because
+// sync/atomic is allowlisted (atomic ops are compiler intrinsics and
+// never allocate). This is the shape internal/sim's throughput
+// instrumentation uses.
+package obsgood
+
+import "sync/atomic"
+
+const (
+	sampleEvery = 1 << 14
+	sampleMask  = sampleEvery - 1
+)
+
+var (
+	enabled  atomic.Bool
+	branches atomic.Uint64
+)
+
+// commit publishes one sample quantum — the enabled gate and the
+// counter bump are both plain atomics, allowed on the hot path.
+//
+//pclint:hotpath
+func commit(n uint64) {
+	if !enabled.Load() {
+		return
+	}
+	branches.Add(n)
+}
+
+// Hot is a simulation window loop with sampled obs counters: a
+// loop-local clock, a masked boundary check, and an annotated flush
+// callee. No diagnostics expected anywhere in this file.
+//
+//pclint:hotpath
+func Hot(n int) uint64 {
+	var acc uint64
+	for i := 0; i < n; i++ {
+		acc += uint64(i)
+		if i&sampleMask == sampleMask {
+			commit(sampleEvery)
+		}
+	}
+	commit(uint64(n & sampleMask))
+	return acc
+}

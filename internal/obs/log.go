@@ -1,0 +1,104 @@
+package obs
+
+// Structured logging: every service component logs through a
+// *slog.Logger built here, and correlation IDs (job, unit, worker)
+// ride on the context so one wrapper handler stamps them onto every
+// record regardless of which layer emitted it. `pcserved -log-format`
+// picks text (human) or json (machine) output.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+type ctxKey int
+
+const (
+	ctxJob ctxKey = iota
+	ctxUnit
+	ctxWorker
+)
+
+// WithJob returns a context carrying a job correlation ID.
+func WithJob(ctx context.Context, job string) context.Context {
+	return context.WithValue(ctx, ctxJob, job)
+}
+
+// WithUnit returns a context carrying a work-unit correlation ID.
+func WithUnit(ctx context.Context, unit string) context.Context {
+	return context.WithValue(ctx, ctxUnit, unit)
+}
+
+// WithWorker returns a context carrying a worker correlation ID.
+func WithWorker(ctx context.Context, worker string) context.Context {
+	return context.WithValue(ctx, ctxWorker, worker)
+}
+
+// JobFrom returns the job correlation ID on ctx, if any.
+func JobFrom(ctx context.Context) (string, bool) {
+	s, ok := ctx.Value(ctxJob).(string)
+	return s, ok
+}
+
+// UnitFrom returns the unit correlation ID on ctx, if any.
+func UnitFrom(ctx context.Context) (string, bool) {
+	s, ok := ctx.Value(ctxUnit).(string)
+	return s, ok
+}
+
+// WorkerFrom returns the worker correlation ID on ctx, if any.
+func WorkerFrom(ctx context.Context) (string, bool) {
+	s, ok := ctx.Value(ctxWorker).(string)
+	return s, ok
+}
+
+// correlateHandler stamps job/unit/worker IDs from the record's
+// context onto the record before delegating.
+type correlateHandler struct {
+	slog.Handler
+}
+
+func (h correlateHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if job, ok := JobFrom(ctx); ok {
+		rec.AddAttrs(slog.String("job", job))
+	}
+	if unit, ok := UnitFrom(ctx); ok {
+		rec.AddAttrs(slog.String("unit", unit))
+	}
+	if worker, ok := WorkerFrom(ctx); ok {
+		rec.AddAttrs(slog.String("worker", worker))
+	}
+	return h.Handler.Handle(ctx, rec)
+}
+
+func (h correlateHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return correlateHandler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h correlateHandler) WithGroup(name string) slog.Handler {
+	return correlateHandler{h.Handler.WithGroup(name)}
+}
+
+// NewLogger returns a logger writing to w in the given format ("text"
+// or "json"), with context-carried correlation IDs stamped onto every
+// record.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, nil)
+	case "json":
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(correlateHandler{h}), nil
+}
+
+// NopLogger returns a logger that discards everything — the default
+// for library consumers that did not wire logging.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

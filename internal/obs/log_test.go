@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLoggerCorrelationIDs(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithWorker(WithUnit(WithJob(context.Background(), "j000001"), "j000001.0.2"), "w0003")
+	log.InfoContext(ctx, "unit complete", "branches", 24000)
+
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("not one JSON record: %v in %q", err, b.String())
+	}
+	for k, want := range map[string]string{"job": "j000001", "unit": "j000001.0.2", "worker": "w0003"} {
+		if rec[k] != want {
+			t.Errorf("record[%q] = %v, want %q", k, rec[k], want)
+		}
+	}
+	if rec["msg"] != "unit complete" || rec["branches"] != float64(24000) {
+		t.Errorf("record lost base attrs: %v", rec)
+	}
+}
+
+func TestLoggerTextFormat(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.InfoContext(WithJob(context.Background(), "j9"), "hello")
+	if !strings.Contains(b.String(), "job=j9") {
+		t.Errorf("text record missing correlation ID: %q", b.String())
+	}
+
+	// Derived loggers keep stamping correlation IDs.
+	b.Reset()
+	log.With("component", "sched").InfoContext(WithJob(context.Background(), "j8"), "x")
+	if !strings.Contains(b.String(), "job=j8") || !strings.Contains(b.String(), "component=sched") {
+		t.Errorf("derived logger lost attrs: %q", b.String())
+	}
+}
+
+func TestLoggerBadFormat(t *testing.T) {
+	if _, err := NewLogger(&strings.Builder{}, "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	NopLogger().Info("goes nowhere") // must not panic
+	if s, ok := JobFrom(context.Background()); ok || s != "" {
+		t.Error("empty context carried a job ID")
+	}
+}

@@ -1,0 +1,398 @@
+package obs
+
+// A strict parser for the Prometheus text exposition format, pinned to
+// exactly what WritePrometheus produces. It exists to close the loop:
+// the registry's own tests and the observability smoke wall feed a live
+// /metricsz scrape back through ParseMetrics, so a formatting
+// regression (bad escaping, a histogram missing its +Inf bucket, a
+// sample with no # TYPE) fails a wall instead of silently breaking
+// whatever scrapes the fleet.
+//
+// Strictness rules, beyond syntax:
+//   - every sample must belong to a family declared by a preceding
+//     # TYPE line (histogram samples match <name>_bucket/_sum/_count);
+//   - a family's samples are contiguous and no family repeats;
+//   - no duplicate sample (same name and label set);
+//   - histograms must have a le-ordered, cumulative (non-decreasing)
+//     bucket sequence per label set, ending in le="+Inf" equal to the
+//     _count sample, with _sum and _count present.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed metric sample.
+type Sample struct {
+	Name   string // full sample name, including _bucket/_sum/_count suffix
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family with its samples in input order.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Metrics is a parsed scrape, keyed by family name.
+type Metrics map[string]*Family
+
+// Value returns the value of the sample with the given full name and
+// no labels, or an error if it is absent.
+func (m Metrics) Value(name string) (float64, error) {
+	return m.LabeledValue(name, nil)
+}
+
+// LabeledValue returns the value of the sample with the given full
+// name and exactly the given labels.
+func (m Metrics) LabeledValue(name string, labels map[string]string) (float64, error) {
+	fam, ok := m[familyOf(m, name)]
+	if !ok {
+		return 0, fmt.Errorf("obs: no family for sample %q", name)
+	}
+	for _, s := range fam.Samples {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, nil
+		}
+	}
+	return 0, fmt.Errorf("obs: no sample %q with labels %v", name, labels)
+}
+
+// familyOf maps a sample name to its declaring family name.
+func familyOf(m Metrics, sample string) string {
+	if _, ok := m[sample]; ok {
+		return sample
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, found := strings.CutSuffix(sample, suf); found {
+			if f, ok := m[base]; ok && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return sample
+}
+
+// ParseMetrics parses a text-format scrape strictly, returning families
+// keyed by name.
+func ParseMetrics(r io.Reader) (Metrics, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	out := make(Metrics)
+	seen := make(map[string]bool) // dedup key: sample name + sorted labels
+	var cur *Family               // family whose sample block we are inside
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) (Metrics, error) {
+			return nil, fmt.Errorf("obs: metrics line %d: %s: %q", lineno, fmt.Sprintf(format, args...), line)
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return fail("%v", err)
+			}
+			switch kind {
+			case "HELP":
+				if _, dup := out[name]; dup {
+					return fail("repeated family %q", name)
+				}
+				out[name] = &Family{Name: name, Help: rest}
+				cur = nil
+			case "TYPE":
+				f, ok := out[name]
+				if !ok || f.Type != "" {
+					return fail("# TYPE %s without a preceding # HELP (or repeated)", name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram":
+					f.Type = rest
+				default:
+					return fail("unknown metric type %q", rest)
+				}
+				cur = f
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fam := cur
+		if fam == nil || !sampleBelongs(fam, name) {
+			return fail("sample %q outside its family's # TYPE block", name)
+		}
+		key := sampleKey(name, labels)
+		if seen[key] {
+			return fail("duplicate sample %q", name)
+		}
+		seen[key] = true
+		fam.Samples = append(fam.Samples, Sample{Name: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range out {
+		if f.Type == "" {
+			return nil, fmt.Errorf("obs: family %q has # HELP but no # TYPE", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// sampleBelongs reports whether a sample name is legal inside fam's
+// block: the bare family name, or the histogram suffixes.
+func sampleBelongs(fam *Family, name string) bool {
+	if name == fam.Name {
+		return fam.Type != "histogram"
+	}
+	if fam.Type != "histogram" {
+		return false
+	}
+	base, found := strings.CutSuffix(name, "_bucket")
+	if !found {
+		if base, found = strings.CutSuffix(name, "_sum"); !found {
+			base, found = strings.CutSuffix(name, "_count")
+		}
+	}
+	return found && base == fam.Name
+}
+
+func sampleKey(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "\xff%s\xfe%s", k, labels[k])
+	}
+	return b.String()
+}
+
+// parseComment parses a "# HELP name text" or "# TYPE name type" line.
+func parseComment(line string) (kind, name, rest string, err error) {
+	body, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		return "", "", "", fmt.Errorf("malformed comment")
+	}
+	kind, body, ok = strings.Cut(body, " ")
+	if !ok || (kind != "HELP" && kind != "TYPE") {
+		return "", "", "", fmt.Errorf("comment is neither # HELP nor # TYPE")
+	}
+	name, rest, ok = strings.Cut(body, " ")
+	if kind == "TYPE" && !ok {
+		return "", "", "", fmt.Errorf("# TYPE needs a type")
+	}
+	if !ValidMetricName(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	return kind, name, rest, nil
+}
+
+// parseSample parses one "name{labels} value" line. Timestamps are
+// rejected: the registry never emits them.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("no value")
+	}
+	name = line[:i]
+	if !ValidMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid sample name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		labels = make(map[string]string)
+		rest = rest[1:]
+		for {
+			eq := strings.Index(rest, "=\"")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label pair")
+			}
+			lname := rest[:eq]
+			if !ValidLabelName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			rest = rest[eq+2:]
+			var val strings.Builder
+			closed := false
+			for j := 0; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' {
+					if j+1 >= len(rest) {
+						return "", nil, 0, fmt.Errorf("dangling escape in label value")
+					}
+					j++
+					switch rest[j] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("bad escape \\%c in label value", rest[j])
+					}
+					continue
+				}
+				if c == '"' {
+					if _, dup := labels[lname]; dup {
+						return "", nil, 0, fmt.Errorf("duplicate label %q", lname)
+					}
+					labels[lname] = val.String()
+					rest = rest[j+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("unterminated label value")
+			}
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			return "", nil, 0, fmt.Errorf("malformed label set")
+		}
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", nil, 0, fmt.Errorf("expected exactly one value (timestamps are not accepted)")
+	}
+	value, err = parseValue(rest)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// checkHistogram enforces the structural invariants of every label set
+// of a histogram family.
+func checkHistogram(f *Family) error {
+	type series struct {
+		buckets []Sample // in input order
+		sum     *Sample
+		count   *Sample
+	}
+	byLabels := make(map[string]*series)
+	order := []string{}
+	get := func(s Sample) *series {
+		labels := make(map[string]string, len(s.Labels))
+		for k, v := range s.Labels {
+			if k != "le" {
+				labels[k] = v
+			}
+		}
+		key := sampleKey("", labels)
+		sr, ok := byLabels[key]
+		if !ok {
+			sr = &series{}
+			byLabels[key] = sr
+			order = append(order, key)
+		}
+		return sr
+	}
+	for i := range f.Samples {
+		s := f.Samples[i]
+		sr := get(s)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("obs: histogram %q bucket without le label", f.Name)
+			}
+			sr.buckets = append(sr.buckets, s)
+		case strings.HasSuffix(s.Name, "_sum"):
+			sr.sum = &f.Samples[i]
+		case strings.HasSuffix(s.Name, "_count"):
+			sr.count = &f.Samples[i]
+		}
+	}
+	for _, key := range order {
+		sr := byLabels[key]
+		if sr.sum == nil || sr.count == nil {
+			return fmt.Errorf("obs: histogram %q missing _sum or _count", f.Name)
+		}
+		if len(sr.buckets) == 0 {
+			return fmt.Errorf("obs: histogram %q has no buckets", f.Name)
+		}
+		prevLe := math.Inf(-1)
+		prevCum := -1.0
+		for _, b := range sr.buckets {
+			le, err := parseValue(b.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("obs: histogram %q: bad le %q", f.Name, b.Labels["le"])
+			}
+			if le <= prevLe {
+				return fmt.Errorf("obs: histogram %q buckets out of le order", f.Name)
+			}
+			if b.Value < prevCum {
+				return fmt.Errorf("obs: histogram %q buckets are not cumulative", f.Name)
+			}
+			prevLe, prevCum = le, b.Value
+		}
+		last := sr.buckets[len(sr.buckets)-1]
+		if !math.IsInf(mustLe(last), +1) {
+			return fmt.Errorf("obs: histogram %q missing le=\"+Inf\" bucket", f.Name)
+		}
+		if last.Value != sr.count.Value {
+			return fmt.Errorf("obs: histogram %q +Inf bucket (%v) != _count (%v)", f.Name, last.Value, sr.count.Value)
+		}
+	}
+	return nil
+}
+
+func mustLe(s Sample) float64 {
+	v, _ := parseValue(s.Labels["le"])
+	return v
+}

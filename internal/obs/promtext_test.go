@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, text string) (Metrics, error) {
+	t.Helper()
+	return ParseMetrics(strings.NewReader(text))
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":   "x_total 1\n",
+		"TYPE without HELP":     "# TYPE x_total counter\nx_total 1\n",
+		"unknown type":          "# HELP x_total X.\n# TYPE x_total summary\nx_total 1\n",
+		"repeated family":       "# HELP a A.\n# TYPE a counter\na 1\n# HELP a A.\n# TYPE a counter\n",
+		"duplicate sample":      "# HELP a A.\n# TYPE a counter\na 1\na 2\n",
+		"sample outside family": "# HELP a A.\n# TYPE a counter\nb 1\n",
+		"bad value":             "# HELP a A.\n# TYPE a counter\na one\n",
+		"timestamped sample":    "# HELP a A.\n# TYPE a counter\na 1 1700000000\n",
+		"bad label name":        "# HELP a A.\n# TYPE a gauge\na{9x=\"v\"} 1\n",
+		"unterminated label":    "# HELP a A.\n# TYPE a gauge\na{x=\"v} 1\n",
+		"bad escape":            "# HELP a A.\n# TYPE a gauge\na{x=\"\\t\"} 1\n",
+		"duplicate label":       "# HELP a A.\n# TYPE a gauge\na{x=\"1\",x=\"2\"} 1\n",
+		"histogram no +Inf":     "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram no sum":      "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"histogram not cumulative": "# HELP h H.\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"histogram le out of order": "# HELP h H.\n# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram Inf != count": "# HELP h H.\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"histogram bare-name sample": "# HELP h H.\n# TYPE h histogram\nh 1\n",
+	}
+	for name, text := range cases {
+		if _, err := parse(t, text); err == nil {
+			t.Errorf("%s: strict parser accepted:\n%s", name, text)
+		}
+	}
+}
+
+func TestParseAccepts(t *testing.T) {
+	text := "# HELP h Stage latency.\n# TYPE h histogram\n" +
+		"h_bucket{stage=\"warmup\",le=\"1\"} 2\n" +
+		"h_bucket{stage=\"warmup\",le=\"+Inf\"} 3\n" +
+		"h_sum{stage=\"warmup\"} 4.5\n" +
+		"h_count{stage=\"warmup\"} 3\n" +
+		"h_bucket{stage=\"measure\",le=\"1\"} 0\n" +
+		"h_bucket{stage=\"measure\",le=\"+Inf\"} 1\n" +
+		"h_sum{stage=\"measure\"} 2\n" +
+		"h_count{stage=\"measure\"} 1\n" +
+		"# HELP up Up.\n# TYPE up gauge\nup 1\n"
+	ms, err := parse(t, text)
+	if err != nil {
+		t.Fatalf("strict parser rejected valid scrape: %v", err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("got %d families, want 2", len(ms))
+	}
+	if v, err := ms.LabeledValue("h_sum", map[string]string{"stage": "warmup"}); err != nil || v != 4.5 {
+		t.Errorf("h_sum{warmup} = %v, %v", v, err)
+	}
+	if ms["h"].Type != "histogram" || ms["up"].Type != "gauge" {
+		t.Errorf("types = %s, %s", ms["h"].Type, ms["up"].Type)
+	}
+}
+
+func TestParseSpecialValues(t *testing.T) {
+	text := "# HELP g G.\n# TYPE g gauge\n" +
+		"g{k=\"inf\"} +Inf\ng{k=\"ninf\"} -Inf\ng{k=\"nan\"} NaN\ng{k=\"exp\"} 1.5e+09\n"
+	ms, err := parse(t, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ms.LabeledValue("g", map[string]string{"k": "exp"}); v != 1.5e9 {
+		t.Errorf("exp value = %v", v)
+	}
+}

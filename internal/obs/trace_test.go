@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerSpanTree(t *testing.T) {
+	tr := NewTracer(8)
+	job := tr.StartSpan("j1", 0, "job", map[string]string{"client": "ci"})
+	wl := tr.StartSpan("j1", job, "workload", map[string]string{"workload": "gcc"})
+	warm := tr.StartSpan("j1", wl, "warmup", nil)
+	tr.EndSpan("j1", warm)
+	meas := tr.StartSpan("j1", wl, "measure", nil)
+	tr.EndSpan("j1", meas)
+	tr.EndSpan("j1", wl)
+	tr.Annotate("j1", job, map[string]string{"state": "done"})
+	tr.EndSpan("j1", job)
+
+	trace, ok := tr.Get("j1")
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	if len(trace.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(trace.Spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range trace.Spans {
+		byName[s.Name] = s
+		if s.End.IsZero() {
+			t.Errorf("span %s not ended", s.Name)
+		}
+		if s.End.Before(s.Start) {
+			t.Errorf("span %s ends before it starts", s.Name)
+		}
+	}
+	if byName["workload"].Parent != byName["job"].ID {
+		t.Error("workload span not parented to job")
+	}
+	if byName["warmup"].Parent != byName["workload"].ID {
+		t.Error("warmup span not parented to workload")
+	}
+	if byName["job"].Attrs["state"] != "done" {
+		t.Error("Annotate did not merge attrs")
+	}
+
+	// The wire form keeps parent links and omits zero ends.
+	data, err := json.Marshal(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"job":"j1"`) {
+		t.Errorf("trace JSON missing job id: %s", data)
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(2)
+	tr.StartSpan("a", 0, "job", nil)
+	tr.StartSpan("b", 0, "job", nil)
+	tr.StartSpan("c", 0, "job", nil) // evicts a
+	if _, ok := tr.Get("a"); ok {
+		t.Error("oldest trace not evicted")
+	}
+	for _, id := range []string{"b", "c"} {
+		if _, ok := tr.Get(id); !ok {
+			t.Errorf("trace %s evicted early", id)
+		}
+	}
+	// Ending a span of an evicted job must be harmless.
+	tr.EndSpan("a", 1)
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			job := "j" + string(rune('a'+w))
+			root := tr.StartSpan(job, 0, "job", nil)
+			for i := 0; i < 200; i++ {
+				id := tr.StartSpan(job, root, "unit", nil)
+				tr.Annotate(job, id, map[string]string{"i": "x"})
+				tr.EndSpan(job, id)
+				tr.Get(job)
+			}
+			tr.EndSpan(job, root)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 8; w++ {
+		trace, ok := tr.Get("j" + string(rune('a'+w)))
+		if !ok || len(trace.Spans) != 201 {
+			t.Errorf("worker %d: ok=%v spans=%d", w, ok, len(trace.Spans))
+		}
+	}
+}

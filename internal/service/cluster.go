@@ -19,7 +19,9 @@ package service
 // correctness.
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"sync"
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"prophetcritic/internal/core"
+	"prophetcritic/internal/obs"
 	"prophetcritic/internal/sim"
 )
 
@@ -60,6 +63,10 @@ type unit struct {
 	token    string // current lease token; fences stale completions
 	worker   string
 	deadline time.Time
+	leasedAt time.Time // last lease issue, for the lease_roundtrip stage
+
+	parentSpan int // workload span the unit span hangs off
+	span       int // open "unit" trace span, 0 if none
 
 	ck     []byte // last uploaded "PCCK" unit snapshot, if any
 	result sim.Result
@@ -74,6 +81,11 @@ type workerRec struct {
 	id       string
 	name     string
 	lastBeat time.Time
+
+	// status is the gauge snapshot the worker's last heartbeat carried;
+	// the registry re-exports it under a worker label.
+	status    WorkerStatus
+	hasStatus bool
 }
 
 // ClusterMetrics is the coordinator's counter snapshot, rendered by
@@ -100,6 +112,12 @@ type coordinator struct {
 	cfg Config
 	now func() time.Time
 
+	// Telemetry, wired by Scheduler.initObs: unit spans under the job
+	// trace, the lease_roundtrip stage histogram, structured fleet logs.
+	tracer   *obs.Tracer
+	stageDur *obs.HistogramVec
+	log      *slog.Logger
+
 	mu         sync.Mutex
 	workers    map[string]*workerRec
 	units      map[string]*unit
@@ -122,8 +140,13 @@ type coordinator struct {
 }
 
 func newCoordinator(cfg Config) *coordinator {
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
 	return &coordinator{
 		cfg:     cfg,
+		log:     log,
 		now:     time.Now,
 		workers: make(map[string]*workerRec),
 		units:   make(map[string]*unit),
@@ -166,6 +189,21 @@ func (c *coordinator) Metrics() ClusterMetrics {
 	}
 }
 
+// spanStart/spanEnd guard the tracer wiring (absent only in direct
+// coordinator construction, which production code never does).
+func (c *coordinator) spanStart(job string, parent int, name string, attrs map[string]string) int {
+	if c.tracer == nil {
+		return 0
+	}
+	return c.tracer.StartSpan(job, parent, name, attrs)
+}
+
+func (c *coordinator) spanEnd(job string, id int) {
+	if c.tracer != nil && id != 0 {
+		c.tracer.EndSpan(job, id)
+	}
+}
+
 // register admits a worker and returns its id plus the protocol timings.
 func (c *coordinator) register(name string) WorkerInfo {
 	c.mu.Lock()
@@ -174,6 +212,7 @@ func (c *coordinator) register(name string) WorkerInfo {
 	c.workers[id] = &workerRec{id: id, name: name, lastBeat: c.now()}
 	c.mu.Unlock()
 	c.registered.Add(1)
+	c.log.InfoContext(obs.WithWorker(context.Background(), id), "worker registered", "name", name)
 	return WorkerInfo{
 		ID:          id,
 		LeaseTTLMs:  c.cfg.LeaseTTL.Milliseconds(),
@@ -182,9 +221,10 @@ func (c *coordinator) register(name string) WorkerInfo {
 	}
 }
 
-// heartbeat refreshes a worker's deadline; ok is false for unknown (or
+// heartbeat refreshes a worker's deadline and records the gauge
+// snapshot the beat carried, if any; ok is false for unknown (or
 // already-expired) workers, which must re-register.
-func (c *coordinator) heartbeat(id string) bool {
+func (c *coordinator) heartbeat(id string, status *WorkerStatus) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w, ok := c.workers[id]
@@ -192,8 +232,52 @@ func (c *coordinator) heartbeat(id string) bool {
 		return false
 	}
 	w.lastBeat = c.now()
+	if status != nil {
+		w.status = *status
+		w.hasStatus = true
+	}
 	c.heartbeats.Add(1)
 	return true
+}
+
+// workerStatus is one worker's last-reported snapshot, for the fleet
+// gauge bridges.
+type workerStatus struct {
+	id     string
+	status WorkerStatus
+}
+
+// workerStatuses snapshots the fleet's last heartbeat payloads.
+func (c *coordinator) workerStatuses() []workerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]workerStatus, 0, len(c.workers))
+	for _, w := range c.workers {
+		if w.hasStatus {
+			out = append(out, workerStatus{id: w.id, status: w.status})
+		}
+	}
+	return out
+}
+
+// liveWorkers counts workers with an unexpired heartbeat.
+func (c *coordinator) liveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// pendingUnits counts units waiting for a lease.
+func (c *coordinator) pendingUnits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, u := range c.units {
+		if u.state == uPending {
+			n++
+		}
+	}
+	return n
 }
 
 // backoff returns the capped exponential backoff (plus jitter) before
@@ -227,6 +311,8 @@ func (c *coordinator) reap() {
 		if now.Sub(w.lastBeat) > deadline {
 			dead[id] = true
 			delete(c.workers, id)
+			c.log.WarnContext(obs.WithWorker(context.Background(), id), "worker declared dead",
+				"name", w.name, "last_beat", w.lastBeat)
 		}
 	}
 	live := len(c.workers)
@@ -236,6 +322,13 @@ func (c *coordinator) reap() {
 		case uLeased:
 			if now.After(u.deadline) || dead[u.worker] {
 				c.expired.Add(1)
+				if u.span != 0 && c.tracer != nil {
+					c.tracer.Annotate(u.jobID, u.span, map[string]string{"expired": "true"})
+				}
+				c.spanEnd(u.jobID, u.span)
+				u.span = 0
+				c.log.WarnContext(obs.WithUnit(obs.WithWorker(context.Background(), u.worker), u.id),
+					"lease expired", "attempts", u.attempts)
 				u.state = uPending
 				u.pendingSince = now
 				u.notBefore = now.Add(c.backoff(u.attempts))
@@ -295,6 +388,9 @@ func (c *coordinator) lease(workerID string) (*UnitLease, error) {
 	pick.token = fmt.Sprintf("t%06d", c.nextToken)
 	pick.worker = workerID
 	pick.deadline = now.Add(c.cfg.LeaseTTL)
+	pick.leasedAt = now
+	pick.span = c.spanStart(pick.jobID, pick.parentSpan, "unit",
+		map[string]string{"unit": pick.id, "worker": workerID, "attempt": fmt.Sprintf("%d", pick.attempts)})
 	c.leased.Add(1)
 	if pick.attempts > 1 {
 		c.retried.Add(1)
@@ -365,13 +461,20 @@ func (c *coordinator) complete(unitID, token string, r sim.Result) error {
 	u.result = r
 	u.ck = nil
 	c.completed.Add(1)
+	if c.stageDur != nil && !u.leasedAt.IsZero() {
+		c.stageDur.With(stageLease).ObserveSince(u.leasedAt)
+	}
+	c.spanEnd(u.jobID, u.span)
+	u.span = 0
+	c.log.InfoContext(obs.WithUnit(obs.WithWorker(context.Background(), u.worker), u.id),
+		"unit completed", "branches", r.Branches)
 	c.signalLocked()
 	return nil
 }
 
 // addUnits registers the not-yet-done windows of one job workload as
 // leasable units.
-func (c *coordinator) addUnits(j *Job, wi int, ref WorkloadRef, ws []sim.Window, done []bool, prophet string) {
+func (c *coordinator) addUnits(j *Job, wi int, ref WorkloadRef, ws []sim.Window, done []bool, prophet string, parentSpan int) {
 	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -384,6 +487,7 @@ func (c *coordinator) addUnits(j *Job, wi int, ref WorkloadRef, ws []sim.Window,
 			id: id, jobID: j.ID, wi: wi, idx: i,
 			ref: ref, spec: j.Spec, prophet: prophet, window: w,
 			state: uPending, pendingSince: now, notBefore: now,
+			parentSpan: parentSpan,
 		}
 	}
 }
@@ -410,6 +514,8 @@ func (c *coordinator) takeLocal(jobID string, wi int) []*unit {
 	for _, u := range c.units {
 		if u.jobID == jobID && u.wi == wi && u.state == uLocal {
 			u.state = uRunningLocal
+			u.span = c.spanStart(u.jobID, u.parentSpan, "unit",
+				map[string]string{"unit": u.id, "mode": "local"})
 			out = append(out, u)
 		}
 	}
@@ -423,7 +529,10 @@ func (c *coordinator) completeLocal(u *unit, r sim.Result) {
 	u.state = uDone
 	u.result = r
 	u.ck = nil
+	span := u.span
+	u.span = 0
 	c.mu.Unlock()
+	c.spanEnd(u.jobID, span)
 	c.completed.Add(1)
 	c.signal()
 }
@@ -485,6 +594,18 @@ type WorkerInfo struct {
 // LeaseRequest is the body of POST /v1/units/lease.
 type LeaseRequest struct {
 	Worker string `json:"worker"`
+}
+
+// WorkerStatus is the optional body of POST /v1/workers/{id}/heartbeat:
+// a gauge snapshot of the worker node the coordinator re-exports on
+// /metricsz under a worker label. Heartbeats without a body (older
+// workers) still renew the liveness deadline.
+type WorkerStatus struct {
+	UnitsDone      uint64 `json:"units_done"`
+	UnitsLost      uint64 `json:"units_lost"`
+	SimBranches    uint64 `json:"sim_branches"`
+	SimPredictions uint64 `json:"sim_predictions"`
+	ActiveRuns     int64  `json:"active_runs"`
 }
 
 // UnitLease describes one leased work unit: everything a worker needs to

@@ -42,6 +42,31 @@ type APIClient struct {
 	stream *http.Client
 	rng    *rand.Rand
 	rngMu  sync.Mutex
+
+	hdrMu sync.Mutex
+	hdr   http.Header
+}
+
+// SetHeader sets a header stamped on every request this client issues —
+// the worker loop stamps its X-PC-Worker correlation id here. Safe for
+// concurrent use with in-flight requests.
+func (c *APIClient) SetHeader(key, value string) {
+	c.hdrMu.Lock()
+	defer c.hdrMu.Unlock()
+	if c.hdr == nil {
+		c.hdr = make(http.Header)
+	}
+	c.hdr.Set(key, value)
+}
+
+func (c *APIClient) applyHeaders(req *http.Request) {
+	c.hdrMu.Lock()
+	defer c.hdrMu.Unlock()
+	for k, vs := range c.hdr {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
+	}
 }
 
 // NewAPIClient returns a client for base with the given unary timeout
@@ -117,6 +142,7 @@ func (c *APIClient) do(ctx context.Context, method, path string, body []byte) (i
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		c.applyHeaders(req)
 		resp, err := c.unary.Do(req)
 		retryAfter := ""
 		if err != nil {
@@ -197,6 +223,7 @@ func (c *APIClient) Stream(ctx context.Context, path string) (*http.Response, er
 		if err != nil {
 			return nil, err
 		}
+		c.applyHeaders(req)
 		resp, err := c.stream.Do(req)
 		if err == nil {
 			return resp, nil

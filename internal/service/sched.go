@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,6 +15,7 @@ import (
 
 	"prophetcritic/internal/checkpoint"
 	"prophetcritic/internal/core"
+	"prophetcritic/internal/obs"
 	"prophetcritic/internal/pool"
 	"prophetcritic/internal/program"
 	"prophetcritic/internal/sim"
@@ -74,6 +76,11 @@ type Config struct {
 	// no live workers exist for that long (default 3s), so a cluster job
 	// with no fleet still completes.
 	LocalFallbackAfter time.Duration
+
+	// Logger receives structured lifecycle records (job admissions,
+	// state transitions, fleet events), stamped with job/unit/worker
+	// correlation IDs by the obs handler. nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Crash == nil {
 		c.Crash = func() { panic("service: checkpoint crash injection fired with no Crash hook") }
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	if c.LeaseTTL == 0 {
 		c.LeaseTTL = 5 * time.Second
@@ -163,6 +173,13 @@ type Scheduler struct {
 	stop context.CancelFunc
 	wg   sync.WaitGroup
 
+	log      *slog.Logger
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	stageDur *obs.HistogramVec
+	spanMu   sync.Mutex
+	spans    map[string]*jobSpans
+
 	submitted atomic.Uint64
 	completed atomic.Uint64
 	failed    atomic.Uint64
@@ -199,8 +216,10 @@ func New(cfg Config) (*Scheduler, error) {
 		logs:  make(map[string]*EventLog),
 		ctx:   ctx,
 		stop:  cancel,
+		log:   cfg.Logger,
 	}
 	s.crashLeft.Store(int64(cfg.CrashAfterCheckpoints))
+	s.initObs()
 
 	jobs, err := st.loadJobs()
 	if err != nil {
@@ -300,14 +319,18 @@ func (s *Scheduler) Submit(spec JobSpec) (Job, error) {
 	// The "queued" event goes out before Enqueue: the instant the job is
 	// queued a worker may emit "started", and the stream's documented
 	// order (queued first) must not race that. dropJob discards the log
-	// if admission then fails.
+	// if admission then fails. The trace's job+queue spans open here for
+	// the same reason — a worker may start the job immediately.
 	s.emit(id, Event{Type: "queued", Job: id})
+	s.traceSubmit(id)
 	if err := s.q.Enqueue(j, false); err != nil {
 		s.rejected.Add(1)
 		s.dropJob(id)
 		return Job{}, err
 	}
 	s.submitted.Add(1)
+	s.log.InfoContext(obs.WithJob(context.Background(), id), "job admitted",
+		"client", spec.Client, "specs", len(spec.Specs), "workloads", len(refs))
 	return cp, nil
 }
 
@@ -317,6 +340,7 @@ func (s *Scheduler) dropJob(id string) {
 	delete(s.jobs, id)
 	delete(s.logs, id)
 	s.mu.Unlock()
+	s.traceJobEnd(id, "rejected")
 	os.Remove(s.st.jobPath(id))
 }
 
@@ -456,6 +480,8 @@ func (s *Scheduler) failJob(j *Job, err error) {
 	s.failed.Add(1)
 	s.q.Release(j.Spec.Client)
 	s.emit(j.ID, Event{Type: "failed", Job: j.ID, Error: err.Error()})
+	s.traceJobEnd(j.ID, "failed")
+	s.log.ErrorContext(obs.WithJob(context.Background(), j.ID), "job failed", "err", err)
 }
 
 // loadWorkload resolves one workload reference to a runnable program.
@@ -503,6 +529,18 @@ func (s *Scheduler) runJob(j *Job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
+	jctx := obs.WithJob(context.Background(), j.ID)
+	root := s.traceRunStart(j)
+	wlSpan := 0
+	endWl := func() {
+		if wlSpan != 0 {
+			s.tracer.EndSpan(j.ID, wlSpan)
+			s.setWorkloadSpan(j.ID, 0)
+			wlSpan = 0
+		}
+	}
+	defer endWl()
+
 	specs := j.Spec.Specs
 	builders := make([]sim.Builder, len(specs))
 	cells := make([]string, len(specs))
@@ -527,8 +565,10 @@ func (s *Scheduler) runJob(j *Job) {
 	if j.Resumed {
 		s.resumed.Add(1)
 		s.emit(j.ID, Event{Type: "resumed", Job: j.ID})
+		s.log.InfoContext(jctx, "job resumed")
 	} else {
 		s.emit(j.ID, Event{Type: "started", Job: j.ID})
+		s.log.InfoContext(jctx, "job started")
 	}
 
 	// A resumed job continues at the first workload without persisted
@@ -547,6 +587,9 @@ func (s *Scheduler) runJob(j *Job) {
 			s.failJob(j, err)
 			return
 		}
+		wlSpan = s.tracer.StartSpan(j.ID, root, "workload",
+			spanAttrs("workload", p.Name, "index", itoa(wi)))
+		s.setWorkloadSpan(j.ID, wlSpan)
 
 		// Cache pass: serve what exists, collect the miss set.
 		rows := make([]ResultRow, len(specs))
@@ -619,6 +662,7 @@ func (s *Scheduler) runJob(j *Job) {
 			s.emit(j.ID, Event{Type: "result", Job: j.ID, Workload: p.Name,
 				Done: j.Spec.Measure, Total: j.Spec.Measure, Row: &row})
 		}
+		endWl()
 	}
 
 	if err := s.setState(j, StateDone); err != nil {
@@ -632,6 +676,8 @@ func (s *Scheduler) runJob(j *Job) {
 	rows := append([]ResultRow(nil), j.Rows...)
 	s.mu.Unlock()
 	s.emit(j.ID, Event{Type: "done", Job: j.ID, Rows: rows})
+	s.traceJobEnd(j.ID, "done")
+	s.log.InfoContext(jctx, "job done", "rows", len(rows))
 }
 
 // steppedResume loads a stepped checkpoint applicable to workload wi and
@@ -694,8 +740,13 @@ func (s *Scheduler) runStepped(j *Job, wi int, p *program.Program, build sim.Bui
 	}
 	st := sim.NewStepper(p, hybrid)
 	defer st.Close()
+	parent := s.workloadSpan(j.ID)
+	wspan := s.tracer.StartSpan(j.ID, parent, "warmup", spanAttrs("skip", itoa(skip), "train", itoa(train)))
+	wt := time.Now()
 	st.Skip(skip)
 	st.Train(train)
+	s.tracer.EndSpan(j.ID, wspan)
+	s.observeStage(stageWarmup, wt)
 
 	meta := checkpoint.Meta{
 		Workload:   p.Name,
@@ -704,12 +755,16 @@ func (s *Scheduler) runStepped(j *Job, wi int, p *program.Program, build sim.Bui
 		FutureBits: j.Spec.FutureBits,
 		Unfiltered: j.Spec.Unfiltered,
 	}
+	mspan := s.tracer.StartSpan(j.ID, parent, "measure", spanAttrs("total", itoa(total)))
+	defer s.tracer.EndSpan(j.ID, mspan)
 	for measuredDone < total {
 		n := s.cfg.CheckpointEvery
 		if n > total-measuredDone {
 			n = total - measuredDone
 		}
+		mt := time.Now()
 		st.Measure(n)
+		s.observeStage(stageMeasure, mt)
 		measuredDone += n
 		cur := st.Result()
 		cur.Merge(partial)
@@ -721,7 +776,7 @@ func (s *Scheduler) runStepped(j *Job, wi int, p *program.Program, build sim.Bui
 		// drain/kill.
 		meta.Position = uint64(opt.WarmupBranches + measuredDone)
 		state := &ckState{mode: ckModeStepped, workload: wi, measuredDone: measuredDone, partial: cur, hybrid: hybrid}
-		if err := s.st.writeCheckpoint(j.ID, meta, state); err != nil {
+		if err := s.traceCheckpoint(j.ID, parent, func() error { return s.st.writeCheckpoint(j.ID, meta, state) }); err != nil {
 			return sim.Result{}, err
 		}
 		s.checkpointWritten()
@@ -783,12 +838,18 @@ func (s *Scheduler) runSharded(j *Job, wi int, p *program.Program, build sim.Bui
 			doneBranches += ws[i].Measure
 		}
 	}
+	parent := s.workloadSpan(j.ID)
 	err = pool.RunCtx(s.ctx, len(ws), func(i int) error {
 		if done[i] {
 			return nil // completed before the restart
 		}
 		w := ws[i]
+		span := s.tracer.StartSpan(j.ID, parent, "shard",
+			spanAttrs("window", itoa(i), "measure", itoa(w.Measure)))
+		defer s.tracer.EndSpan(j.ID, span)
+		mt := time.Now()
 		r := sim.RunSegment(p, build(), w.Skip, w.Train, w.Measure)
+		s.observeStage(stageMeasure, mt)
 
 		mu.Lock()
 		results[i] = r
@@ -796,7 +857,7 @@ func (s *Scheduler) runSharded(j *Job, wi int, p *program.Program, build sim.Bui
 		doneBranches += w.Measure
 		meta.Position = uint64(opt.WarmupBranches + doneBranches)
 		state := &ckState{mode: ckModeSharded, workload: wi, done: done, shards: results}
-		werr := s.st.writeCheckpoint(j.ID, meta, state)
+		werr := s.traceCheckpoint(j.ID, span, func() error { return s.st.writeCheckpoint(j.ID, meta, state) })
 		progress := doneBranches
 		mu.Unlock()
 		if werr != nil {
@@ -865,7 +926,8 @@ func (s *Scheduler) runClustered(j *Job, wi int, ref WorkloadRef, p *program.Pro
 		}
 	}
 
-	s.co.addUnits(j, wi, ref, ws, done, spec)
+	parent := s.workloadSpan(j.ID)
+	s.co.addUnits(j, wi, ref, ws, done, spec, parent)
 	defer s.co.dropUnits(j.ID, wi)
 
 	meta := checkpoint.Meta{
@@ -927,7 +989,7 @@ func (s *Scheduler) runClustered(j *Job, wi int, ref WorkloadRef, p *program.Pro
 			}
 			meta.Position = uint64(opt.WarmupBranches + doneBranches)
 			state := &ckState{mode: ckModeSharded, workload: wi, done: done, shards: results}
-			if err := s.st.writeCheckpoint(j.ID, meta, state); err != nil {
+			if err := s.traceCheckpoint(j.ID, parent, func() error { return s.st.writeCheckpoint(j.ID, meta, state) }); err != nil {
 				return sim.Result{}, err
 			}
 			s.checkpointWritten()
@@ -1014,15 +1076,25 @@ func (s *Scheduler) runSteppedMany(j *Job, wi int, p *program.Program, specs []s
 
 	st := sim.NewManyStepper(p, hybrids)
 	defer st.Close()
+	parent := s.workloadSpan(j.ID)
+	wspan := s.tracer.StartSpan(j.ID, parent, "warmup",
+		spanAttrs("skip", itoa(skip), "train", itoa(train), "specs", itoa(len(missIdx))))
+	wt := time.Now()
 	st.Skip(skip)
 	st.Train(train)
+	s.tracer.EndSpan(j.ID, wspan)
+	s.observeStage(stageWarmup, wt)
 
+	mspan := s.tracer.StartSpan(j.ID, parent, "measure", spanAttrs("total", itoa(total)))
+	defer s.tracer.EndSpan(j.ID, mspan)
 	for measuredDone < total {
 		n := s.cfg.CheckpointEvery
 		if n > total-measuredDone {
 			n = total - measuredDone
 		}
+		mt := time.Now()
 		st.Measure(n)
+		s.observeStage(stageMeasure, mt)
 		measuredDone += n
 		curs := st.Results()
 		for k := range curs {
@@ -1035,7 +1107,7 @@ func (s *Scheduler) runSteppedMany(j *Job, wi int, p *program.Program, specs []s
 		meta.Position = uint64(opt.WarmupBranches + measuredDone)
 		state := &ckState{mode: ckModeManyStepped, workload: wi, measuredDone: measuredDone,
 			specIdx: missIdx, partials: curs, hybrids: hybrids}
-		if err := s.st.writeCheckpoint(j.ID, meta, state); err != nil {
+		if err := s.traceCheckpoint(j.ID, parent, func() error { return s.st.writeCheckpoint(j.ID, meta, state) }); err != nil {
 			return nil, err
 		}
 		s.checkpointWritten()
@@ -1094,12 +1166,18 @@ func (s *Scheduler) runShardedMany(j *Job, wi int, p *program.Program, specs []s
 			doneBranches += ws[i].Measure
 		}
 	}
+	parent := s.workloadSpan(j.ID)
 	err = pool.RunCtx(s.ctx, len(ws), func(i int) error {
 		if done[i] {
 			return nil // completed before the restart
 		}
 		w := ws[i]
+		span := s.tracer.StartSpan(j.ID, parent, "shard",
+			spanAttrs("window", itoa(i), "measure", itoa(w.Measure), "specs", itoa(len(missIdx))))
+		defer s.tracer.EndSpan(j.ID, span)
+		mt := time.Now()
 		rs := sim.RunManySegment(p, buildMiss(), w.Skip, w.Train, w.Measure)
+		s.observeStage(stageMeasure, mt)
 
 		mu.Lock()
 		windows[i] = rs
@@ -1107,7 +1185,7 @@ func (s *Scheduler) runShardedMany(j *Job, wi int, p *program.Program, specs []s
 		doneBranches += w.Measure
 		meta.Position = uint64(opt.WarmupBranches + doneBranches)
 		state := &ckState{mode: ckModeManySharded, workload: wi, specIdx: missIdx, done: done, windows: windows}
-		werr := s.st.writeCheckpoint(j.ID, meta, state)
+		werr := s.traceCheckpoint(j.ID, span, func() error { return s.st.writeCheckpoint(j.ID, meta, state) })
 		progress := doneBranches
 		mu.Unlock()
 		if werr != nil {

@@ -8,7 +8,7 @@ import (
 	"net/http"
 	"strconv"
 
-	"prophetcritic/internal/pool"
+	"prophetcritic/internal/obs"
 )
 
 // Server is the HTTP face of a Scheduler:
@@ -20,12 +20,16 @@ import (
 //	GET  /v1/jobs/{id}        one job's record
 //	GET  /v1/jobs/{id}/events NDJSON event stream (replays history, then
 //	                          follows until the job is terminal)
+//	GET  /v1/jobs/{id}/trace  the job's recorded span tree (queue →
+//	                          workload → warmup/measure/shard/unit/
+//	                          checkpoint), JSON
 //	GET  /v1/results          the content-addressed result cache:
 //	                          ?spec=&workload= filters
 //	GET  /v1/predictors       predictor registry: every constructible
 //	                          family with its parameter schema
 //	GET  /healthz             liveness + drain state
-//	GET  /metricsz            Prometheus-style counters
+//	GET  /metricsz            Prometheus text-format 0.0.4 exposition of
+//	                          the scheduler's obs registry
 //
 // plus the cluster protocol (see EXPERIMENTS.md "Distributed
 // simulation"):
@@ -56,6 +60,7 @@ func NewServer(s *Scheduler) *Server {
 	srv.mux.HandleFunc("GET /v1/jobs", srv.handleList)
 	srv.mux.HandleFunc("GET /v1/jobs/{id}", srv.handleJob)
 	srv.mux.HandleFunc("GET /v1/jobs/{id}/events", srv.handleEvents)
+	srv.mux.HandleFunc("GET /v1/jobs/{id}/trace", srv.handleTrace)
 	srv.mux.HandleFunc("GET /v1/results", srv.handleResults)
 	srv.mux.HandleFunc("GET /v1/predictors", srv.handlePredictors)
 	srv.mux.HandleFunc("GET /healthz", srv.handleHealth)
@@ -68,8 +73,17 @@ func NewServer(s *Scheduler) *Server {
 	return srv
 }
 
-// Handler returns the route multiplexer.
-func (srv *Server) Handler() http.Handler { return srv.mux }
+// Handler returns the route multiplexer, wrapped so the worker
+// correlation header (X-PC-Worker, stamped by the worker's APIClient)
+// rides into every handler's context and onto its log records.
+func (srv *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wid := r.Header.Get("X-PC-Worker"); wid != "" {
+			r = r.WithContext(obs.WithWorker(r.Context(), wid))
+		}
+		srv.mux.ServeHTTP(w, r)
+	})
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -215,7 +229,7 @@ func (srv *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 // are per-job, strictly increasing, and stable across reconnects.
 func (srv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	log, ok := srv.sched.Events(id)
+	evlog, ok := srv.sched.Events(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("service: no job %q", id))
 		return
@@ -236,7 +250,7 @@ func (srv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	enc := json.NewEncoder(w)
 	for {
-		events, ended := log.Snapshot(from)
+		events, ended := evlog.Snapshot(from)
 		for _, e := range events {
 			if enc.Encode(e) != nil {
 				return // client gone
@@ -249,11 +263,24 @@ func (srv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if ended {
 			return
 		}
-		log.Wait(r.Context(), from)
+		evlog.Wait(r.Context(), from)
 		if r.Context().Err() != nil {
 			return
 		}
 	}
+}
+
+// handleTrace serves a job's recorded span tree. Jobs that predate the
+// tracer (terminal records loaded from disk) answer with an empty tree
+// rather than a 404 — the job exists, its trace just was not recorded.
+func (srv *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := srv.sched.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("service: no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
 }
 
 // handlePredictors serves the predictor registry for discovery: which
@@ -276,43 +303,12 @@ func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the scheduler's obs registry in strict
+// Prometheus text format 0.0.4. Every metric name the old printf
+// exposition emitted is preserved by the registry bridges — scrapers
+// (chaos_smoke.sh, the cluster tests) parse them by exact name.
 func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := srv.sched.Metrics()
-	ps := pool.Snapshot()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	draining := 0
-	if m.Draining {
-		draining = 1
-	}
-	fmt.Fprintf(w, "pcserved_jobs_submitted_total %d\n", m.Submitted)
-	fmt.Fprintf(w, "pcserved_jobs_completed_total %d\n", m.Completed)
-	fmt.Fprintf(w, "pcserved_jobs_failed_total %d\n", m.Failed)
-	fmt.Fprintf(w, "pcserved_jobs_rejected_total %d\n", m.Rejected)
-	fmt.Fprintf(w, "pcserved_jobs_resumed_total %d\n", m.ResumedJobs)
-	fmt.Fprintf(w, "pcserved_checkpoints_written_total %d\n", m.CheckpointsWritten)
-	fmt.Fprintf(w, "pcserved_queue_depth %d\n", m.QueueDepth)
-	fmt.Fprintf(w, "pcserved_jobs_running %d\n", m.Running)
-	fmt.Fprintf(w, "pcserved_draining %d\n", draining)
-	fmt.Fprintf(w, "pcserved_cache_hits_total %d\n", m.CacheHits)
-	fmt.Fprintf(w, "pcserved_cache_misses_total %d\n", m.CacheMisses)
-	fmt.Fprintf(w, "pcserved_cache_stores_total %d\n", m.CacheStores)
-	fmt.Fprintf(w, "pcserved_cache_entries %d\n", m.CacheEntries)
-	fmt.Fprintf(w, "pcserved_cache_bytes %d\n", m.CacheBytes)
-	fmt.Fprintf(w, "pool_jobs_run_total %d\n", ps.JobsRun)
-	fmt.Fprintf(w, "pool_max_in_flight %d\n", ps.MaxInFlight)
-	cm := srv.sched.ClusterMetricsSnapshot()
-	fmt.Fprintf(w, "pcserved_workers_registered_total %d\n", cm.WorkersRegistered)
-	fmt.Fprintf(w, "pcserved_workers_live %d\n", cm.WorkersLive)
-	fmt.Fprintf(w, "pcserved_heartbeats_total %d\n", cm.Heartbeats)
-	fmt.Fprintf(w, "pcserved_units_leased_total %d\n", cm.UnitsLeased)
-	fmt.Fprintf(w, "pcserved_leases_expired_total %d\n", cm.LeasesExpired)
-	fmt.Fprintf(w, "pcserved_units_retried_total %d\n", cm.UnitsRetried)
-	fmt.Fprintf(w, "pcserved_units_completed_total %d\n", cm.UnitsCompleted)
-	fmt.Fprintf(w, "pcserved_units_local_total %d\n", cm.UnitsLocal)
-	fmt.Fprintf(w, "pcserved_units_pending %d\n", cm.UnitsPending)
-	fmt.Fprintf(w, "pcserved_results_fenced_total %d\n", cm.ResultsFenced)
-	fmt.Fprintf(w, "pcserved_results_duplicate_total %d\n", cm.ResultsDuplicate)
-	fmt.Fprintf(w, "pcserved_unit_checkpoints_stored_total %d\n", cm.CheckpointsStored)
+	srv.sched.Registry().Handler().ServeHTTP(w, r)
 }
 
 // Cluster protocol handlers. The coordinator always answers — a server
@@ -330,7 +326,20 @@ func (srv *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) 
 
 func (srv *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !srv.sched.co.heartbeat(id) {
+	// The body is optional: a bare beat renews liveness, a WorkerStatus
+	// body additionally updates the fleet gauges.
+	var status *WorkerStatus
+	var st WorkerStatus
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&st)
+	switch {
+	case err == nil:
+		status = &st
+	case err == io.EOF: // no body
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("service: malformed heartbeat: %w", err))
+		return
+	}
+	if !srv.sched.co.heartbeat(id, status) {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("service: unknown worker %q (re-register)", id))
 		return
 	}

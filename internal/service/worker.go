@@ -12,13 +12,14 @@ package service
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"prophetcritic/internal/obs"
 	"prophetcritic/internal/sim"
 )
 
@@ -36,8 +37,9 @@ type WorkerConfig struct {
 	Client *APIClient
 	// Chaos is the fault-injection harness (zero = none).
 	Chaos Chaos
-	// Log receives worker lifecycle lines; nil discards them.
-	Log *log.Logger
+	// Logger receives structured worker lifecycle records, stamped with
+	// the worker's correlation id; nil discards them.
+	Logger *slog.Logger
 }
 
 // Worker runs the node loop. Create with NewWorker, drive with Run.
@@ -74,10 +76,17 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	return w, nil
 }
 
-func (w *Worker) logf(format string, args ...any) {
-	if w.cfg.Log != nil {
-		w.cfg.Log.Printf(format, args...)
+// log returns the structured logger (never nil).
+func (w *Worker) log() *slog.Logger {
+	if w.cfg.Logger != nil {
+		return w.cfg.Logger
 	}
+	return obs.NopLogger()
+}
+
+// lctx stamps the worker's correlation id on a log context.
+func (w *Worker) lctx(ctx context.Context) context.Context {
+	return obs.WithWorker(ctx, w.id)
 }
 
 // register (re-)registers with the coordinator and adopts its timings.
@@ -87,6 +96,7 @@ func (w *Worker) register(ctx context.Context) error {
 		return fmt.Errorf("service: worker registration: %w", err)
 	}
 	w.id = info.ID
+	w.api.SetHeader("X-PC-Worker", w.id) // correlate our traffic in coordinator logs
 	w.leaseTTL = time.Duration(info.LeaseTTLMs) * time.Millisecond
 	w.beatEvery = time.Duration(info.HeartbeatMs) * time.Millisecond
 	w.poll = time.Duration(info.PollMs) * time.Millisecond
@@ -94,7 +104,8 @@ func (w *Worker) register(ctx context.Context) error {
 		w.poll = 250 * time.Millisecond
 	}
 	w.Registered.Add(1)
-	w.logf("worker %s: registered as %s (lease %v, heartbeat %v)", w.cfg.Name, w.id, w.leaseTTL, w.beatEvery)
+	w.log().InfoContext(w.lctx(ctx), "registered",
+		"name", w.cfg.Name, "lease_ttl", w.leaseTTL, "heartbeat", w.beatEvery)
 	return nil
 }
 
@@ -121,7 +132,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			w.logf("worker %s: lease: %v", w.id, err)
+			w.log().WarnContext(w.lctx(ctx), "lease failed", "err", err)
 			if !sleepCtx(ctx, w.poll) {
 				return ctx.Err()
 			}
@@ -150,7 +161,7 @@ func (w *Worker) Run(ctx context.Context) error {
 				return err
 			}
 			w.UnitsLost.Add(1)
-			w.logf("worker %s: unit %s abandoned: %v", w.id, lease.Unit, err)
+			w.log().WarnContext(obs.WithUnit(w.lctx(ctx), lease.Unit), "unit abandoned", "err", err)
 		}
 	}
 }
@@ -210,7 +221,7 @@ func (w *Worker) execute(ctx context.Context, l *UnitLease, chaosKill bool) erro
 
 	r, err := runUnit(p, build, window, idx, meta, l.Checkpoint, l.CkptEvery, onSnapshot, stop)
 	if err == ErrChaosKilled {
-		w.logf("worker %s: chaos kill-on-lease fired on unit %s", w.id, l.Unit)
+		w.log().WarnContext(obs.WithUnit(w.lctx(ctx), l.Unit), "chaos kill-on-lease fired")
 		return ErrChaosKilled
 	}
 	if err != nil {
@@ -239,14 +250,16 @@ func (w *Worker) execute(ctx context.Context, l *UnitLease, chaosKill bool) erro
 		}
 	}
 	w.UnitsDone.Add(1)
-	w.logf("worker %s: unit %s done (%d branches)", w.id, l.Unit, r.Branches)
+	w.log().InfoContext(obs.WithUnit(w.lctx(ctx), l.Unit), "unit done", "branches", r.Branches)
 	return nil
 }
 
-// heartbeatLoop beats on the coordinator's interval until ctx ends. A
-// worker partitioned by chaos (drop-heartbeats) silently stops beating
-// but keeps executing, which is exactly the failure the lease fencing
-// exists for.
+// heartbeatLoop beats on the coordinator's interval until ctx ends,
+// each beat carrying the node's gauge snapshot (unit counters plus the
+// simulator's sampled throughput counters) for the coordinator's fleet
+// metrics. A worker partitioned by chaos (drop-heartbeats) silently
+// stops beating but keeps executing, which is exactly the failure the
+// lease fencing exists for.
 func (w *Worker) heartbeatLoop(ctx context.Context) {
 	t := time.NewTicker(w.beatEvery)
 	defer t.Stop()
@@ -259,9 +272,17 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		if !w.beating.Load() {
 			continue
 		}
-		status, err := w.api.PostJSON(ctx, "/v1/workers/"+w.id+"/heartbeat", nil, nil)
+		snap := sim.ReadObs()
+		st := WorkerStatus{
+			UnitsDone:      w.UnitsDone.Load(),
+			UnitsLost:      w.UnitsLost.Load(),
+			SimBranches:    snap.Branches,
+			SimPredictions: snap.Predictions,
+			ActiveRuns:     snap.ActiveRuns,
+		}
+		status, err := w.api.PostJSON(ctx, "/v1/workers/"+w.id+"/heartbeat", st, nil)
 		if err != nil && status != http.StatusNotFound && ctx.Err() == nil {
-			w.logf("worker %s: heartbeat: %v", w.id, err)
+			w.log().WarnContext(w.lctx(ctx), "heartbeat failed", "err", err)
 		}
 	}
 }

@@ -44,6 +44,7 @@ type ManyStepper struct {
 	baselines []core.Stats
 	uops      uint64 // measured committed uops (stream-wide, shared)
 	measuring bool
+	closed    bool
 }
 
 // NewManyStepper opens one run of p for the hybrids. Close releases the
@@ -55,6 +56,7 @@ func NewManyStepper(p *program.Program, hs []*core.Hybrid) *ManyStepper {
 	for i, h := range hs {
 		base[i] = Result{Benchmark: p.Name, Suite: p.Suite, Config: h.Name()}
 	}
+	obsRunOpen()
 	return &ManyStepper{
 		hs:        hs,
 		run:       p.NewRun(),
@@ -65,7 +67,13 @@ func NewManyStepper(p *program.Program, hs []*core.Hybrid) *ManyStepper {
 }
 
 // Close releases the underlying run.
-func (s *ManyStepper) Close() error { return s.run.Close() }
+func (s *ManyStepper) Close() error {
+	if !s.closed {
+		s.closed = true
+		obsRunClose()
+	}
+	return s.run.Close()
+}
 
 // Pos returns the number of committed branches consumed so far.
 func (s *ManyStepper) Pos() int { return s.pos }
@@ -110,9 +118,15 @@ func (s *ManyStepper) step(measured bool) {
 
 // Train predicts and resolves n branches without measuring them.
 func (s *ManyStepper) Train(n int) {
+	nh := uint64(len(s.hs))
 	for i := 0; i < n; i++ {
 		s.step(false)
+		if i&obsSampleMask == obsSampleMask {
+			obsCommit(ObsSampleEvery, ObsSampleEvery*nh)
+		}
 	}
+	tail := uint64(n & obsSampleMask)
+	obsCommit(tail, tail*nh)
 }
 
 // Measure predicts, resolves, and measures n branches. The first call
@@ -125,9 +139,15 @@ func (s *ManyStepper) Measure(n int) {
 		}
 		s.measuring = true
 	}
+	nh := uint64(len(s.hs))
 	for i := 0; i < n; i++ {
 		s.step(true)
+		if i&obsSampleMask == obsSampleMask {
+			obsCommit(ObsSampleEvery, ObsSampleEvery*nh)
+		}
 	}
+	tail := uint64(n & obsSampleMask)
+	obsCommit(tail, tail*nh)
 }
 
 // Results returns each hybrid's statistics over the window measured so

@@ -135,6 +135,8 @@ func Run(p *program.Program, h *core.Hybrid, opt Options) Result {
 func RunSegment(p *program.Program, h *core.Hybrid, skip, train, measure int) Result {
 	run := p.NewRun()
 	defer run.Close() // releases the event stream of trace-replay runs
+	obsRunOpen()
+	defer obsRunClose()
 	walk := core.WalkFunc(p.Walk)
 
 	res := Result{Benchmark: p.Name, Suite: p.Suite, Config: h.Name()}
@@ -157,7 +159,12 @@ func RunSegment(p *program.Program, h *core.Hybrid, skip, train, measure int) Re
 		if i >= train {
 			res.Uops += uint64(ev.Uops)
 		}
+		if i&obsSampleMask == obsSampleMask {
+			obsCommit(ObsSampleEvery, ObsSampleEvery)
+		}
 	}
+	tail := uint64(total & obsSampleMask)
+	obsCommit(tail, tail)
 	if measure == 0 {
 		return res
 	}

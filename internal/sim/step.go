@@ -31,11 +31,13 @@ type Stepper struct {
 	res       Result
 	baseline  core.Stats
 	measuring bool
+	closed    bool
 }
 
 // NewStepper opens a run of p for h. Close releases the event stream of
 // trace-replay runs.
 func NewStepper(p *program.Program, h *core.Hybrid) *Stepper {
+	obsRunOpen()
 	return &Stepper{
 		h:    h,
 		run:  p.NewRun(),
@@ -45,7 +47,13 @@ func NewStepper(p *program.Program, h *core.Hybrid) *Stepper {
 }
 
 // Close releases the underlying run.
-func (s *Stepper) Close() error { return s.run.Close() }
+func (s *Stepper) Close() error {
+	if !s.closed {
+		s.closed = true
+		obsRunClose()
+	}
+	return s.run.Close()
+}
 
 // Pos returns the number of committed branches consumed so far — the
 // position a resuming Stepper must Skip to.
@@ -81,7 +89,12 @@ func (s *Stepper) step(measured bool) {
 func (s *Stepper) Train(n int) {
 	for i := 0; i < n; i++ {
 		s.step(false)
+		if i&obsSampleMask == obsSampleMask {
+			obsCommit(ObsSampleEvery, ObsSampleEvery)
+		}
 	}
+	tail := uint64(n & obsSampleMask)
+	obsCommit(tail, tail)
 }
 
 // Measure predicts, resolves, and measures n branches. The first call
@@ -94,7 +107,12 @@ func (s *Stepper) Measure(n int) {
 	}
 	for i := 0; i < n; i++ {
 		s.step(true)
+		if i&obsSampleMask == obsSampleMask {
+			obsCommit(ObsSampleEvery, ObsSampleEvery)
+		}
 	}
+	tail := uint64(n & obsSampleMask)
+	obsCommit(tail, tail)
 }
 
 // Result returns the statistics of the window measured so far. Before the

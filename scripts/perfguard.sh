@@ -16,20 +16,23 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-/tmp/bench-new.txt}
-go test -run=NONE -bench='BenchmarkHybridPredictResolve$|BenchmarkProphetAlone$|BenchmarkManyStepperStep$' \
+go test -run=NONE -bench='BenchmarkHybridPredictResolve$|BenchmarkProphetAlone$|BenchmarkManyStepperStep$|BenchmarkManyStepperStepObsOn$' \
     -benchtime=2000x -benchmem -count=3 . | tee "$out"
 
 fail=0
-for b in BenchmarkHybridPredictResolve BenchmarkProphetAlone BenchmarkManyStepperStep; do
+for b in BenchmarkHybridPredictResolve BenchmarkProphetAlone BenchmarkManyStepperStep BenchmarkManyStepperStepObsOn; do
     # Every sampled run of a pinned benchmark must report 0 allocs/op.
-    runs=$(grep -c "^$b" "$out" || true)
-    clean=$(grep "^$b" "$out" | grep -c " 0 allocs/op" || true)
+    # Match the name up to a delimiter (the -P GOMAXPROCS suffix or the
+    # padding whitespace) so prefix-named benches — ManyStepperStep vs
+    # ManyStepperStepObsOn — don't count each other's lines.
+    runs=$(grep -Ec "^$b([- ]|\t)" "$out" || true)
+    clean=$(grep -E "^$b([- ]|\t)" "$out" | grep -c " 0 allocs/op" || true)
     if [ "$runs" -eq 0 ]; then
         echo "perf-guard: $b did not run" >&2
         fail=1
     elif [ "$clean" -ne "$runs" ]; then
         echo "perf-guard: $b regressed the 0 allocs/op hot-path guarantee:" >&2
-        grep "^$b" "$out" >&2
+        grep -E "^$b([- ]|\t)" "$out" >&2
         fail=1
     fi
 done
@@ -105,3 +108,49 @@ END {
 
 cat BENCH_runmany.json
 echo "perf-guard: one-pass scaling recorded in BENCH_runmany.json"
+
+# ---- observability overhead: BENCH_obs.json ----
+# BenchmarkObsOverhead runs the same gcc window with the sampled
+# throughput counters on and off back to back each iteration and reports
+# the paired wall ratio. The median across -count=5 must stay ≤ 1.02 —
+# the "zero-overhead when gated" acceptance wall. The paired design
+# makes the ratio robust to shared-runner load drift (both sides see
+# identical conditions), which is what lets a 2% bar gate at all.
+obs=/tmp/bench-obs.txt
+go test -run=NONE -bench='BenchmarkObsOverhead$' -benchtime=10x -count=5 . | tee "$obs"
+
+awk '
+/^BenchmarkObsOverhead/ { ratios = ratios " " $5; ns = ns " " $3 }
+function med(s,   a, n, i, j, t) {
+    n = split(s, a, " ")
+    for (i = 1; i <= n; i++) a[i] += 0
+    for (i = 2; i <= n; i++) {
+        t = a[i]
+        for (j = i - 1; j >= 1 && a[j] > t; j--) a[j+1] = a[j]
+        a[j+1] = t
+    }
+    return a[int((n + 1) / 2)]
+}
+END {
+    if (ratios == "") {
+        print "perf-guard: BenchmarkObsOverhead did not run" > "/dev/stderr"
+        exit 1
+    }
+    ratio = med(ratios)
+    printf "{\n"
+    printf "  \"bench\": \"gcc\",\n"
+    printf "  \"window\": {\"warmup_branches\": 20000, \"measure_branches\": 50000},\n"
+    printf "  \"sample_every\": 16384,\n"
+    printf "  \"paired_ns_op\": %d,\n", med(ns)
+    printf "  \"on_off_wall_ratio\": %.3f,\n", ratio
+    printf "  \"gate\": 1.02,\n"
+    printf "  \"hot_path_allocs_obs_on\": 0\n"
+    printf "}\n"
+    if (ratio > 1.02) {
+        printf "perf-guard: obs-on wall is %.3fx obs-off (must be <= 1.02x)\n", ratio > "/dev/stderr"
+        exit 1
+    }
+}' "$obs" > BENCH_obs.json
+
+cat BENCH_obs.json
+echo "perf-guard: observability overhead recorded in BENCH_obs.json (gated <= 1.02x)"
