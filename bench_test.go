@@ -371,3 +371,100 @@ func BenchmarkManyStepperStepObsOn(b *testing.B) {
 		st.Measure(1)
 	}
 }
+
+// ---- devirtualized hot path (BENCH_hotpath.json) ----
+
+// hotPathBuilders returns n copies of the paper's headline hybrid — a
+// gskew prophet with a filtered tagged-gshare critic at 8 future bits —
+// at prophet/critic budgets cycling 2/4/8/16 KB, so the N=8 mix spans
+// the Table 3 budget column instead of hammering one table size.
+func hotPathBuilders(b *testing.B, n int) []sim.Builder {
+	b.Helper()
+	kbs := []int{2, 4, 8, 16}
+	builds := make([]sim.Builder, n)
+	for i := range builds {
+		kb := kbs[i%len(kbs)]
+		builds[i] = func() *core.Hybrid {
+			cc := budget.MustLookup(budget.TaggedGshare, kb)
+			return core.New(budget.MustLookup(budget.Gskew, kb).Build(), cc.Build(),
+				core.Config{FutureBits: 8, Filtered: true, BORLen: cc.BORSize()})
+		}
+	}
+	return builds
+}
+
+// benchHotPath is the specialized-vs-generic matrix one workload wide:
+// N=1 and N=8 resident hybrids, each under the monomorphic block loops
+// (spec) and the -no-specialize interface engine (generic). The
+// unpaired walls recorded here are trajectory data; the gate lives in
+// BenchmarkHotPathSpecOverGeneric, whose paired design shared-runner
+// noise can't tilt.
+func benchHotPath(b *testing.B, prog *program.Program) {
+	branches := runManyWindow.WarmupBranches + runManyWindow.MeasureBranches
+	gen := runManyWindow
+	gen.NoSpecialize = true
+	for _, n := range []int{1, 8} {
+		for _, eng := range []struct {
+			name string
+			opt  sim.Options
+		}{{"spec", runManyWindow}, {"generic", gen}} {
+			b.Run(fmt.Sprintf("N=%d/%s", n, eng.name), func(b *testing.B) {
+				builds := hotPathBuilders(b, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if n == 1 {
+						sim.Run(prog, builds[0](), eng.opt)
+					} else {
+						sim.RunMany(prog, builds, eng.opt)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(branches)/float64(n), "ns/branch/pred")
+			})
+		}
+	}
+}
+
+func BenchmarkHotPathGcc(b *testing.B)      { benchHotPath(b, program.MustLoad("gcc")) }
+func BenchmarkHotPathGccTrace(b *testing.B) { benchHotPath(b, recordedGcc(b)) }
+
+// BenchmarkHotPathSpecOverGeneric measures the devirtualization
+// acceptance ratio directly: per iteration it runs the N=8 hybrid mix
+// over the recorded gcc trace once under the specialized block loops
+// and once under the generic interface engine, back to back, and
+// reports the paired wall ratio as generic/spec.
+// scripts/bench_snapshot.sh gates the median of this metric >= 1.3.
+func BenchmarkHotPathSpecOverGeneric(b *testing.B) {
+	prog := recordedGcc(b)
+	builds := hotPathBuilders(b, 8)
+	gen := runManyWindow
+	gen.NoSpecialize = true
+	var tSpec, tGen time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := time.Now()
+		sim.RunMany(prog, builds, runManyWindow)
+		tSpec += time.Since(s)
+		s = time.Now()
+		sim.RunMany(prog, builds, gen)
+		tGen += time.Since(s)
+	}
+	b.ReportMetric(float64(tGen)/float64(tSpec), "generic/spec")
+}
+
+// BenchmarkStepperStep pins the single-hybrid specialized block loop's
+// allocation wall: steady-state measured stepping through the
+// devirtualized path must stay at 0 allocs/op (scripts/perfguard.sh
+// gates it, alongside the ManyStepper benches that cover the N>1 loop).
+func BenchmarkStepperStep(b *testing.B) {
+	prog := program.MustLoad("gcc")
+	st := sim.NewStepper(prog, hotPathBuilders(b, 1)[0]())
+	defer st.Close()
+	if !st.Specialized() {
+		b.Fatal("headline hybrid did not resolve a specialized step loop")
+	}
+	st.Train(runManyWindow.WarmupBranches)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Measure(1)
+	}
+}

@@ -1,8 +1,9 @@
 // Command pclint runs the project's custom analyzers — snapsym,
-// regwire, hotpath, valrecv — which mechanize the invariants the test
-// suite can only spot-check: checkpoint Snapshot/Restore symmetry,
-// registry wiring completeness, zero-allocation hot paths, and
-// value-receiver discipline.
+// regwire, hotpath, devirt, valrecv — which mechanize the invariants
+// the test suite can only spot-check: checkpoint Snapshot/Restore
+// symmetry, registry wiring completeness, zero-allocation hot paths,
+// devirtualized predictor dispatch on those paths, and value-receiver
+// discipline.
 //
 // Two modes:
 //
@@ -27,6 +28,7 @@ import (
 	"strings"
 
 	"prophetcritic/internal/analysis"
+	"prophetcritic/internal/analysis/devirt"
 	"prophetcritic/internal/analysis/hotpath"
 	"prophetcritic/internal/analysis/load"
 	"prophetcritic/internal/analysis/multichecker"
@@ -38,13 +40,14 @@ import (
 // version is the string behind -V=full; cmd/go hashes it into the build
 // cache key, so bump it when analyzer behavior changes to invalidate
 // cached vet results.
-const version = "pclint-1.0.0"
+const version = "pclint-1.1.0"
 
 func analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		snapsym.Analyzer,
 		regwire.Analyzer,
 		hotpath.Analyzer,
+		devirt.Analyzer,
 		valrecv.Analyzer,
 	}
 }

@@ -1,0 +1,110 @@
+// Package devirt implements the pclint analyzer that polices the
+// devirtualized hot path: inside a //pclint:hotpath function, a dynamic
+// method call through the predictor.Predictor or predictor.Tagged
+// interface is flagged, because every registered (prophet × critic ×
+// filtered) combination has a monomorphic block loop
+// (core.SpecializeStep) and per-branch interface dispatch on those
+// interfaces means the loop is running the slow engine by accident.
+//
+// The deliberate generic fallback — core's predictInto/resolve, the
+// reference semantics every specialization is checked against, and the
+// engine the -no-specialize escape hatch forces — opts out line by line
+// with //pclint:allow, so the analyzer documents exactly where the
+// interface path is intentional.
+//
+// Dispatch through other interfaces is not flagged: hotpath already
+// polices allocation, and devirtualizing arbitrary interfaces is not an
+// invariant this repo maintains.
+package devirt
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"prophetcritic/internal/analysis"
+)
+
+// Marker is the hotpath annotation directive; devirt polices the same
+// function set the hotpath analyzer does.
+const Marker = "pclint:hotpath"
+
+// predictorPkg is the import-path leaf of the package whose interfaces
+// the analyzer polices; flaggedIfaces are the interface names with
+// registered specializations.
+const predictorPkg = "predictor"
+
+var flaggedIfaces = map[string]bool{
+	"Predictor": true,
+	"Tagged":    true,
+}
+
+// Analyzer is the devirt analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "devirt",
+	Doc:  "reject dynamic dispatch through predictor interfaces in //pclint:hotpath functions with a registered specialization",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasMarker(fd.Doc) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hasMarker reports whether a doc comment carries //pclint:hotpath.
+func hasMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.MethodVal {
+			return true
+		}
+		recv := selection.Recv()
+		if !types.IsInterface(recv) {
+			return true
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return true
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || !flaggedIfaces[obj.Name()] {
+			return true
+		}
+		path := obj.Pkg().Path()
+		if path != predictorPkg && !strings.HasSuffix(path, "/"+predictorPkg) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"dynamic dispatch through %s.%s.%s in a hotpath function: a registered specialization covers this combination (use the monomorphic step loop, or mark the deliberate generic fallback //pclint:allow)",
+			obj.Pkg().Name(), obj.Name(), sel.Sel.Name)
+		return true
+	})
+}

@@ -1,0 +1,13 @@
+package devirt_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"prophetcritic/internal/analysis/analysistest"
+	"prophetcritic/internal/analysis/devirt"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src"), devirt.Analyzer, "devgood", "devbad")
+}

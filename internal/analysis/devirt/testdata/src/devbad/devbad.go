@@ -1,0 +1,21 @@
+// Package devbad dispatches through the policed predictor interfaces
+// inside hotpath functions, one diagnostic per line.
+package devbad
+
+import "predictor"
+
+type hybrid struct {
+	prophet predictor.Predictor
+	critic  predictor.Tagged
+}
+
+//pclint:hotpath
+func (h *hybrid) step(addr, hist uint64, taken bool) bool {
+	p := h.prophet.Predict(addr, hist)           // want `dynamic dispatch through predictor.Predictor.Predict in a hotpath function`
+	h.prophet.Update(addr, hist, taken)          // want `dynamic dispatch through predictor.Predictor.Update in a hotpath function`
+	c, hit := h.critic.PredictTagged(addr, hist) // want `dynamic dispatch through predictor.Tagged.PredictTagged in a hotpath function`
+	if !hit {
+		h.critic.Allocate(addr, hist, taken) // want `dynamic dispatch through predictor.Tagged.Allocate in a hotpath function`
+	}
+	return p == c
+}

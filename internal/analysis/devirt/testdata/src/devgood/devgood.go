@@ -1,0 +1,53 @@
+// Package devgood exercises the shapes devirt must stay silent on:
+// concrete-typed calls in hot functions, predictor dispatch outside hot
+// functions, dispatch through unrelated interfaces, and the
+// //pclint:allow'd generic fallback.
+package devgood
+
+import "predictor"
+
+type table struct{ bits uint64 }
+
+//pclint:hotpath
+func (t *table) Predict(addr, hist uint64) bool { return t.bits>>(addr&63)&1 == 1 }
+
+//pclint:hotpath
+func (t *table) Update(addr, hist uint64, taken bool) {
+	if taken {
+		t.bits |= 1 << (addr & 63)
+	}
+}
+
+type hybrid struct {
+	concrete *table
+	prophet  predictor.Predictor
+	other    predictor.Other
+}
+
+// Concrete dispatch is the monomorphic loop devirt exists to steer
+// toward: silent.
+//
+//pclint:hotpath
+func (h *hybrid) specialized(addr, hist uint64, taken bool) bool {
+	p := h.concrete.Predict(addr, hist)
+	h.concrete.Update(addr, hist, taken)
+	return p
+}
+
+// The deliberate generic fallback opts out line by line.
+//
+//pclint:hotpath
+func (h *hybrid) generic(addr, hist uint64, taken bool) bool {
+	p := h.prophet.Predict(addr, hist)  //pclint:allow generic fallback engine
+	h.prophet.Update(addr, hist, taken) //pclint:allow generic fallback engine
+	return p
+}
+
+// Unrelated interfaces are hotpath's business (it permits them), not
+// devirt's.
+//
+//pclint:hotpath
+func (h *hybrid) unrelated() int { return h.other.Poke() }
+
+// Cold functions may dispatch however they like.
+func (h *hybrid) cold(addr, hist uint64) bool { return h.prophet.Predict(addr, hist) }

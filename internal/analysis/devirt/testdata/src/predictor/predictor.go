@@ -1,0 +1,22 @@
+// Package predictor mirrors the repo's predictor interfaces for the
+// devirt goldens: the analyzer matches these by package leaf and
+// interface name.
+package predictor
+
+// Predictor is the dynamic-dispatch interface devirt polices.
+type Predictor interface {
+	Predict(addr, hist uint64) bool
+	Update(addr, hist uint64, taken bool)
+}
+
+// Tagged is the filtered-critic extension, also policed.
+type Tagged interface {
+	Predictor
+	PredictTagged(addr, hist uint64) (bool, bool)
+	Allocate(addr, hist uint64, taken bool)
+}
+
+// Other is an unrelated interface devirt must ignore.
+type Other interface {
+	Poke() int
+}

@@ -20,10 +20,12 @@
 //     their functions compile to intrinsics and never allocate).
 //
 // Dynamic calls — through interface methods, function values, or
-// closures — are permitted: interface dispatch does not allocate, and
-// devirtualizing it is a performance project (ROADMAP item 3), not a
-// correctness invariant. A cold line inside a hot function (a panic
-// guard, say) can opt out with a trailing //pclint:allow comment.
+// closures — are permitted here: interface dispatch does not allocate.
+// Dispatch through the predictor interfaces specifically is policed by
+// the companion devirt analyzer, now that every registered combination
+// has a monomorphic step loop (core.SpecializeStep). A cold line inside
+// a hot function (a panic guard, say) can opt out with a trailing
+// //pclint:allow comment.
 package hotpath
 
 import (

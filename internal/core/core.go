@@ -230,7 +230,7 @@ func (h *Hybrid) Step(addr uint64, walk WalkFunc, taken bool) Critique {
 //pclint:hotpath
 func (h *Hybrid) predictInto(addr uint64, walk WalkFunc, pr *Prediction) {
 	bhrV := h.bhr.Value()
-	p := h.prophet.Predict(addr, bhrV)
+	p := h.prophet.Predict(addr, bhrV) //pclint:allow generic fallback engine (reference semantics for every specialization)
 	pr.Addr, pr.Prophet, pr.Final, pr.BHRValue = addr, p, p, bhrV
 	if h.critic == nil {
 		return
@@ -256,7 +256,7 @@ func (h *Hybrid) predictInto(addr uint64, walk WalkFunc, pr *Prediction) {
 			if !ok {
 				break
 			}
-			np := h.prophet.Predict(next, specBHR.Value())
+			np := h.prophet.Predict(next, specBHR.Value()) //pclint:allow generic fallback engine (reference semantics for every specialization)
 			borReg.Push(np)
 			specBHR.Push(np)
 			cur, dir = next, np
@@ -266,7 +266,7 @@ func (h *Hybrid) predictInto(addr uint64, walk WalkFunc, pr *Prediction) {
 	pr.BORValue = borReg.Value()
 
 	if h.cfg.Filtered {
-		c, hit := h.tagged.PredictTagged(addr, pr.BORValue)
+		c, hit := h.tagged.PredictTagged(addr, pr.BORValue) //pclint:allow generic fallback engine (reference semantics for every specialization)
 		pr.CriticUsed = hit
 		if hit {
 			pr.Critic = c
@@ -275,7 +275,7 @@ func (h *Hybrid) predictInto(addr uint64, walk WalkFunc, pr *Prediction) {
 		return
 	}
 	pr.CriticUsed = true
-	pr.Critic = h.critic.Predict(addr, pr.BORValue)
+	pr.Critic = h.critic.Predict(addr, pr.BORValue) //pclint:allow generic fallback engine (reference semantics for every specialization)
 	pr.Final = pr.Critic
 }
 
@@ -306,21 +306,21 @@ func (h *Hybrid) resolve(pr *Prediction, taken bool) Critique {
 	h.stats.Critiques[cr]++
 
 	// Train the prophet's pattern tables at commit (Section 3.2).
-	h.prophet.Update(pr.Addr, pr.BHRValue, taken)
+	h.prophet.Update(pr.Addr, pr.BHRValue, taken) //pclint:allow generic fallback engine (reference semantics for every specialization)
 
 	// Train the critic with the same BOR value used for the critique,
 	// wrong-path future bits included (Section 3.3).
 	if h.critic != nil {
 		if h.cfg.Filtered {
 			if pr.CriticUsed {
-				h.critic.Update(pr.Addr, pr.BORValue, taken)
+				h.critic.Update(pr.Addr, pr.BORValue, taken) //pclint:allow generic fallback engine (reference semantics for every specialization)
 			} else if !prophetRight {
 				// Tag miss on a mispredicted branch: allocate the
 				// context so the critique is available next time (§4).
-				h.tagged.Allocate(pr.Addr, pr.BORValue, taken)
+				h.tagged.Allocate(pr.Addr, pr.BORValue, taken) //pclint:allow generic fallback engine (reference semantics for every specialization)
 			}
 		} else {
-			h.critic.Update(pr.Addr, pr.BORValue, taken)
+			h.critic.Update(pr.Addr, pr.BORValue, taken) //pclint:allow generic fallback engine (reference semantics for every specialization)
 		}
 		h.bor.Push(taken)
 	}

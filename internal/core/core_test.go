@@ -1,6 +1,7 @@
-package core
+package core_test
 
 import (
+	"prophetcritic/internal/core"
 	"testing"
 
 	"prophetcritic/internal/gshare"
@@ -18,21 +19,21 @@ func scriptedProphet(script map[uint64]bool) predictor.Predictor {
 	}
 }
 
-// chainWalk returns a WalkFunc over a linear chain of branch addresses
+// chainWalk returns a core.WalkFunc over a linear chain of branch addresses
 // addr+16, addr+32, ... regardless of direction.
-func chainWalk(step uint64) WalkFunc {
+func chainWalk(step uint64) core.WalkFunc {
 	return func(addr uint64, taken bool) (uint64, bool) { return addr + step, true }
 }
 
 func TestProphetAloneIsTransparent(t *testing.T) {
 	p := scriptedProphet(map[uint64]bool{0x10: true})
-	h := New(p, nil, Config{})
+	h := core.New(p, nil, core.Config{})
 	pr := h.Predict(0x10, nil)
 	if !pr.Final || !pr.Prophet || pr.CriticUsed {
 		t.Fatal("prophet-alone hybrid must pass the prophet prediction through")
 	}
 	cr := h.Resolve(pr, true)
-	if cr != CorrectAgree {
+	if cr != core.CorrectAgree {
 		t.Fatalf("critique = %v, want correct_agree fold", cr)
 	}
 	st := h.Stats()
@@ -46,18 +47,18 @@ func TestUnfilteredCriticOverrides(t *testing.T) {
 	// prediction must be the critic's.
 	p := predictor.AlwaysTaken()
 	c := predictor.AlwaysNotTaken()
-	h := New(p, c, Config{FutureBits: 1, BORLen: 8})
+	h := core.New(p, c, core.Config{FutureBits: 1, BORLen: 8})
 	pr := h.Predict(0x40, nil)
 	if pr.Final || !pr.Prophet || !pr.CriticUsed || pr.Critic {
 		t.Fatalf("unexpected prediction %+v", pr)
 	}
 	// Outcome not-taken: prophet wrong, critic disagreed -> the win case.
-	if cr := h.Resolve(pr, false); cr != IncorrectDisagree {
+	if cr := h.Resolve(pr, false); cr != core.IncorrectDisagree {
 		t.Fatalf("critique = %v, want incorrect_disagree", cr)
 	}
 	// Outcome taken next time: prophet right, critic disagreed -> worst case.
 	pr = h.Predict(0x40, nil)
-	if cr := h.Resolve(pr, true); cr != CorrectDisagree {
+	if cr := h.Resolve(pr, true); cr != core.CorrectDisagree {
 		t.Fatalf("critique = %v, want correct_disagree", cr)
 	}
 }
@@ -73,7 +74,7 @@ func TestFutureBitsEnterBOR(t *testing.T) {
 	}
 	script := map[uint64]bool{0x10: true, 0x20: false, 0x30: true, 0x40: true}
 	p := scriptedProphet(script)
-	h := New(p, critic, Config{FutureBits: 4, BORLen: 16})
+	h := core.New(p, critic, core.Config{FutureBits: 4, BORLen: 16})
 	pr := h.Predict(0x10, chainWalk(0x10))
 	if pr.FutureUsed != 4 {
 		t.Fatalf("FutureUsed = %d, want 4", pr.FutureUsed)
@@ -85,7 +86,7 @@ func TestFutureBitsEnterBOR(t *testing.T) {
 		t.Fatalf("BOR future bits = %04b, want %04b", seenBOR&0xF, want)
 	}
 	if pr.BORValue != seenBOR {
-		t.Fatal("Prediction.BORValue must be what the critic saw")
+		t.Fatal("core.Prediction.BORValue must be what the critic saw")
 	}
 }
 
@@ -97,7 +98,7 @@ func TestWalkStopsEarly(t *testing.T) {
 		}
 		return addr + 0x10, true
 	}
-	h := New(scriptedProphet(map[uint64]bool{0x10: true, 0x20: true}), predictor.AlwaysTaken(), Config{FutureBits: 8, BORLen: 16})
+	h := core.New(scriptedProphet(map[uint64]bool{0x10: true, 0x20: true}), predictor.AlwaysTaken(), core.Config{FutureBits: 8, BORLen: 16})
 	pr := h.Predict(0x10, walk)
 	if pr.FutureUsed != 2 {
 		t.Fatalf("FutureUsed = %d, want 2 (dead-end walk)", pr.FutureUsed)
@@ -105,7 +106,7 @@ func TestWalkStopsEarly(t *testing.T) {
 }
 
 func TestNilWalkLimitsToOwnBit(t *testing.T) {
-	h := New(predictor.AlwaysTaken(), predictor.AlwaysTaken(), Config{FutureBits: 8, BORLen: 16})
+	h := core.New(predictor.AlwaysTaken(), predictor.AlwaysTaken(), core.Config{FutureBits: 8, BORLen: 16})
 	pr := h.Predict(0x10, nil)
 	if pr.FutureUsed != 1 {
 		t.Fatalf("FutureUsed = %d, want 1 with nil walk", pr.FutureUsed)
@@ -121,7 +122,7 @@ func TestZeroFutureBitsIsConventionalHybrid(t *testing.T) {
 		HistLen:   8,
 		Label:     "spy",
 	}
-	h := New(predictor.AlwaysTaken(), critic, Config{FutureBits: 0, BORLen: 8})
+	h := core.New(predictor.AlwaysTaken(), critic, core.Config{FutureBits: 0, BORLen: 8})
 	pr := h.Predict(0x10, chainWalk(0x10))
 	if pr.FutureUsed != 0 {
 		t.Fatalf("FutureUsed = %d, want 0", pr.FutureUsed)
@@ -140,14 +141,14 @@ func TestFilteredCriticProtocol(t *testing.T) {
 	// context allocates; the second identical context hits and fixes.
 	p := predictor.AlwaysTaken() // prophet stubbornly wrong on a not-taken branch
 	c := tagged.New(8, 4, 9, 18)
-	h := New(p, c, Config{FutureBits: 1, BORLen: 18, Filtered: true})
+	h := core.New(p, c, core.Config{FutureBits: 1, BORLen: 18, Filtered: true})
 
 	// First visit: filter miss -> implicit agree -> mispredict -> allocate.
 	pr := h.Predict(0x80, nil)
 	if pr.CriticUsed {
 		t.Fatal("cold filter must miss")
 	}
-	if cr := h.Resolve(pr, false); cr != IncorrectNone {
+	if cr := h.Resolve(pr, false); cr != core.IncorrectNone {
 		t.Fatalf("critique = %v, want incorrect_none", cr)
 	}
 
@@ -174,7 +175,7 @@ func TestFilteredCriticProtocol(t *testing.T) {
 		t.Fatal("critic must eventually disagree and fix the mispredict")
 	}
 	st := h.Stats()
-	if st.Count(IncorrectDisagree) == 0 {
+	if st.Count(core.IncorrectDisagree) == 0 {
 		t.Fatal("stats must record incorrect_disagree critiques")
 	}
 	if st.FinalMispredict >= st.ProphetMispredict {
@@ -185,13 +186,13 @@ func TestFilteredCriticProtocol(t *testing.T) {
 func TestFilteredDoesNotAllocateOnCorrect(t *testing.T) {
 	p := predictor.AlwaysTaken()
 	c := tagged.New(8, 4, 9, 18)
-	h := New(p, c, Config{FutureBits: 1, BORLen: 18, Filtered: true})
+	h := core.New(p, c, core.Config{FutureBits: 1, BORLen: 18, Filtered: true})
 	for i := 0; i < 50; i++ {
 		pr := h.Predict(0x80, nil)
 		if pr.CriticUsed {
 			t.Fatal("filter must stay cold when the prophet is always right")
 		}
-		if cr := h.Resolve(pr, true); cr != CorrectNone {
+		if cr := h.Resolve(pr, true); cr != core.CorrectNone {
 			t.Fatalf("critique = %v, want correct_none", cr)
 		}
 	}
@@ -210,7 +211,7 @@ func TestCriticTrainedWithPredictionTimeBOR(t *testing.T) {
 		HistLen:   12,
 		Label:     "spy",
 	}
-	h := New(predictor.AlwaysTaken(), critic, Config{FutureBits: 3, BORLen: 12})
+	h := core.New(predictor.AlwaysTaken(), critic, core.Config{FutureBits: 3, BORLen: 12})
 	pr := h.Predict(0x10, chainWalk(8))
 	h.Resolve(pr, false)
 	if updateBOR != predictBOR {
@@ -226,7 +227,7 @@ func TestArchitecturalHistoryCarriesOutcomes(t *testing.T) {
 		HistLen:   8,
 		Label:     "spy",
 	}
-	h := New(p, nil, Config{BHRLen: 8})
+	h := core.New(p, nil, core.Config{BHRLen: 8})
 	for _, o := range []bool{true, false, true} {
 		pr := h.Predict(0x10, nil)
 		h.Resolve(pr, o)
@@ -239,7 +240,7 @@ func TestArchitecturalHistoryCarriesOutcomes(t *testing.T) {
 
 func TestMispredictAccounting(t *testing.T) {
 	// Prophet alternates right/wrong deterministically.
-	h := New(predictor.AlwaysTaken(), nil, Config{BHRLen: 4})
+	h := core.New(predictor.AlwaysTaken(), nil, core.Config{BHRLen: 4})
 	for i := 0; i < 100; i++ {
 		pr := h.Predict(0x10, nil)
 		h.Resolve(pr, i%2 == 0)
@@ -253,50 +254,50 @@ func TestMispredictAccounting(t *testing.T) {
 func TestSizeBitsAndName(t *testing.T) {
 	p := gshare.New(13, 13)
 	c := tagged.New(10, 6, 8, 18)
-	h := New(p, c, Config{FutureBits: 8, BORLen: 18, Filtered: true})
+	h := core.New(p, c, core.Config{FutureBits: 8, BORLen: 18, Filtered: true})
 	if h.SizeBits() != p.SizeBits()+c.SizeBits() {
 		t.Fatal("SizeBits must sum components")
 	}
 	if h.Prophet() != predictor.Predictor(p) || h.Critic() != predictor.Predictor(c) {
 		t.Fatal("component accessors wrong")
 	}
-	if h.Name() == "" || New(p, nil, Config{}).Name() == "" {
+	if h.Name() == "" || core.New(p, nil, core.Config{}).Name() == "" {
 		t.Fatal("names must be non-empty")
 	}
 	if h.Config().FutureBits != 8 {
-		t.Fatal("Config accessor wrong")
+		t.Fatal("core.Config accessor wrong")
 	}
 }
 
 func TestCritiqueStrings(t *testing.T) {
-	want := map[Critique]string{
-		CorrectAgree:      "correct_agree",
-		CorrectDisagree:   "correct_disagree",
-		IncorrectAgree:    "incorrect_agree",
-		IncorrectDisagree: "incorrect_disagree",
-		CorrectNone:       "correct_none",
-		IncorrectNone:     "incorrect_none",
+	want := map[core.Critique]string{
+		core.CorrectAgree:      "correct_agree",
+		core.CorrectDisagree:   "correct_disagree",
+		core.IncorrectAgree:    "incorrect_agree",
+		core.IncorrectDisagree: "incorrect_disagree",
+		core.CorrectNone:       "correct_none",
+		core.IncorrectNone:     "incorrect_none",
 	}
 	for c, s := range want {
 		if c.String() != s {
 			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
 		}
 	}
-	if Critique(99).String() != "Critique(99)" {
+	if core.Critique(99).String() != "Critique(99)" {
 		t.Error("out-of-range critique string wrong")
 	}
 }
 
 func TestConfigValidation(t *testing.T) {
 	cases := []func(){
-		func() { New(nil, nil, Config{}) },
-		func() { New(predictor.AlwaysTaken(), nil, Config{FutureBits: MaxFutureBits + 1}) },
+		func() { core.New(nil, nil, core.Config{}) },
+		func() { core.New(predictor.AlwaysTaken(), nil, core.Config{FutureBits: core.MaxFutureBits + 1}) },
 		func() {
-			New(predictor.AlwaysTaken(), predictor.AlwaysTaken(), Config{FutureBits: 8, BORLen: 4})
+			core.New(predictor.AlwaysTaken(), predictor.AlwaysTaken(), core.Config{FutureBits: 8, BORLen: 4})
 		},
 		func() {
 			// Filtered critic that is not Tagged.
-			New(predictor.AlwaysTaken(), predictor.AlwaysNotTaken(), Config{FutureBits: 1, BORLen: 8, Filtered: true})
+			core.New(predictor.AlwaysTaken(), predictor.AlwaysNotTaken(), core.Config{FutureBits: 1, BORLen: 8, Filtered: true})
 		},
 	}
 	for i, f := range cases {
@@ -313,7 +314,7 @@ func TestConfigValidation(t *testing.T) {
 
 func TestBORLenDefaultsToCriticHistory(t *testing.T) {
 	c := tagged.New(8, 4, 9, 18)
-	h := New(predictor.AlwaysTaken(), c, Config{FutureBits: 4})
+	h := core.New(predictor.AlwaysTaken(), c, core.Config{FutureBits: 4})
 	if h.Config().BORLen != 18 {
 		t.Fatalf("BORLen = %d, want 18 (critic HistoryLen)", h.Config().BORLen)
 	}
@@ -352,7 +353,7 @@ func TestFigure2WrongPathSignature(t *testing.T) {
 	}
 	p := scriptedProphet(script)
 	c := tagged.New(8, 4, 10, 18)
-	h := New(p, c, Config{FutureBits: 4, BORLen: 18, Filtered: true})
+	h := core.New(p, c, core.Config{FutureBits: 4, BORLen: 18, Filtered: true})
 
 	// A's actual outcome alternates between phases: long runs of N (the
 	// prophet is wrong, goes down C-G-J) separated by runs of T (prophet

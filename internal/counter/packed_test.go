@@ -1,0 +1,99 @@
+package counter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: every Packed2 lane behaves exactly like the scalar bare
+// 2-bit counter it packs — same saturation, same direction, same
+// partial-update policy — under any interleaving of operations on any
+// lanes, including lanes sharing a word.
+func TestPacked2MatchesSat2(t *testing.T) {
+	const n = 70 // spans three words, last one partial
+	f := func(ops []uint16) bool {
+		p := NewPacked2(n, Sat2Cold)
+		ref := make([]uint8, n)
+		for i := range ref {
+			ref[i] = Sat2Cold
+		}
+		for _, op := range ops {
+			i := uint64(op % n)
+			taken := op&0x100 != 0
+			if op&0x200 != 0 {
+				p.Reinforce(i, taken)
+				Sat2Reinforce(&ref[i], taken)
+			} else {
+				p.Update(i, taken)
+				Sat2Update(&ref[i], taken)
+			}
+			if p.Get(i) != ref[i] || p.Taken(i) != Sat2Taken(ref[i]) {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			if p.Get(uint64(i)) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacked2ColdFill(t *testing.T) {
+	p := NewPacked2(33, Sat2Cold)
+	for i := 0; i < p.Len(); i++ {
+		if p.Get(uint64(i)) != Sat2Cold {
+			t.Fatalf("lane %d cold value %d, want %d", i, p.Get(uint64(i)), Sat2Cold)
+		}
+	}
+	if p.Words() != 2 {
+		t.Fatalf("33 lanes pack into %d words, want 2", p.Words())
+	}
+}
+
+// The byte round-trip is the checkpoint wire path: StoreBytes must emit
+// exactly the flat table LoadBytes consumed.
+func TestPacked2ByteRoundTrip(t *testing.T) {
+	const n = 100
+	src := make([]uint8, n)
+	for i := range src {
+		src[i] = uint8(i*7) % 4
+	}
+	p := NewPacked2(n, 0)
+	p.LoadBytes(src)
+	for i := range src {
+		if p.Get(uint64(i)) != src[i] {
+			t.Fatalf("lane %d = %d after LoadBytes, want %d", i, p.Get(uint64(i)), src[i])
+		}
+	}
+	dst := make([]uint8, n)
+	p.StoreBytes(dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d = %d after round-trip, want %d", i, dst[i], src[i])
+		}
+	}
+}
+
+// TakenBits' word-parallel read must agree with 32 scalar Taken calls.
+func TestPacked2TakenBits(t *testing.T) {
+	const n = 64
+	p := NewPacked2(n, 0)
+	for i := 0; i < n; i++ {
+		p.Update(uint64(i), i%3 == 0)
+		p.Update(uint64(i), i%3 == 0)
+	}
+	for w := 0; w < p.Words(); w++ {
+		bits := p.TakenBits(w)
+		for l := 0; l < lanesPerWord; l++ {
+			i := uint64(w*lanesPerWord + l)
+			if got, want := bits>>l&1 == 1, p.Taken(i); got != want {
+				t.Fatalf("TakenBits word %d lane %d = %v, scalar Taken = %v", w, l, got, want)
+			}
+		}
+	}
+}

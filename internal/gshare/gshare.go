@@ -30,11 +30,13 @@ const (
 )
 
 // Gshare is a single pattern table of 2-bit counters indexed by a
-// combination of branch address and global history. The counters are a
-// flat byte array (values 0..3, taken when >= 2) and the history mask is
-// precomputed, keeping the lookup to one hash and one byte load.
+// combination of branch address and global history. The counters are
+// SWAR-packed 32 to a 64-bit word (counter.Packed2: values 0..3, taken
+// when >= 2) so every loaded word carries 32 counters, and the history
+// mask is precomputed, keeping the lookup to one hash, one word load,
+// and a shift/mask.
 type Gshare struct {
-	table     []uint8
+	table     counter.Packed2
 	indexBits uint
 	histLen   uint
 	histMask  uint64
@@ -58,17 +60,13 @@ func newG(indexBits, histLen uint, f Flavor) *Gshare {
 	if indexBits < 1 || indexBits > 30 {
 		panic(fmt.Sprintf("gshare: indexBits %d out of range [1,30]", indexBits))
 	}
-	g := &Gshare{
-		table:     make([]uint8, 1<<indexBits),
+	return &Gshare{
+		table:     counter.NewPacked2(1<<indexBits, counter.Sat2Cold),
 		indexBits: indexBits,
 		histLen:   histLen,
 		histMask:  bitutil.Mask(histLen),
 		flavor:    f,
 	}
-	for i := range g.table {
-		g.table[i] = counter.Sat2Cold
-	}
-	return g
 }
 
 //pclint:hotpath
@@ -91,21 +89,21 @@ func (g *Gshare) index(addr, hist uint64) uint64 {
 //
 //pclint:hotpath
 func (g *Gshare) Predict(addr, hist uint64) bool {
-	return counter.Sat2Taken(g.table[g.index(addr, hist)])
+	return g.table.Taken(g.index(addr, hist))
 }
 
 // Update implements predictor.Predictor.
 //
 //pclint:hotpath
 func (g *Gshare) Update(addr, hist uint64, taken bool) {
-	counter.Sat2Update(&g.table[g.index(addr, hist)], taken)
+	g.table.Update(g.index(addr, hist), taken)
 }
 
 // HistoryLen implements predictor.Predictor.
 func (g *Gshare) HistoryLen() uint { return g.histLen }
 
 // SizeBits implements predictor.Predictor.
-func (g *Gshare) SizeBits() int { return len(g.table) * 2 }
+func (g *Gshare) SizeBits() int { return g.table.Len() * 2 }
 
 // Name implements predictor.Predictor.
 func (g *Gshare) Name() string {
@@ -113,24 +111,28 @@ func (g *Gshare) Name() string {
 	if g.flavor == Concat {
 		kind = "GAs"
 	}
-	return fmt.Sprintf("%s-%dKent-h%d", kind, len(g.table)/1024, g.histLen)
+	return fmt.Sprintf("%s-%dKent-h%d", kind, g.table.Len()/1024, g.histLen)
 }
 
 // Counter exposes the counter at (addr, hist) for white-box tests.
 func (g *Gshare) Counter(addr, hist uint64) counter.Sat {
-	return counter.NewSat(2, g.table[g.index(addr, hist)])
+	return counter.NewSat(2, g.table.Get(g.index(addr, hist)))
 }
 
 // Snapshot implements checkpoint.Snapshotter: the flat 2-bit counter
-// table.
+// table, unpacked to the historical one-byte-per-counter encoding so
+// packed-table checkpoints stay byte-identical to the original wire
+// format.
 func (g *Gshare) Snapshot(enc *checkpoint.Encoder) {
+	tmp := make([]uint8, g.table.Len())
+	g.table.StoreBytes(tmp)
 	enc.Section("gshare")
-	enc.Uint8s(g.table)
+	enc.Uint8s(tmp)
 }
 
 // Restore implements checkpoint.Snapshotter.
 func (g *Gshare) Restore(dec *checkpoint.Decoder) error {
-	tmp := make([]uint8, len(g.table))
+	tmp := make([]uint8, g.table.Len())
 	dec.Section("gshare")
 	dec.Uint8s(tmp)
 	if err := dec.Err(); err != nil {
@@ -139,6 +141,6 @@ func (g *Gshare) Restore(dec *checkpoint.Decoder) error {
 	if err := counter.ValidateSat2(tmp); err != nil {
 		return fmt.Errorf("gshare: %w", err)
 	}
-	copy(g.table, tmp)
+	g.table.LoadBytes(tmp)
 	return nil
 }

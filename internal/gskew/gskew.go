@@ -32,12 +32,13 @@ import (
 
 // Gskew is a 2Bc-gskew predictor with four 2^indexBits-entry tables.
 //
-// Each table is a flat byte array of 2-bit saturating counters (values
-// 0..3, taken when >= 2, cold value weakly not-taken = 1). The hot path
-// computes every table index exactly once per operation and uses masks
-// precomputed at construction.
+// Each table holds 2-bit saturating counters (values 0..3, taken when
+// >= 2, cold value weakly not-taken = 1), SWAR-packed 32 to a 64-bit
+// word (counter.Packed2) so each of the four word loads per operation
+// carries 32 counters. The hot path computes every table index exactly
+// once per operation and uses masks precomputed at construction.
 type Gskew struct {
-	bim, g0, g1, meta []uint8
+	bim, g0, g1, meta counter.Packed2
 	indexBits         uint
 	histLen           uint
 	histMask          uint64
@@ -60,12 +61,8 @@ func New(indexBits, histLen uint) *Gskew {
 	if indexBits < 1 || indexBits > 28 {
 		panic(fmt.Sprintf("gskew: indexBits %d out of range [1,28]", indexBits))
 	}
-	mk := func() []uint8 {
-		t := make([]uint8, 1<<indexBits)
-		for i := range t {
-			t[i] = counter.Sat2Cold
-		}
-		return t
+	mk := func() counter.Packed2 {
+		return counter.NewPacked2(1<<indexBits, counter.Sat2Cold)
 	}
 	g := &Gskew{
 		bim: mk(), g0: mk(), g1: mk(), meta: mk(),
@@ -156,7 +153,7 @@ func majority(a, b, c bool) bool {
 //pclint:hotpath
 func (g *Gskew) components(addr, hist uint64) (bim, p0, p1, useMajority bool) {
 	iB, i0, i1, iM := g.indices(addr, hist)
-	return counter.Sat2Taken(g.bim[iB]), counter.Sat2Taken(g.g0[i0]), counter.Sat2Taken(g.g1[i1]), counter.Sat2Taken(g.meta[iM])
+	return g.bim.Taken(iB), g.g0.Taken(i0), g.g1.Taken(i1), g.meta.Taken(iM)
 }
 
 // Predict implements predictor.Predictor. The skewed tables are read
@@ -166,11 +163,11 @@ func (g *Gskew) components(addr, hist uint64) (bim, p0, p1, useMajority bool) {
 //
 //pclint:hotpath
 func (g *Gskew) Predict(addr, hist uint64) bool {
-	bim := counter.Sat2Taken(g.bim[g.idxBim(addr)])
-	if !counter.Sat2Taken(g.meta[g.idxMeta(addr, hist)]) {
+	bim := g.bim.Taken(g.idxBim(addr))
+	if !g.meta.Taken(g.idxMeta(addr, hist)) {
 		return bim
 	}
-	return majority(bim, counter.Sat2Taken(g.g0[g.idxG0(addr, hist)]), counter.Sat2Taken(g.g1[g.idxG1(addr, hist)]))
+	return majority(bim, g.g0.Taken(g.idxG0(addr, hist)), g.g1.Taken(g.idxG1(addr, hist)))
 }
 
 // Update implements predictor.Predictor, applying the partial update
@@ -179,10 +176,10 @@ func (g *Gskew) Predict(addr, hist uint64) bool {
 //pclint:hotpath
 func (g *Gskew) Update(addr, hist uint64, taken bool) {
 	iB, i0, i1, iM := g.indices(addr, hist)
-	bim := counter.Sat2Taken(g.bim[iB])
-	p0 := counter.Sat2Taken(g.g0[i0])
-	p1 := counter.Sat2Taken(g.g1[i1])
-	useMaj := counter.Sat2Taken(g.meta[iM])
+	bim := g.bim.Taken(iB)
+	p0 := g.g0.Taken(i0)
+	p1 := g.g1.Taken(i1)
+	useMaj := g.meta.Taken(iM)
 	maj := majority(bim, p0, p1)
 	pred := bim
 	if useMaj {
@@ -191,54 +188,57 @@ func (g *Gskew) Update(addr, hist uint64, taken bool) {
 
 	// Train META toward whichever choice was right when they differ.
 	if bim != maj {
-		counter.Sat2Update(&g.meta[iM], maj == taken)
+		g.meta.Update(iM, maj == taken)
 	}
 
 	if pred == taken {
 		// Correct: strengthen only participating, agreeing tables.
 		if useMaj {
-			counter.Sat2Reinforce(&g.bim[iB], taken)
-			counter.Sat2Reinforce(&g.g0[i0], taken)
-			counter.Sat2Reinforce(&g.g1[i1], taken)
+			g.bim.Reinforce(iB, taken)
+			g.g0.Reinforce(i0, taken)
+			g.g1.Reinforce(i1, taken)
 		} else {
-			counter.Sat2Update(&g.bim[iB], taken)
+			g.bim.Update(iB, taken)
 		}
 		return
 	}
 	// Mispredict: retrain all direction tables toward the outcome.
-	counter.Sat2Update(&g.bim[iB], taken)
-	counter.Sat2Update(&g.g0[i0], taken)
-	counter.Sat2Update(&g.g1[i1], taken)
+	g.bim.Update(iB, taken)
+	g.g0.Update(i0, taken)
+	g.g1.Update(i1, taken)
 }
 
 // HistoryLen implements predictor.Predictor.
 func (g *Gskew) HistoryLen() uint { return g.histLen }
 
 // SizeBits implements predictor.Predictor: four tables of 2-bit counters.
-func (g *Gskew) SizeBits() int { return 4 * len(g.bim) * 2 }
+func (g *Gskew) SizeBits() int { return 4 * g.bim.Len() * 2 }
 
 // Name implements predictor.Predictor.
 func (g *Gskew) Name() string {
-	return fmt.Sprintf("2Bc-gskew-%dKent-h%d", len(g.bim)/1024, g.histLen)
+	return fmt.Sprintf("2Bc-gskew-%dKent-h%d", g.bim.Len()/1024, g.histLen)
 }
 
 // Snapshot implements checkpoint.Snapshotter: the four flat 2-bit
-// counter tables (g1Hist is a derived memo, not state).
+// counter tables (g1Hist is a derived memo, not state), each unpacked
+// to the historical one-byte-per-counter encoding so packed-table
+// checkpoints stay byte-identical to the original wire format.
 func (g *Gskew) Snapshot(enc *checkpoint.Encoder) {
 	enc.Section("gskew")
-	enc.Uint8s(g.bim)
-	enc.Uint8s(g.g0)
-	enc.Uint8s(g.g1)
-	enc.Uint8s(g.meta)
+	tmp := make([]uint8, g.bim.Len())
+	for _, t := range []*counter.Packed2{&g.bim, &g.g0, &g.g1, &g.meta} {
+		t.StoreBytes(tmp)
+		enc.Uint8s(tmp)
+	}
 }
 
 // Restore implements checkpoint.Snapshotter.
 func (g *Gskew) Restore(dec *checkpoint.Decoder) error {
 	dec.Section("gskew")
-	tables := [][]uint8{g.bim, g.g0, g.g1, g.meta}
+	tables := []*counter.Packed2{&g.bim, &g.g0, &g.g1, &g.meta}
 	tmp := make([][]uint8, len(tables))
 	for i, t := range tables {
-		tmp[i] = make([]uint8, len(t))
+		tmp[i] = make([]uint8, t.Len())
 		dec.Uint8s(tmp[i])
 	}
 	if err := dec.Err(); err != nil {
@@ -248,7 +248,7 @@ func (g *Gskew) Restore(dec *checkpoint.Decoder) error {
 		if err := counter.ValidateSat2(t); err != nil {
 			return fmt.Errorf("gskew: table %d: %w", i, err)
 		}
-		copy(tables[i], t)
+		tables[i].LoadBytes(t)
 	}
 	return nil
 }

@@ -456,3 +456,60 @@ func TestRunNextZeroAlloc(t *testing.T) {
 		t.Errorf("Run.Next allocates %.1f times per branch, want 0", allocs)
 	}
 }
+
+// NextBlock is defined as exactly len(buf) consecutive Next calls; the
+// block-batched stepping engine depends on the two decoders producing
+// the same committed stream regardless of block-boundary placement.
+func TestNextBlockMatchesNext(t *testing.T) {
+	ref := MustLoad("gcc").NewRun()
+	blk := MustLoad("gcc").NewRun()
+	buf := make([]Event, 0)
+	for _, size := range []int{1, 7, 64, 257} {
+		buf = append(buf[:0], make([]Event, size)...)
+		n := blk.NextBlock(buf)
+		if n != size {
+			t.Fatalf("NextBlock(%d) on a synthetic program decoded %d events", size, n)
+		}
+		for i := 0; i < n; i++ {
+			if want := ref.Next(); buf[i] != want {
+				t.Fatalf("block size %d event %d: got %+v, want %+v", size, i, buf[i], want)
+			}
+		}
+		if blk.Step() != ref.Step() {
+			t.Fatalf("cursors diverged: block run at %d, reference at %d", blk.Step(), ref.Step())
+		}
+	}
+}
+
+// A replay that reaches a branch with no recorded successor stops the
+// block short instead of decoding past the trace; the run is left in
+// the same past-the-end state a Next-driven caller observes.
+func TestNextBlockStopsAtMissingEdge(t *testing.T) {
+	p := &Program{Name: "dead-end", blocks: []Block{
+		{ID: 0, Uops: 2, Addr: addrBase, Model: Biased{P: 1}, TakenTo: -1, NotTakenTo: 0},
+	}}
+	r := p.NewRun()
+	buf := make([]Event, 8)
+	if n := r.NextBlock(buf); n != 1 {
+		t.Fatalf("decoded %d events past a missing successor edge, want 1", n)
+	}
+	if n := r.NextBlock(buf); n != 0 {
+		t.Fatalf("second NextBlock decoded %d events, want 0", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CurrentAddr after a short block must panic like the Next-driven path")
+		}
+	}()
+	r.CurrentAddr()
+}
+
+// NextBlock feeds the hot block loop; like Next it must not allocate.
+func TestNextBlockZeroAlloc(t *testing.T) {
+	p := MustLoad("gcc")
+	r := p.NewRun()
+	buf := make([]Event, 256)
+	if allocs := testing.AllocsPerRun(200, func() { r.NextBlock(buf) }); allocs != 0 {
+		t.Errorf("Run.NextBlock allocates %.1f times per block, want 0", allocs)
+	}
+}

@@ -396,19 +396,20 @@ func (c *coordinator) lease(workerID string) (*UnitLease, error) {
 		c.retried.Add(1)
 	}
 	l := &UnitLease{
-		Unit:       pick.id,
-		Token:      pick.token,
-		TTLMs:      c.cfg.LeaseTTL.Milliseconds(),
-		Workload:   pick.ref,
-		Prophet:    pick.prophet,
-		Critic:     pick.spec.Critic,
-		FutureBits: pick.spec.FutureBits,
-		Unfiltered: pick.spec.Unfiltered,
-		Skip:       pick.window.Skip,
-		Train:      pick.window.Train,
-		Measure:    pick.window.Measure,
-		CkptEvery:  c.cfg.CheckpointEvery,
-		Checkpoint: pick.ck,
+		Unit:         pick.id,
+		Token:        pick.token,
+		TTLMs:        c.cfg.LeaseTTL.Milliseconds(),
+		Workload:     pick.ref,
+		Prophet:      pick.prophet,
+		Critic:       pick.spec.Critic,
+		FutureBits:   pick.spec.FutureBits,
+		Unfiltered:   pick.spec.Unfiltered,
+		NoSpecialize: pick.spec.NoSpecialize,
+		Skip:         pick.window.Skip,
+		Train:        pick.window.Train,
+		Measure:      pick.window.Measure,
+		CkptEvery:    c.cfg.CheckpointEvery,
+		Checkpoint:   pick.ck,
 	}
 	return l, nil
 }
@@ -617,11 +618,12 @@ type UnitLease struct {
 	Token string `json:"token"`
 	TTLMs int64  `json:"ttl_ms"`
 
-	Workload   WorkloadRef `json:"workload"`
-	Prophet    string      `json:"prophet"`
-	Critic     string      `json:"critic,omitempty"`
-	FutureBits uint        `json:"future_bits,omitempty"`
-	Unfiltered bool        `json:"unfiltered,omitempty"`
+	Workload     WorkloadRef `json:"workload"`
+	Prophet      string      `json:"prophet"`
+	Critic       string      `json:"critic,omitempty"`
+	FutureBits   uint        `json:"future_bits,omitempty"`
+	Unfiltered   bool        `json:"unfiltered,omitempty"`
+	NoSpecialize bool        `json:"no_specialize,omitempty"`
 
 	Skip    int `json:"skip"`
 	Train   int `json:"train"`

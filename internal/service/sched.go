@@ -591,12 +591,15 @@ func (s *Scheduler) runJob(j *Job) {
 			spanAttrs("workload", p.Name, "index", itoa(wi)))
 		s.setWorkloadSpan(j.ID, wlSpan)
 
-		// Cache pass: serve what exists, collect the miss set.
+		// Cache pass: serve what exists, collect the miss set. A
+		// -no-specialize job skips cache reads: its results would be
+		// byte-identical to the cached ones, but the point of the flag
+		// is to actually run the generic engine.
 		rows := make([]ResultRow, len(specs))
 		var missIdx []int
 		for i := range specs {
 			key := cellKey(cells[i], wlID, window)
-			if e, ok := s.cache.get(key); ok {
+			if e, ok := s.cache.get(key); ok && !j.Spec.NoSpecialize {
 				row := e.Row
 				row.Spec = specs[i]
 				row.CellKey = key
@@ -740,6 +743,9 @@ func (s *Scheduler) runStepped(j *Job, wi int, p *program.Program, build sim.Bui
 	}
 	st := sim.NewStepper(p, hybrid)
 	defer st.Close()
+	if opt.NoSpecialize {
+		st.ForceGeneric()
+	}
 	parent := s.workloadSpan(j.ID)
 	wspan := s.tracer.StartSpan(j.ID, parent, "warmup", spanAttrs("skip", itoa(skip), "train", itoa(train)))
 	wt := time.Now()
@@ -963,8 +969,8 @@ func (s *Scheduler) runClustered(j *Job, wi int, ref WorkloadRef, p *program.Pro
 		if locals := s.co.takeLocal(j.ID, wi); len(locals) > 0 {
 			lerr := pool.RunCtx(s.ctx, len(locals), func(i int) error {
 				u := locals[i]
-				r, err := runUnit(p, build, u.window, u.idx, meta, s.co.localCheckpoint(u), 0, nil,
-					func() error { return s.ctx.Err() })
+				r, err := runUnit(p, build, u.window, u.idx, meta, s.co.localCheckpoint(u), 0,
+					j.Spec.NoSpecialize, nil, func() error { return s.ctx.Err() })
 				if err != nil {
 					return err
 				}
@@ -1076,6 +1082,9 @@ func (s *Scheduler) runSteppedMany(j *Job, wi int, p *program.Program, specs []s
 
 	st := sim.NewManyStepper(p, hybrids)
 	defer st.Close()
+	if opt.NoSpecialize {
+		st.ForceGeneric()
+	}
 	parent := s.workloadSpan(j.ID)
 	wspan := s.tracer.StartSpan(j.ID, parent, "warmup",
 		spanAttrs("skip", itoa(skip), "train", itoa(train), "specs", itoa(len(missIdx))))

@@ -53,7 +53,7 @@ func restoreUnitSnapshot(snap []byte, idx int, wlName string, build sim.Builder)
 // boundaries to abandon the unit early. The returned Result carries the
 // window's exact counters regardless of resume points.
 func runUnit(p *program.Program, build sim.Builder, w sim.Window, idx int,
-	meta checkpoint.Meta, snap []byte, every int,
+	meta checkpoint.Meta, snap []byte, every int, noSpecialize bool,
 	onSnapshot func([]byte) error, stop func() error) (sim.Result, error) {
 
 	var partial sim.Result
@@ -69,6 +69,9 @@ func runUnit(p *program.Program, build sim.Builder, w sim.Window, idx int,
 	}
 	st := sim.NewStepper(p, state.hybrid)
 	defer st.Close()
+	if noSpecialize {
+		st.ForceGeneric()
+	}
 	if measuredDone > 0 {
 		// Resume: the snapshot's hybrid already saw the full train prefix
 		// plus measuredDone measured branches.

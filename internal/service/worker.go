@@ -219,7 +219,7 @@ func (w *Worker) execute(ctx context.Context, l *UnitLease, chaosKill bool) erro
 	}
 	stop := func() error { return ctx.Err() }
 
-	r, err := runUnit(p, build, window, idx, meta, l.Checkpoint, l.CkptEvery, onSnapshot, stop)
+	r, err := runUnit(p, build, window, idx, meta, l.Checkpoint, l.CkptEvery, l.NoSpecialize, onSnapshot, stop)
 	if err == ErrChaosKilled {
 		w.log().WarnContext(obs.WithUnit(w.lctx(ctx), l.Unit), "chaos kill-on-lease fired")
 		return ErrChaosKilled

@@ -39,6 +39,8 @@ type ManyStepper struct {
 	hs        []*core.Hybrid
 	run       *program.Run
 	walk      core.WalkFunc
+	specs     []core.SpecializedStep // per-hybrid; nil entry = interface path
+	buf       []program.Event        // block-decode buffer; nil = per-branch engine
 	pos       int
 	base      []Result
 	baselines []core.Stats
@@ -47,23 +49,56 @@ type ManyStepper struct {
 	closed    bool
 }
 
-// NewManyStepper opens one run of p for the hybrids. Close releases the
-// event stream of trace-replay runs. The hybrids may carry prior state
-// (a resumed checkpoint); a fresh set gives RunSegment-equivalent
-// behavior per hybrid.
+// NewManyStepper opens one run of p for the hybrids, resolving each
+// hybrid's specialized block loop where one is registered. Close
+// releases the event stream of trace-replay runs. The hybrids may carry
+// prior state (a resumed checkpoint); a fresh set gives
+// RunSegment-equivalent behavior per hybrid.
 func NewManyStepper(p *program.Program, hs []*core.Hybrid) *ManyStepper {
 	base := make([]Result, len(hs))
 	for i, h := range hs {
 		base[i] = Result{Benchmark: p.Name, Suite: p.Suite, Config: h.Name()}
 	}
 	obsRunOpen()
-	return &ManyStepper{
+	s := &ManyStepper{
 		hs:        hs,
 		run:       p.NewRun(),
 		walk:      core.WalkFunc(p.Walk),
+		specs:     make([]core.SpecializedStep, len(hs)),
 		base:      base,
 		baselines: make([]core.Stats, len(hs)),
 	}
+	any := false
+	for i, h := range hs {
+		if spec, ok := core.SpecializeStep(h, p); ok {
+			s.specs[i] = spec
+			any = true
+		}
+	}
+	if any {
+		s.buf = make([]program.Event, stepBlockEvents)
+	}
+	return s
+}
+
+// ForceGeneric discards every specialized loop so all hybrids take the
+// per-branch interface path — the -no-specialize escape hatch. Call it
+// before the first Train/Measure.
+func (s *ManyStepper) ForceGeneric() {
+	s.specs = make([]core.SpecializedStep, len(s.hs))
+	s.buf = nil
+}
+
+// NumSpecialized reports how many resident hybrids are on the
+// devirtualized block-loop path.
+func (s *ManyStepper) NumSpecialized() int {
+	n := 0
+	for _, sp := range s.specs {
+		if sp != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Close releases the underlying run.
@@ -116,11 +151,15 @@ func (s *ManyStepper) step(measured bool) {
 	s.pos++
 }
 
-// Train predicts and resolves n branches without measuring them.
-func (s *ManyStepper) Train(n int) {
+// advance drives n branches through whichever engine the stepper is on.
+func (s *ManyStepper) advance(n int, measured bool) {
 	nh := uint64(len(s.hs))
+	if s.buf != nil {
+		s.advanceBlocks(n, measured, nh)
+		return
+	}
 	for i := 0; i < n; i++ {
-		s.step(false)
+		s.step(measured)
 		if i&obsSampleMask == obsSampleMask {
 			obsCommit(ObsSampleEvery, ObsSampleEvery*nh)
 		}
@@ -128,6 +167,58 @@ func (s *ManyStepper) Train(n int) {
 	tail := uint64(n & obsSampleMask)
 	obsCommit(tail, tail*nh)
 }
+
+// advanceBlocks is the block-batched one-pass engine: a block of the
+// committed stream is decoded once, then every resident hybrid iterates
+// the resident block — specialized hybrids via their monomorphic loop,
+// the rest via the interface path. Reordering branch-at-a-time × N into
+// block-at-a-time × N is sound for exactly the reason step documents:
+// the committed stream depends only on program state, the speculative
+// walk is bound to the immutable Program, and hybrids share no state,
+// so each hybrid sees the same (addr, walk, own-state) inputs in the
+// same order as its sequential run.
+func (s *ManyStepper) advanceBlocks(n int, measured bool, nh uint64) {
+	var pending uint64
+	for done := 0; done < n; {
+		k := n - done
+		if k > len(s.buf) {
+			k = len(s.buf)
+		}
+		got := s.run.NextBlock(s.buf[:k])
+		evs := s.buf[:got]
+		for i, h := range s.hs {
+			if sp := s.specs[i]; sp != nil {
+				sp(evs)
+				continue
+			}
+			walk := s.walk
+			for j := range evs {
+				h.Step(evs[j].Addr, walk, evs[j].Taken)
+			}
+		}
+		if measured {
+			for j := range evs {
+				s.uops += uint64(evs[j].Uops)
+			}
+		}
+		s.pos += got
+		done += got
+		pending += uint64(got)
+		for pending >= ObsSampleEvery {
+			obsCommit(ObsSampleEvery, ObsSampleEvery*nh)
+			pending -= ObsSampleEvery
+		}
+		if got < k {
+			// Replay ran past the recorded trace mid-window: surface the
+			// identical past-the-end panic the per-branch path raises.
+			s.run.CurrentAddr()
+		}
+	}
+	obsCommit(pending, pending*nh)
+}
+
+// Train predicts and resolves n branches without measuring them.
+func (s *ManyStepper) Train(n int) { s.advance(n, false) }
 
 // Measure predicts, resolves, and measures n branches. The first call
 // records every hybrid's stats baseline, so Results reports deltas over
@@ -139,15 +230,7 @@ func (s *ManyStepper) Measure(n int) {
 		}
 		s.measuring = true
 	}
-	nh := uint64(len(s.hs))
-	for i := 0; i < n; i++ {
-		s.step(true)
-		if i&obsSampleMask == obsSampleMask {
-			obsCommit(ObsSampleEvery, ObsSampleEvery*nh)
-		}
-	}
-	tail := uint64(n & obsSampleMask)
-	obsCommit(tail, tail*nh)
+	s.advance(n, true)
 }
 
 // Results returns each hybrid's statistics over the window measured so
@@ -180,8 +263,18 @@ func (s *ManyStepper) Results() []Result {
 // RunSegment, with the same window semantics. measure may be 0 (state
 // building only).
 func RunManySegment(p *program.Program, hs []*core.Hybrid, skip, train, measure int) []Result {
+	return RunManySegmentOpt(p, hs, skip, train, measure, false)
+}
+
+// RunManySegmentOpt is RunManySegment with the -no-specialize escape
+// hatch: noSpecialize forces every hybrid onto the per-branch interface
+// path (the reference loop).
+func RunManySegmentOpt(p *program.Program, hs []*core.Hybrid, skip, train, measure int, noSpecialize bool) []Result {
 	st := NewManyStepper(p, hs)
 	defer st.Close()
+	if noSpecialize {
+		st.ForceGeneric()
+	}
 	st.Skip(skip)
 	st.Train(train)
 	if measure > 0 {
@@ -204,9 +297,9 @@ func buildAll(builds []Builder) []*core.Hybrid {
 // to calling Run once per builder, at one stream walk instead of N.
 func RunMany(p *program.Program, builds []Builder, opt Options) []Result {
 	if opt.MeasureBranches <= 0 {
-		opt = DefaultOptions
+		opt = defaultedOptions(opt)
 	}
-	return RunManySegment(p, buildAll(builds), 0, opt.WarmupBranches, opt.MeasureBranches)
+	return RunManySegmentOpt(p, buildAll(builds), 0, opt.WarmupBranches, opt.MeasureBranches, opt.NoSpecialize)
 }
 
 // RunManySharded runs every builder over p with the measurement window
@@ -221,12 +314,12 @@ func RunManySharded(p *program.Program, builds []Builder, opt Options, so ShardO
 	}
 	if len(ws) == 1 {
 		w := ws[0]
-		return RunManySegment(p, buildAll(builds), w.Skip, w.Train, w.Measure), nil
+		return RunManySegmentOpt(p, buildAll(builds), w.Skip, w.Train, w.Measure, opt.NoSpecialize), nil
 	}
 	shards := make([][]Result, len(ws))
 	err = pool.RunCtx(context.Background(), len(ws), func(i int) error {
 		w := ws[i]
-		shards[i] = RunManySegment(p, buildAll(builds), w.Skip, w.Train, w.Measure)
+		shards[i] = RunManySegmentOpt(p, buildAll(builds), w.Skip, w.Train, w.Measure, opt.NoSpecialize)
 		return nil
 	})
 	if err != nil {

@@ -141,13 +141,13 @@ func RunSharded(p *program.Program, build Builder, opt Options, so ShardOptions)
 	}
 	if len(ws) == 1 {
 		w := ws[0]
-		return RunSegment(p, build(), w.Skip, w.Train, w.Measure), nil
+		return RunSegmentOpt(p, build(), w.Skip, w.Train, w.Measure, opt.NoSpecialize), nil
 	}
 
 	shards := make([]Result, len(ws))
 	err = pool.RunCtx(context.Background(), len(ws), func(i int) error {
 		w := ws[i]
-		shards[i] = RunSegment(p, build(), w.Skip, w.Train, w.Measure)
+		shards[i] = RunSegmentOpt(p, build(), w.Skip, w.Train, w.Measure, opt.NoSpecialize)
 		return nil
 	})
 	if err != nil {

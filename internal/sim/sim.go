@@ -28,12 +28,27 @@ type Options struct {
 	WarmupBranches int
 	// MeasureBranches is the measured window length.
 	MeasureBranches int
+	// NoSpecialize forces the per-branch interface path even when the
+	// hybrid's combination has a registered monomorphic block loop — the
+	// -no-specialize escape hatch for bisecting a specialization bug
+	// against the reference loop. Results are byte-identical either way
+	// (the equivalence wall); only the engine differs.
+	NoSpecialize bool
 }
 
 // DefaultOptions is the measurement window used by the experiment
 // harness: large enough for stable misp/Kuops on every benchmark, small
 // enough that full figure sweeps finish in minutes.
 var DefaultOptions = Options{WarmupBranches: 30_000, MeasureBranches: 120_000}
+
+// defaultedOptions swaps in the default measurement window while
+// preserving opt's engine selection.
+func defaultedOptions(opt Options) Options {
+	ns := opt.NoSpecialize
+	opt = DefaultOptions
+	opt.NoSpecialize = ns
+	return opt
+}
 
 // Result holds the measured statistics of one (benchmark, predictor) run.
 type Result struct {
@@ -119,9 +134,9 @@ func stepBranch(run *program.Run, h *core.Hybrid, walk core.WalkFunc) program.Ev
 // Run simulates one hybrid over one program.
 func Run(p *program.Program, h *core.Hybrid, opt Options) Result {
 	if opt.MeasureBranches <= 0 {
-		opt = DefaultOptions
+		opt = defaultedOptions(opt)
 	}
-	return RunSegment(p, h, 0, opt.WarmupBranches, opt.MeasureBranches)
+	return RunSegmentOpt(p, h, 0, opt.WarmupBranches, opt.MeasureBranches, opt.NoSpecialize)
 }
 
 // RunSegment drives h over one contiguous window of p's committed
@@ -133,50 +148,26 @@ func Run(p *program.Program, h *core.Hybrid, opt Options) Result {
 // resume a restored predictor mid-workload. measure may be 0 (state
 // building only; the Result then carries no measured window).
 func RunSegment(p *program.Program, h *core.Hybrid, skip, train, measure int) Result {
-	run := p.NewRun()
-	defer run.Close() // releases the event stream of trace-replay runs
-	obsRunOpen()
-	defer obsRunClose()
-	walk := core.WalkFunc(p.Walk)
+	return RunSegmentOpt(p, h, skip, train, measure, false)
+}
 
-	res := Result{Benchmark: p.Name, Suite: p.Suite, Config: h.Name()}
-
-	// Fast-forward: advance the architectural stream without predicting.
-	// Program state (model RNGs, local and global history) depends only
-	// on the committed stream, never on the predictor, so the stream at
-	// the end of the prefix is identical to a fully simulated run's.
-	for i := 0; i < skip; i++ {
-		run.Next()
+// RunSegmentOpt is RunSegment with the -no-specialize escape hatch:
+// noSpecialize forces the per-branch interface path even when the
+// hybrid has a registered specialization. Both engines live in the
+// Stepper, which RunSegmentOpt drives over the whole window in one
+// Skip/Train/Measure sequence.
+func RunSegmentOpt(p *program.Program, h *core.Hybrid, skip, train, measure int, noSpecialize bool) Result {
+	st := NewStepper(p, h)
+	defer st.Close()
+	if noSpecialize {
+		st.ForceGeneric()
 	}
-
-	total := train + measure
-	var baseline core.Stats
-	for i := 0; i < total; i++ {
-		if i == train {
-			baseline = h.Stats()
-		}
-		ev := stepBranch(run, h, walk)
-		if i >= train {
-			res.Uops += uint64(ev.Uops)
-		}
-		if i&obsSampleMask == obsSampleMask {
-			obsCommit(ObsSampleEvery, ObsSampleEvery)
-		}
+	st.Skip(skip)
+	st.Train(train)
+	if measure > 0 {
+		st.Measure(measure)
 	}
-	tail := uint64(total & obsSampleMask)
-	obsCommit(tail, tail)
-	if measure == 0 {
-		return res
-	}
-
-	final := h.Stats()
-	res.Branches = final.Branches - baseline.Branches
-	res.ProphetMisp = final.ProphetMispredict - baseline.ProphetMispredict
-	res.FinalMisp = final.FinalMispredict - baseline.FinalMispredict
-	for c := 0; c < len(res.Critiques); c++ {
-		res.Critiques[c] = final.Critiques[c] - baseline.Critiques[c]
-	}
-	return res
+	return st.Result()
 }
 
 // Builder constructs a fresh hybrid for one benchmark run. Each run gets

@@ -8,13 +8,29 @@ package sim
 // mid-measurement (Skip to the recorded position, keep measuring) and
 // produces counters bit-identical to an uninterrupted RunSegment — the
 // property TestStepperMatchesRunSegment and the service resume tests pin.
+//
+// When the hybrid's (prophet × critic × filtered) combination has a
+// registered specialization (core.SpecializeStep), the stepper runs the
+// devirtualized block loop: the committed stream is decoded in fixed
+// blocks (program.Run.NextBlock) and each resident block is stepped by
+// the monomorphic loop — byte-identical results, pinned by
+// TestSpecializedMatchesGeneric. Unregistered combinations, and
+// steppers forced generic (ForceGeneric, the -no-specialize escape
+// hatch), take the per-branch interface path below, which remains the
+// reference semantics.
 
 import (
-	"fmt"
-
 	"prophetcritic/internal/core"
 	"prophetcritic/internal/program"
 )
+
+// stepBlockEvents is the block-decode granularity: committed events
+// decoded per NextBlock call and stepped per specialized-loop call. A
+// block is 256 × 48 B = 12 KB — resident in L1 alongside the hot
+// predictor tables, and large enough that per-block costs (decode call,
+// loop setup, register write-back, obs bookkeeping) are amortized to
+// noise per branch.
+const stepBlockEvents = 256
 
 // Stepper executes one (program, hybrid) pair incrementally. The three
 // advance methods mirror RunSegment's windows: Skip fast-forwards the
@@ -27,6 +43,8 @@ type Stepper struct {
 	h         *core.Hybrid
 	run       *program.Run
 	walk      core.WalkFunc
+	spec      core.SpecializedStep // nil on the generic path
+	buf       []program.Event      // block-decode buffer (specialized path only)
 	pos       int
 	res       Result
 	baseline  core.Stats
@@ -34,17 +52,36 @@ type Stepper struct {
 	closed    bool
 }
 
-// NewStepper opens a run of p for h. Close releases the event stream of
+// NewStepper opens a run of p for h, resolving the hybrid's specialized
+// block loop when one is registered. Close releases the event stream of
 // trace-replay runs.
 func NewStepper(p *program.Program, h *core.Hybrid) *Stepper {
 	obsRunOpen()
-	return &Stepper{
+	s := &Stepper{
 		h:    h,
 		run:  p.NewRun(),
 		walk: core.WalkFunc(p.Walk),
 		res:  Result{Benchmark: p.Name, Suite: p.Suite, Config: h.Name()},
 	}
+	if spec, ok := core.SpecializeStep(h, p); ok {
+		s.spec = spec
+		s.buf = make([]program.Event, stepBlockEvents)
+	}
+	return s
 }
+
+// ForceGeneric discards the specialized loop so every branch takes the
+// per-branch interface path — the -no-specialize escape hatch. Call it
+// before the first Train/Measure; results are byte-identical either
+// way (the equivalence wall), only the engine differs.
+func (s *Stepper) ForceGeneric() {
+	s.spec = nil
+	s.buf = nil
+}
+
+// Specialized reports whether the stepper is on the devirtualized
+// block-loop path.
+func (s *Stepper) Specialized() bool { return s.spec != nil }
 
 // Close releases the underlying run.
 func (s *Stepper) Close() error {
@@ -70,25 +107,26 @@ func (s *Stepper) Skip(n int) {
 	s.pos += n
 }
 
+// step is the per-branch reference engine: one stepBranch call plus
+// window accounting.
+//
+//pclint:hotpath
 func (s *Stepper) step(measured bool) {
-	addr := s.run.CurrentAddr()
-	pr := s.h.Predict(addr, s.walk)
-	ev := s.run.Next()
-	if ev.Addr != addr {
-		panic(fmt.Sprintf("sim: committed branch %#x does not match predicted %#x", ev.Addr, addr))
-	}
-	s.h.Resolve(pr, ev.Taken)
+	ev := stepBranch(s.run, s.h, s.walk)
 	if measured {
 		s.res.Uops += uint64(ev.Uops)
 	}
 	s.pos++
 }
 
-// Train predicts and resolves n branches without measuring them (the
-// warmup window).
-func (s *Stepper) Train(n int) {
+// advance drives n branches through whichever engine the stepper is on.
+func (s *Stepper) advance(n int, measured bool) {
+	if s.spec != nil {
+		s.advanceBlocks(n, measured)
+		return
+	}
 	for i := 0; i < n; i++ {
-		s.step(false)
+		s.step(measured)
 		if i&obsSampleMask == obsSampleMask {
 			obsCommit(ObsSampleEvery, ObsSampleEvery)
 		}
@@ -96,6 +134,47 @@ func (s *Stepper) Train(n int) {
 	tail := uint64(n & obsSampleMask)
 	obsCommit(tail, tail)
 }
+
+// advanceBlocks is the block-batched engine: decode a resident block of
+// the committed stream, step it with the monomorphic loop, account uops
+// from the block. The obs counters flush in the same ObsSampleEvery
+// quanta as the per-branch path (totals per call are identical; flush
+// timing differs by at most one block, within the one-quantum accuracy
+// obs documents).
+func (s *Stepper) advanceBlocks(n int, measured bool) {
+	var pending uint64
+	for done := 0; done < n; {
+		k := n - done
+		if k > len(s.buf) {
+			k = len(s.buf)
+		}
+		got := s.run.NextBlock(s.buf[:k])
+		evs := s.buf[:got]
+		s.spec(evs)
+		if measured {
+			for i := range evs {
+				s.res.Uops += uint64(evs[i].Uops)
+			}
+		}
+		s.pos += got
+		done += got
+		pending += uint64(got)
+		for pending >= ObsSampleEvery {
+			obsCommit(ObsSampleEvery, ObsSampleEvery)
+			pending -= ObsSampleEvery
+		}
+		if got < k {
+			// Replay ran past the recorded trace mid-window: surface the
+			// identical past-the-end panic the per-branch path raises.
+			s.run.CurrentAddr()
+		}
+	}
+	obsCommit(pending, pending)
+}
+
+// Train predicts and resolves n branches without measuring them (the
+// warmup window).
+func (s *Stepper) Train(n int) { s.advance(n, false) }
 
 // Measure predicts, resolves, and measures n branches. The first call
 // records the stats baseline, so Result reports deltas over the measured
@@ -105,14 +184,7 @@ func (s *Stepper) Measure(n int) {
 		s.baseline = s.h.Stats()
 		s.measuring = true
 	}
-	for i := 0; i < n; i++ {
-		s.step(true)
-		if i&obsSampleMask == obsSampleMask {
-			obsCommit(ObsSampleEvery, ObsSampleEvery)
-		}
-	}
-	tail := uint64(n & obsSampleMask)
-	obsCommit(tail, tail)
+	s.advance(n, true)
 }
 
 // Result returns the statistics of the window measured so far. Before the

@@ -53,9 +53,9 @@ func (t *Tournament) index(addr, hist uint64) uint64 {
 //pclint:hotpath
 func (t *Tournament) Predict(addr, hist uint64) bool {
 	if t.chooser[t.index(addr, hist)].Taken() {
-		return t.b.Predict(addr, hist)
+		return t.b.Predict(addr, hist) //pclint:allow composite dispatches to its members by design
 	}
-	return t.a.Predict(addr, hist)
+	return t.a.Predict(addr, hist) //pclint:allow composite dispatches to its members by design
 }
 
 // Update implements predictor.Predictor: both components always train;
@@ -64,14 +64,14 @@ func (t *Tournament) Predict(addr, hist uint64) bool {
 //
 //pclint:hotpath
 func (t *Tournament) Update(addr, hist uint64, taken bool) {
-	pa := t.a.Predict(addr, hist)
-	pb := t.b.Predict(addr, hist)
+	pa := t.a.Predict(addr, hist) //pclint:allow composite dispatches to its members by design
+	pb := t.b.Predict(addr, hist) //pclint:allow composite dispatches to its members by design
 	if pa != pb {
 		// Move toward b when b was correct, toward a when a was correct.
 		t.chooser[t.index(addr, hist)].Update(pb == taken)
 	}
-	t.a.Update(addr, hist, taken)
-	t.b.Update(addr, hist, taken)
+	t.a.Update(addr, hist, taken) //pclint:allow composite dispatches to its members by design
+	t.b.Update(addr, hist, taken) //pclint:allow composite dispatches to its members by design
 }
 
 // HistoryLen implements predictor.Predictor.

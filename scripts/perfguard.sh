@@ -16,11 +16,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-/tmp/bench-new.txt}
-go test -run=NONE -bench='BenchmarkHybridPredictResolve$|BenchmarkProphetAlone$|BenchmarkManyStepperStep$|BenchmarkManyStepperStepObsOn$' \
+go test -run=NONE -bench='BenchmarkHybridPredictResolve$|BenchmarkProphetAlone$|BenchmarkStepperStep$|BenchmarkManyStepperStep$|BenchmarkManyStepperStepObsOn$' \
     -benchtime=2000x -benchmem -count=3 . | tee "$out"
 
 fail=0
-for b in BenchmarkHybridPredictResolve BenchmarkProphetAlone BenchmarkManyStepperStep BenchmarkManyStepperStepObsOn; do
+for b in BenchmarkHybridPredictResolve BenchmarkProphetAlone BenchmarkStepperStep BenchmarkManyStepperStep BenchmarkManyStepperStepObsOn; do
     # Every sampled run of a pinned benchmark must report 0 allocs/op.
     # Match the name up to a delimiter (the -P GOMAXPROCS suffix or the
     # padding whitespace) so prefix-named benches — ManyStepperStep vs
@@ -154,3 +154,10 @@ END {
 
 cat BENCH_obs.json
 echo "perf-guard: observability overhead recorded in BENCH_obs.json (gated <= 1.02x)"
+
+# ---- devirtualized hot path: BENCH_hotpath.json ----
+# The specialized-vs-generic matrix and its paired >= 1.3x gate live in
+# their own script so the trajectory can be re-recorded standalone; the
+# allocation gates on the specialized loops (BenchmarkStepperStep,
+# BenchmarkManyStepperStep) already ran above.
+scripts/bench_snapshot.sh
